@@ -1,0 +1,29 @@
+//! Criterion bench: two-terminal network reliability on ladder networks —
+//! pivotal factoring (exponential in the cycle space; paper refs [4, 14])
+//! versus the frontier connectivity DP (linear on bounded-pathwidth
+//! graphs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logrel_bench::ladder_graph;
+
+fn bench_netrel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netrel");
+    for &rungs in &[2usize, 4, 8, 12] {
+        let g = ladder_graph(rungs, 0.95);
+        let t = g.node_count() - 1;
+        group.bench_with_input(BenchmarkId::new("factoring", rungs), &g, |b, g| {
+            b.iter(|| g.two_terminal(0, t).expect("valid terminals"))
+        });
+    }
+    for &rungs in &[2usize, 8, 32, 128] {
+        let g = ladder_graph(rungs, 0.95);
+        let t = g.node_count() - 1;
+        group.bench_with_input(BenchmarkId::new("frontier", rungs), &g, |b, g| {
+            b.iter(|| g.two_terminal_frontier(0, t).expect("valid terminals"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_netrel);
+criterion_main!(benches);

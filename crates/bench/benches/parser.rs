@@ -1,0 +1,23 @@
+//! Criterion bench: HTL-text parsing and elaboration throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logrel_bench::big_htl_source;
+use logrel_lang::{compile, parse};
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    for &tasks in &[10usize, 50, 100, 200] {
+        let src = big_htl_source(tasks);
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", tasks), &src, |b, src| {
+            b.iter(|| parse(src).expect("parses"))
+        });
+        group.bench_with_input(BenchmarkId::new("compile", tasks), &src, |b, src| {
+            b.iter(|| compile(src).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

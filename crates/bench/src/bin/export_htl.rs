@@ -1,0 +1,27 @@
+//! Exports the three-tank program as HTL-style source text, for use with
+//! the `htlc` CLI and as the repository's golden file.
+//!
+//! Usage: `cargo run -p logrel-bench --bin export_htl -- [baseline|scenario1|scenario2] [lrc]`
+
+use logrel_threetank::htl::three_tank_source;
+use logrel_threetank::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = match args.first().map(String::as_str) {
+        None | Some("baseline") => Scenario::Baseline,
+        Some("scenario1") => Scenario::ReplicatedControllers,
+        Some("scenario2") => Scenario::ReplicatedSensors,
+        Some(other) => {
+            eprintln!("unknown scenario `{other}` (baseline|scenario1|scenario2)");
+            std::process::exit(1);
+        }
+    };
+    let lrc = args.get(1).map(|s| {
+        s.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("bad LRC `{s}`");
+            std::process::exit(1);
+        })
+    });
+    print!("{}", three_tank_source(scenario, 0.999, lrc));
+}

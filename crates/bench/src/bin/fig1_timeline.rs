@@ -1,0 +1,70 @@
+//! E1 — regenerates Fig. 1 of the paper: communicators `c1..c4` with
+//! periods 2, 3, 4, 2; task `t` reads the second instances of `c1`, `c2`
+//! and updates the third and sixth instances of `c3`, `c4`; its LET spans
+//! instants 3 to 8.
+//!
+//! Run with: `cargo run -p logrel-bench --bin fig1_timeline`
+
+use logrel_core::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let mut b = Specification::builder();
+    let c1 = b.communicator(CommunicatorDecl::new("c1", ValueType::Float, 2)?)?;
+    let c2 = b.communicator(CommunicatorDecl::new("c2", ValueType::Float, 3)?)?;
+    let c3 = b.communicator(CommunicatorDecl::new("c3", ValueType::Float, 4)?)?;
+    let c4 = b.communicator(CommunicatorDecl::new("c4", ValueType::Float, 2)?)?;
+    let t = b.task(
+        TaskDecl::new("t")
+            .reads(c1, 1)
+            .reads(c2, 1)
+            .writes(c3, 2)
+            .writes(c4, 5),
+    )?;
+    let spec = b.build()?;
+
+    let round = spec.round_period().as_u64();
+    println!("Fig. 1 — communicators and tasks (round period π_S = {round})\n");
+
+    // Timeline header.
+    print!("      ");
+    for tick in 0..=round {
+        print!("{tick:>3}");
+    }
+    println!();
+
+    // One row per communicator: mark update instants.
+    for (name, c) in [("c1", c1), ("c2", c2), ("c3", c3), ("c4", c4)] {
+        print!("{name:>4}  ");
+        let period = spec.communicator(c).period().as_u64();
+        for tick in 0..=round {
+            if tick % period == 0 {
+                print!("  ●");
+            } else {
+                print!("  ·");
+            }
+        }
+        println!();
+    }
+
+    // The task's LET bar.
+    let read = spec.read_time(t).as_u64();
+    let write = spec.write_time(t).as_u64();
+    print!("task  ");
+    for tick in 0..=round {
+        if tick == read {
+            print!("  ⊢");
+        } else if tick == write {
+            print!("  ⊣");
+        } else if tick > read && tick < write {
+            print!("  ─");
+        } else {
+            print!("   ");
+        }
+    }
+    println!("\n");
+    println!("reads  (c1, 1) @ {}  and (c2, 1) @ {}", 2, 3);
+    println!("writes (c3, 2) @ {}  and (c4, 5) @ {}", 8, 10);
+    println!("LET(t) = [{read}, {write}]  (length {})", write - read);
+    assert_eq!((read, write), (3, 8), "must match the paper");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Dense index-based identifiers for model entities.
+//!
+//! Ids are assigned by the respective builders ([`crate::spec`],
+//! [`crate::arch`]) in declaration order and index directly into the owning
+//! container's storage, which keeps analyses allocation-light.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a dense index.
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// Returns the dense index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a communicator within a [`crate::Specification`].
+    CommunicatorId,
+    "c"
+);
+define_id!(
+    /// Identifier of a task within a [`crate::Specification`].
+    TaskId,
+    "t"
+);
+define_id!(
+    /// Identifier of a host within an [`crate::Architecture`].
+    HostId,
+    "h"
+);
+define_id!(
+    /// Identifier of a sensor within an [`crate::Architecture`].
+    SensorId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        let c = CommunicatorId::new(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(c.to_string(), "c3");
+        let t = TaskId::new(0);
+        assert_eq!(t.to_string(), "t0");
+        let h = HostId::new(7);
+        assert_eq!(h.to_string(), "h7");
+        let s = SensorId::new(1);
+        assert_eq!(s.to_string(), "s1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+        assert_eq!(usize::from(HostId::new(4)), 4);
+    }
+}

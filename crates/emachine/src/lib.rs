@@ -1,0 +1,27 @@
+//! E-machine code generation and interpretation.
+//!
+//! The paper's prototype compiles HTL to *E-code* executed by an Embedded
+//! Machine (E-machine): a mediator between physical time and software tasks
+//! that calls synchronous *drivers* (communicator updates, port loads) at
+//! exact logical instants and *releases* tasks to the platform scheduler in
+//! between. This crate reproduces that runtime layer:
+//!
+//! * [`instruction`] — the E-code instruction set: `call`, `release`,
+//!   `future`, `jump`, `return`;
+//! * [`codegen`] — compiles one host's view of a specification +
+//!   implementation into a cyclic E-code program over one round π_S;
+//! * [`machine`] — the interpreter, parameterised by a [`Platform`] that
+//!   implements the drivers (the distributed simulator implements it; a
+//!   recording platform is used in tests).
+//!
+//! [`Platform`]: machine::Platform
+
+pub mod codegen;
+pub mod instruction;
+pub mod machine;
+pub mod modal;
+
+pub use codegen::generate;
+pub use instruction::{Addr, DriverOp, ECode, Instruction};
+pub use machine::{EMachine, Platform};
+pub use modal::{generate_modal, ModalError, ModalMode, ModeSwitch};

@@ -1,0 +1,256 @@
+//! The abstract syntax tree.
+
+use crate::token::Span;
+
+/// A literal value in the source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Literal {
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A boolean literal.
+    Bool(bool),
+}
+
+/// A payload type annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeName {
+    /// `float`
+    Float,
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+}
+
+/// A communicator declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommDecl {
+    /// The communicator's name.
+    pub name: String,
+    /// Its payload type.
+    pub ty: TypeName,
+    /// Its accessibility period, in ticks.
+    pub period: u64,
+    /// Optional initial value.
+    pub init: Option<Literal>,
+    /// Optional logical reliability constraint.
+    pub lrc: Option<f64>,
+    /// `true` if updated by the environment through sensors.
+    pub sensor: bool,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A failure-model annotation on an invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelName {
+    /// `series`
+    Series,
+    /// `parallel`
+    Parallel,
+    /// `independent`
+    Independent,
+}
+
+/// A communicator-instance access `name[instance]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// The accessed communicator's name.
+    pub comm: String,
+    /// The instance number.
+    pub instance: u64,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A task invocation inside a mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The task's name.
+    pub task: String,
+    /// The input failure model (defaults to series).
+    pub model: ModelName,
+    /// Input accesses.
+    pub reads: Vec<Access>,
+    /// Output accesses.
+    pub writes: Vec<Access>,
+    /// Default values (positional with `reads`).
+    pub defaults: Vec<Literal>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A mode switch `switch event -> target;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchDecl {
+    /// The triggering event's name.
+    pub event: String,
+    /// The target mode's name.
+    pub target: String,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A mode: a period, task invocations and mode switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mode {
+    /// The mode's name.
+    pub name: String,
+    /// `true` if declared as the module's start mode.
+    pub start: bool,
+    /// The mode period.
+    pub period: u64,
+    /// Task invocations.
+    pub invocations: Vec<Invocation>,
+    /// Mode switches.
+    pub switches: Vec<SwitchDecl>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A module: a set of alternative modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// The module's name.
+    pub name: String,
+    /// The modes, in declaration order.
+    pub modes: Vec<Mode>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// One architecture-block item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchItem {
+    /// `host name reliability r;`
+    Host {
+        /// The host's name.
+        name: String,
+        /// Its reliability.
+        reliability: f64,
+        /// Source position.
+        span: Span,
+    },
+    /// `sensor name reliability r;`
+    Sensor {
+        /// The sensor's name.
+        name: String,
+        /// Its reliability.
+        reliability: f64,
+        /// Source position.
+        span: Span,
+    },
+    /// `broadcast reliability r;`
+    Broadcast {
+        /// The broadcast reliability.
+        reliability: f64,
+        /// Source position.
+        span: Span,
+    },
+    /// `wcet task on host ticks;`
+    Wcet {
+        /// The task's name.
+        task: String,
+        /// The host's name.
+        host: String,
+        /// The WCET in ticks.
+        ticks: u64,
+        /// Source position.
+        span: Span,
+    },
+    /// `wctt task on host ticks;`
+    Wctt {
+        /// The task's name.
+        task: String,
+        /// The host's name.
+        host: String,
+        /// The WCTT in ticks.
+        ticks: u64,
+        /// Source position.
+        span: Span,
+    },
+}
+
+/// One mapping-block item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapItem {
+    /// `task -> h1, h2;`
+    Assign {
+        /// The task's name.
+        task: String,
+        /// The hosts' names.
+        hosts: Vec<String>,
+        /// Source position.
+        span: Span,
+    },
+    /// `bind comm -> s1, s2;`
+    Bind {
+        /// The input communicator's name.
+        comm: String,
+        /// The sensors' names.
+        sensors: Vec<String>,
+        /// Source position.
+        span: Span,
+    },
+}
+
+/// A declared refinement between two programs of a source file:
+/// `refinement <refining> refines <refined> { t' -> t; … }`. An empty
+/// mapping block means κ is taken by task name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementDecl {
+    /// The refining (more concrete) program's name.
+    pub refining: String,
+    /// The refined (more abstract) program's name.
+    pub refined: String,
+    /// Explicit task pairs `(refining task, refined task)`; empty = match
+    /// by name.
+    pub map: Vec<(String, String)>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A source file: one or more programs plus declared refinements between
+/// them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// The programs, in declaration order.
+    pub programs: Vec<Program>,
+    /// The refinement declarations, in declaration order.
+    pub refinements: Vec<RefinementDecl>,
+}
+
+/// A complete program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The program's name.
+    pub name: String,
+    /// Communicator declarations.
+    pub communicators: Vec<CommDecl>,
+    /// Modules.
+    pub modules: Vec<Module>,
+    /// Architecture items (in declaration order).
+    pub arch: Vec<ArchItem>,
+    /// Mapping items (in declaration order).
+    pub map: Vec<MapItem>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_are_comparable() {
+        let a = Access {
+            comm: "c".into(),
+            instance: 1,
+            span: Span::default(),
+        };
+        assert_eq!(a, a.clone());
+        let lit = Literal::Float(0.5);
+        assert_eq!(lit, Literal::Float(0.5));
+        assert_ne!(Literal::Int(1), Literal::Int(2));
+    }
+}

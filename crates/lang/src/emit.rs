@@ -1,0 +1,322 @@
+//! Emission: rendering a core-model system back to source text.
+//!
+//! The inverse of [`crate::elaborate()`]: turns a programmatically built
+//! `(Specification, Architecture, Implementation)` into a [`Program`] (and
+//! thus, via [`crate::printer`], into compilable text). Useful for
+//! exporting systems built with the builder API, golden files, and
+//! round-trip testing of the whole front-end.
+
+use crate::ast::*;
+use crate::token::Span;
+use logrel_core::{
+    Architecture, FailureModel, Implementation, Specification, Value, ValueType,
+};
+
+fn type_name(ty: ValueType) -> TypeName {
+    match ty {
+        ValueType::Float => TypeName::Float,
+        ValueType::Int => TypeName::Int,
+        ValueType::Bool => TypeName::Bool,
+    }
+}
+
+fn literal(v: Value) -> Literal {
+    match v {
+        Value::Float(x) => Literal::Float(x),
+        Value::Int(i) => Literal::Int(i),
+        Value::Bool(b) => Literal::Bool(b),
+        Value::Unreliable => unreachable!("validated initial/default values are reliable"),
+    }
+}
+
+/// Builds a single-module, single-mode [`Program`] equivalent to the given
+/// system. The module is named `m`, its only (start) mode `main` with the
+/// specification's round period.
+pub fn program_from_system(
+    name: &str,
+    spec: &Specification,
+    arch: &Architecture,
+    imp: &Implementation,
+) -> Program {
+    let z = Span::default();
+
+    let communicators = spec
+        .communicator_ids()
+        .map(|c| {
+            let d = spec.communicator(c);
+            CommDecl {
+                name: d.name().to_owned(),
+                ty: type_name(d.value_type()),
+                period: d.period().as_u64(),
+                init: Some(literal(d.init())),
+                lrc: d.lrc().map(|r| r.get()),
+                sensor: d.is_sensor_input(),
+                span: z,
+            }
+        })
+        .collect();
+
+    let invocations = spec
+        .task_ids()
+        .map(|t| {
+            let d = spec.task(t);
+            let access = |a: &logrel_core::CommAccess| Access {
+                comm: spec.communicator(a.comm).name().to_owned(),
+                instance: a.instance,
+                span: z,
+            };
+            Invocation {
+                task: d.name().to_owned(),
+                model: match d.failure_model() {
+                    FailureModel::Series => ModelName::Series,
+                    FailureModel::Parallel => ModelName::Parallel,
+                    FailureModel::Independent => ModelName::Independent,
+                },
+                reads: d.inputs().iter().map(access).collect(),
+                writes: d.outputs().iter().map(access).collect(),
+                defaults: d.default_values().iter().map(|&v| literal(v)).collect(),
+                span: z,
+            }
+        })
+        .collect();
+
+    let modules = vec![Module {
+        name: "m".to_owned(),
+        modes: vec![Mode {
+            name: "main".to_owned(),
+            start: true,
+            period: spec.round_period().as_u64(),
+            invocations,
+            switches: Vec::new(),
+            span: z,
+        }],
+        span: z,
+    }];
+
+    let mut arch_items = Vec::new();
+    for h in arch.host_ids() {
+        arch_items.push(ArchItem::Host {
+            name: arch.host(h).name().to_owned(),
+            reliability: arch.host(h).reliability().get(),
+            span: z,
+        });
+    }
+    for s in arch.sensor_ids() {
+        arch_items.push(ArchItem::Sensor {
+            name: arch.sensor(s).name().to_owned(),
+            reliability: arch.sensor(s).reliability().get(),
+            span: z,
+        });
+    }
+    if arch.broadcast_reliability().get() < 1.0 {
+        arch_items.push(ArchItem::Broadcast {
+            reliability: arch.broadcast_reliability().get(),
+            span: z,
+        });
+    }
+    for t in spec.task_ids() {
+        for h in arch.host_ids() {
+            if let Some(ticks) = arch.wcet(t, h) {
+                arch_items.push(ArchItem::Wcet {
+                    task: spec.task(t).name().to_owned(),
+                    host: arch.host(h).name().to_owned(),
+                    ticks,
+                    span: z,
+                });
+            }
+            if let Some(ticks) = arch.wctt(t, h) {
+                arch_items.push(ArchItem::Wctt {
+                    task: spec.task(t).name().to_owned(),
+                    host: arch.host(h).name().to_owned(),
+                    ticks,
+                    span: z,
+                });
+            }
+        }
+    }
+
+    let mut map_items = Vec::new();
+    for t in spec.task_ids() {
+        map_items.push(MapItem::Assign {
+            task: spec.task(t).name().to_owned(),
+            hosts: imp
+                .hosts_of(t)
+                .iter()
+                .map(|&h| arch.host(h).name().to_owned())
+                .collect(),
+            span: z,
+        });
+    }
+    for c in spec.communicator_ids() {
+        let sensors = imp.sensors_of(c);
+        if !sensors.is_empty() {
+            map_items.push(MapItem::Bind {
+                comm: spec.communicator(c).name().to_owned(),
+                sensors: sensors
+                    .iter()
+                    .map(|&s| arch.sensor(s).name().to_owned())
+                    .collect(),
+                span: z,
+            });
+        }
+    }
+
+    Program {
+        name: name.to_owned(),
+        communicators,
+        modules,
+        arch: arch_items,
+        map: map_items,
+    }
+}
+
+/// Renders the system directly to compilable source text.
+pub fn emit_source(
+    name: &str,
+    spec: &Specification,
+    arch: &Architecture,
+    imp: &Implementation,
+) -> String {
+    crate::printer::print_program(&program_from_system(name, spec, arch, imp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use logrel_core::{
+        CommunicatorDecl, HostDecl, Reliability, SensorDecl, TaskDecl,
+    };
+
+    fn r(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    fn sample() -> (Specification, Architecture, Implementation) {
+        let mut sb = Specification::builder();
+        let s = sb
+            .communicator(
+                CommunicatorDecl::new("s", ValueType::Float, 10)
+                    .unwrap()
+                    .from_sensor(),
+            )
+            .unwrap();
+        let u = sb
+            .communicator(
+                CommunicatorDecl::new("u", ValueType::Float, 10)
+                    .unwrap()
+                    .with_lrc(r(0.95))
+                    .with_init(Value::Float(1.5))
+                    .unwrap(),
+            )
+            .unwrap();
+        let flag = sb
+            .communicator(
+                CommunicatorDecl::new("flag", ValueType::Bool, 10)
+                    .unwrap()
+                    .with_init(Value::Bool(true))
+                    .unwrap(),
+            )
+            .unwrap();
+        let t = sb
+            .task(
+                TaskDecl::new("ctrl")
+                    .reads(s, 0)
+                    .writes(u, 1)
+                    .writes(flag, 1)
+                    .model(FailureModel::Parallel)
+                    .default_value(Value::Float(0.25)),
+            )
+            .unwrap();
+        let spec = sb.build().unwrap();
+        let mut ab = Architecture::builder();
+        let h1 = ab.host(HostDecl::new("h1", r(0.99))).unwrap();
+        let h2 = ab.host(HostDecl::new("h2", r(0.98))).unwrap();
+        let sen = ab.sensor(SensorDecl::new("sn", r(0.999))).unwrap();
+        ab.wcet(t, h1, 3).unwrap();
+        ab.wctt(t, h1, 1).unwrap();
+        ab.wcet(t, h2, 4).unwrap();
+        ab.wctt(t, h2, 2).unwrap();
+        ab.broadcast_reliability(r(0.9999));
+        let arch = ab.build();
+        let imp = Implementation::builder()
+            .assign(t, [h1, h2])
+            .bind_sensor(s, sen)
+            .build(&spec, &arch)
+            .unwrap();
+        (spec, arch, imp)
+    }
+
+    #[test]
+    fn emitted_source_recompiles_to_an_equivalent_system() {
+        let (spec, arch, imp) = sample();
+        let src = emit_source("sample", &spec, &arch, &imp);
+        let sys = compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert_eq!(sys.spec.communicator_count(), spec.communicator_count());
+        assert_eq!(sys.spec.task_count(), spec.task_count());
+        assert_eq!(sys.spec.round_period(), spec.round_period());
+        assert_eq!(sys.arch.host_count(), arch.host_count());
+        assert_eq!(
+            sys.arch.broadcast_reliability(),
+            arch.broadcast_reliability()
+        );
+        // Identical analysis results (names align, ids may not).
+        let a = logrel_reliability_shim::srgs(&spec, &arch, &imp);
+        let b = logrel_reliability_shim::srgs(&sys.spec, &sys.arch, &sys.imp);
+        assert_eq!(a, b);
+    }
+
+    /// Tiny shim to avoid a dev-dependency cycle with logrel-reliability:
+    /// a direct reimplementation of the series SRG for this one test
+    /// would hide regressions, so compare structural quantities instead.
+    mod logrel_reliability_shim {
+        use super::*;
+        pub fn srgs(
+            spec: &Specification,
+            arch: &Architecture,
+            imp: &Implementation,
+        ) -> Vec<(String, usize, usize, Option<u64>)> {
+            spec.communicator_ids()
+                .map(|c| {
+                    let writer_replicas = spec
+                        .writer(c)
+                        .map_or(0, |t| imp.hosts_of(t).len());
+                    let wcet_sum: Option<u64> = spec.writer(c).map(|t| {
+                        imp.hosts_of(t)
+                            .iter()
+                            .filter_map(|&h| arch.wcet(t, h))
+                            .sum()
+                    });
+                    (
+                        spec.communicator(c).name().to_owned(),
+                        writer_replicas,
+                        imp.sensors_of(c).len(),
+                        wcet_sum,
+                    )
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn emitted_program_preserves_details() {
+        let (spec, arch, imp) = sample();
+        let program = program_from_system("sample", &spec, &arch, &imp);
+        assert_eq!(program.communicators.len(), 3);
+        let u = &program.communicators[1];
+        assert_eq!(u.lrc, Some(0.95));
+        assert_eq!(u.init, Some(Literal::Float(1.5)));
+        assert!(!u.sensor);
+        assert!(program.communicators[0].sensor);
+        let inv = &program.modules[0].modes[0].invocations[0];
+        assert_eq!(inv.model, ModelName::Parallel);
+        assert_eq!(inv.defaults, vec![Literal::Float(0.25)]);
+        assert!(program
+            .arch
+            .iter()
+            .any(|i| matches!(i, ArchItem::Broadcast { .. })));
+        assert!(program.map.iter().any(
+            |i| matches!(i, MapItem::Assign { hosts, .. } if hosts.len() == 2)
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+//! Diagnostics of the language front-end.
+
+use crate::token::Span;
+use logrel_core::CoreError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors of the lexer, parser and elaborator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LangError {
+    /// A lexical error (unexpected character, malformed number).
+    Lex {
+        /// Explanation.
+        message: String,
+        /// Position of the offending character.
+        span: Span,
+    },
+    /// A syntax error.
+    Parse {
+        /// What the parser expected.
+        expected: String,
+        /// What it found (rendered token).
+        found: String,
+        /// Position of the offending token.
+        span: Span,
+    },
+    /// A semantic error during elaboration (unknown name, duplicate,
+    /// inconsistent modes, …).
+    Resolve {
+        /// Explanation.
+        message: String,
+        /// Position of the offending construct.
+        span: Span,
+    },
+    /// A core-model validation error surfaced while building the
+    /// specification / architecture / implementation.
+    Core(CoreError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { message, span } => write!(f, "{span}: lexical error: {message}"),
+            LangError::Parse {
+                expected,
+                found,
+                span,
+            } => write!(f, "{span}: expected {expected}, found {found}"),
+            LangError::Resolve { message, span } => write!(f, "{span}: {message}"),
+            LangError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for LangError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LangError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for LangError {
+    fn from(e: CoreError) -> Self {
+        LangError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_include_positions() {
+        let span = Span { line: 2, col: 5 };
+        let e = LangError::Parse {
+            expected: "`;`".into(),
+            found: "`}`".into(),
+            span,
+        };
+        assert!(e.to_string().starts_with("2:5"));
+        let l = LangError::Lex {
+            message: "bad char".into(),
+            span,
+        };
+        assert!(l.to_string().contains("lexical"));
+        let r = LangError::Resolve {
+            message: "unknown task".into(),
+            span,
+        };
+        assert!(r.to_string().contains("unknown task"));
+        let c: LangError = CoreError::ZeroPeriod.into();
+        assert!(c.source().is_some());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! A hand-written scanner.
+//!
+//! Supports `//` line comments, identifiers, keywords, unsigned integers,
+//! signed floating-point literals (a number containing `.`, `e` or a
+//! leading `-` lexes as a float) and the punctuation of the grammar.
+
+use crate::error::LangError;
+use crate::token::{Keyword, Span, SpannedToken, Token};
+
+/// Scans `source` into a token stream terminated by [`Token::Eof`].
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] for unexpected characters or malformed
+/// numbers.
+pub fn lex(source: &str) -> Result<Vec<SpannedToken>, LangError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        let span = Span { line, col };
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                col += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(SpannedToken {
+                    token: Token::LBrace,
+                    span,
+                });
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                tokens.push(SpannedToken {
+                    token: Token::RBrace,
+                    span,
+                });
+                i += 1;
+                col += 1;
+            }
+            '[' => {
+                tokens.push(SpannedToken {
+                    token: Token::LBracket,
+                    span,
+                });
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                tokens.push(SpannedToken {
+                    token: Token::RBracket,
+                    span,
+                });
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                tokens.push(SpannedToken {
+                    token: Token::Colon,
+                    span,
+                });
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                tokens.push(SpannedToken {
+                    token: Token::Semi,
+                    span,
+                });
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                tokens.push(SpannedToken {
+                    token: Token::Comma,
+                    span,
+                });
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                if i + 1 < n && chars[i + 1] == '>' {
+                    tokens.push(SpannedToken {
+                        token: Token::Arrow,
+                        span,
+                    });
+                    i += 2;
+                    col += 2;
+                } else if i + 1 < n && chars[i + 1].is_ascii_digit() {
+                    let (token, len) = lex_number(&chars[i..], span)?;
+                    tokens.push(SpannedToken { token, span });
+                    i += len;
+                    col += len as u32;
+                } else {
+                    return Err(LangError::Lex {
+                        message: "expected `->` or a negative number after `-`".to_owned(),
+                        span,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (token, len) = lex_number(&chars[i..], span)?;
+                tokens.push(SpannedToken { token, span });
+                i += len;
+                col += len as u32;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let len = (i - start) as u32;
+                let token = match Keyword::lookup(&word) {
+                    Some(kw) => Token::Keyword(kw),
+                    None => Token::Ident(word),
+                };
+                tokens.push(SpannedToken { token, span });
+                col += len;
+            }
+            other => {
+                return Err(LangError::Lex {
+                    message: format!("unexpected character `{other}`"),
+                    span,
+                });
+            }
+        }
+    }
+    tokens.push(SpannedToken {
+        token: Token::Eof,
+        span: Span { line, col },
+    });
+    Ok(tokens)
+}
+
+/// Lexes a number starting at `chars[0]` (which may be `-`). Returns the
+/// token and the number of characters consumed.
+fn lex_number(chars: &[char], span: Span) -> Result<(Token, usize), LangError> {
+    let mut i = 0usize;
+    if chars[0] == '-' {
+        i = 1;
+    }
+    let mut is_float = false;
+    while i < chars.len() {
+        match chars[i] {
+            c if c.is_ascii_digit() => i += 1,
+            '.' | 'e' | 'E' => {
+                is_float = true;
+                i += 1;
+                // allow an exponent sign
+                if (chars[i - 1] == 'e' || chars[i - 1] == 'E')
+                    && i < chars.len()
+                    && (chars[i] == '+' || chars[i] == '-')
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text: String = chars[..i].iter().collect();
+    if is_float {
+        text.parse::<f64>()
+            .map(|v| (Token::Float(v), i))
+            .map_err(|_| LangError::Lex {
+                message: format!("malformed number `{text}`"),
+                span,
+            })
+    } else {
+        text.parse::<i64>()
+            .map(|v| (Token::Int(v), i))
+            .map_err(|_| LangError::Lex {
+                message: format!("malformed number `{text}`"),
+                span,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn punctuation_and_keywords() {
+        assert_eq!(
+            toks("mode m { } -> ; , : [ ]"),
+            vec![
+                Token::Keyword(Keyword::Mode),
+                Token::Ident("m".into()),
+                Token::LBrace,
+                Token::RBrace,
+                Token::Arrow,
+                Token::Semi,
+                Token::Comma,
+                Token::Colon,
+                Token::LBracket,
+                Token::RBracket,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 0.99 -3.5 1e-3 -7"),
+            vec![
+                Token::Int(42),
+                Token::Float(0.99),
+                Token::Float(-3.5),
+                Token::Float(1e-3),
+                Token::Int(-7),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // comment with { } -> stuff\nb"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let ts = lex("ab\n  cd").unwrap();
+        assert_eq!(ts[0].span, Span { line: 1, col: 1 });
+        assert_eq!(ts[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unexpected_character_is_reported() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(matches!(err, LangError::Lex { .. }));
+        assert!(err.to_string().contains('$'));
+    }
+
+    #[test]
+    fn lone_minus_is_an_error() {
+        assert!(lex("- x").is_err());
+    }
+
+    #[test]
+    fn underscored_identifiers() {
+        assert_eq!(
+            toks("_foo bar_2"),
+            vec![
+                Token::Ident("_foo".into()),
+                Token::Ident("bar_2".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert_eq!(
+            toks("sensor sensors"),
+            vec![
+                Token::Keyword(Keyword::Sensor),
+                Token::Ident("sensors".into()),
+                Token::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,631 @@
+//! Recursive-descent parser.
+//!
+//! Grammar (EBNF, `[]` optional, `{}` repetition):
+//!
+//! ```text
+//! program   = "program" IDENT "{" { item } "}"
+//! item      = commdecl | module | archblock | mapblock
+//! commdecl  = "communicator" IDENT ":" type "period" INT
+//!             [ "init" literal ] [ "lrc" number ] [ "sensor" ] ";"
+//! module    = "module" IDENT "{" { mode } "}"
+//! mode      = [ "start" ] "mode" IDENT "period" INT "{" { modeitem } "}"
+//! modeitem  = invoke | switch
+//! invoke    = "invoke" IDENT [ "model" model ]
+//!             "reads" access { "," access }
+//!             "writes" access { "," access }
+//!             [ "defaults" literal { "," literal } ] ";"
+//! access    = IDENT "[" INT "]"
+//! switch    = "switch" IDENT "->" IDENT ";"
+//! archblock = "architecture" "{" { architem } "}"
+//! architem  = "host" IDENT "reliability" number ";"
+//!           | "sensor" IDENT "reliability" number ";"
+//!           | "broadcast" "reliability" number ";"
+//!           | ("wcet" | "wctt") IDENT "on" IDENT INT ";"
+//! mapblock  = "map" "{" { mapitem } "}"
+//! mapitem   = "bind" IDENT "->" IDENT { "," IDENT } ";"
+//!           | IDENT "->" IDENT { "," IDENT } ";"
+//! ```
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Keyword, Span, SpannedToken, Token};
+
+/// Parses a complete program from source text.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, with position.
+pub fn parse(source: &str) -> Result<Program, LangError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let program = p.program()?;
+    p.expect(Token::Eof)?;
+    Ok(program)
+}
+
+/// Parses a source file containing one or more programs and refinement
+/// declarations (`concrete refines abstract { t' -> t; … }`).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, with position.
+pub fn parse_file(source: &str) -> Result<SourceFile, LangError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut file = SourceFile {
+        programs: Vec::new(),
+        refinements: Vec::new(),
+    };
+    loop {
+        match p.peek().token.clone() {
+            Token::Eof => return Ok(file),
+            Token::Keyword(Keyword::Program) => file.programs.push(p.program()?),
+            Token::Ident(_) => file.refinements.push(p.refinement_decl()?),
+            _ => return Err(p.err("`program`, a refinement declaration or end of input")),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &SpannedToken {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> SpannedToken {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: impl Into<String>) -> LangError {
+        let t = self.peek();
+        LangError::Parse {
+            expected: expected.into(),
+            found: t.token.to_string(),
+            span: t.span,
+        }
+    }
+
+    fn expect(&mut self, token: Token) -> Result<Span, LangError> {
+        if self.peek().token == token {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(token.to_string()))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<Span, LangError> {
+        self.expect(Token::Keyword(kw))
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.peek().token == Token::Keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), LangError> {
+        match self.peek().token.clone() {
+            Token::Ident(s) => {
+                let span = self.bump().span;
+                Ok((s, span))
+            }
+            _ => Err(self.err("an identifier")),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, LangError> {
+        match self.peek().token {
+            Token::Int(v) if v >= 0 => {
+                self.bump();
+                Ok(v as u64)
+            }
+            _ => Err(self.err("a non-negative integer")),
+        }
+    }
+
+    /// A number usable as a reliability: integer or float.
+    fn number(&mut self) -> Result<f64, LangError> {
+        match self.peek().token {
+            Token::Int(v) => {
+                self.bump();
+                Ok(v as f64)
+            }
+            Token::Float(v) => {
+                self.bump();
+                Ok(v)
+            }
+            _ => Err(self.err("a number")),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, LangError> {
+        match self.peek().token {
+            Token::Int(v) => {
+                self.bump();
+                Ok(Literal::Int(v))
+            }
+            Token::Float(v) => {
+                self.bump();
+                Ok(Literal::Float(v))
+            }
+            Token::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Literal::Bool(true))
+            }
+            Token::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Literal::Bool(false))
+            }
+            _ => Err(self.err("a literal")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        self.expect_kw(Keyword::Program)?;
+        let (name, _) = self.ident()?;
+        self.expect(Token::LBrace)?;
+        let mut program = Program {
+            name,
+            communicators: Vec::new(),
+            modules: Vec::new(),
+            arch: Vec::new(),
+            map: Vec::new(),
+        };
+        loop {
+            match self.peek().token {
+                Token::RBrace => {
+                    self.bump();
+                    break;
+                }
+                Token::Keyword(Keyword::Communicator) => {
+                    program.communicators.push(self.commdecl()?);
+                }
+                Token::Keyword(Keyword::Module) => program.modules.push(self.module()?),
+                Token::Keyword(Keyword::Architecture) => self.archblock(&mut program.arch)?,
+                Token::Keyword(Keyword::Map) => self.mapblock(&mut program.map)?,
+                _ => {
+                    return Err(self.err(
+                        "`communicator`, `module`, `architecture`, `map` or `}`",
+                    ))
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn refinement_decl(&mut self) -> Result<RefinementDecl, LangError> {
+        let (refining, span) = self.ident()?;
+        self.expect_kw(Keyword::Refines)?;
+        let (refined, _) = self.ident()?;
+        self.expect(Token::LBrace)?;
+        let mut map = Vec::new();
+        while self.peek().token != Token::RBrace {
+            let (from, _) = self.ident()?;
+            self.expect(Token::Arrow)?;
+            let (to, _) = self.ident()?;
+            self.expect(Token::Semi)?;
+            map.push((from, to));
+        }
+        self.expect(Token::RBrace)?;
+        Ok(RefinementDecl {
+            refining,
+            refined,
+            map,
+            span,
+        })
+    }
+
+    fn commdecl(&mut self) -> Result<CommDecl, LangError> {
+        let span = self.expect_kw(Keyword::Communicator)?;
+        let (name, _) = self.ident()?;
+        self.expect(Token::Colon)?;
+        let ty = match self.peek().token {
+            Token::Keyword(Keyword::Float) => TypeName::Float,
+            Token::Keyword(Keyword::Int) => TypeName::Int,
+            Token::Keyword(Keyword::Bool) => TypeName::Bool,
+            _ => return Err(self.err("a type (`float`, `int`, `bool`)")),
+        };
+        self.bump();
+        self.expect_kw(Keyword::Period)?;
+        let period = self.int()?;
+        let mut decl = CommDecl {
+            name,
+            ty,
+            period,
+            init: None,
+            lrc: None,
+            sensor: false,
+            span,
+        };
+        if self.eat_kw(Keyword::Init) {
+            decl.init = Some(self.literal()?);
+        }
+        if self.eat_kw(Keyword::Lrc) {
+            decl.lrc = Some(self.number()?);
+        }
+        if self.eat_kw(Keyword::Sensor) {
+            decl.sensor = true;
+        }
+        self.expect(Token::Semi)?;
+        Ok(decl)
+    }
+
+    fn module(&mut self) -> Result<Module, LangError> {
+        let span = self.expect_kw(Keyword::Module)?;
+        let (name, _) = self.ident()?;
+        self.expect(Token::LBrace)?;
+        let mut modes = Vec::new();
+        while self.peek().token != Token::RBrace {
+            modes.push(self.mode()?);
+        }
+        self.expect(Token::RBrace)?;
+        Ok(Module { name, modes, span })
+    }
+
+    fn mode(&mut self) -> Result<Mode, LangError> {
+        let start = self.eat_kw(Keyword::Start);
+        let span = self.expect_kw(Keyword::Mode)?;
+        let (name, _) = self.ident()?;
+        self.expect_kw(Keyword::Period)?;
+        let period = self.int()?;
+        self.expect(Token::LBrace)?;
+        let mut invocations = Vec::new();
+        let mut switches = Vec::new();
+        loop {
+            match self.peek().token {
+                Token::RBrace => {
+                    self.bump();
+                    break;
+                }
+                Token::Keyword(Keyword::Invoke) => invocations.push(self.invocation()?),
+                Token::Keyword(Keyword::Switch) => switches.push(self.switch()?),
+                _ => return Err(self.err("`invoke`, `switch` or `}`")),
+            }
+        }
+        Ok(Mode {
+            name,
+            start,
+            period,
+            invocations,
+            switches,
+            span,
+        })
+    }
+
+    fn invocation(&mut self) -> Result<Invocation, LangError> {
+        let span = self.expect_kw(Keyword::Invoke)?;
+        let (task, _) = self.ident()?;
+        let model = if self.eat_kw(Keyword::Model) {
+            match self.peek().token {
+                Token::Keyword(Keyword::Series) => {
+                    self.bump();
+                    ModelName::Series
+                }
+                Token::Keyword(Keyword::Parallel) => {
+                    self.bump();
+                    ModelName::Parallel
+                }
+                Token::Keyword(Keyword::Independent) => {
+                    self.bump();
+                    ModelName::Independent
+                }
+                _ => return Err(self.err("`series`, `parallel` or `independent`")),
+            }
+        } else {
+            ModelName::Series
+        };
+        self.expect_kw(Keyword::Reads)?;
+        let reads = self.access_list()?;
+        self.expect_kw(Keyword::Writes)?;
+        let writes = self.access_list()?;
+        let mut defaults = Vec::new();
+        if self.eat_kw(Keyword::Defaults) {
+            defaults.push(self.literal()?);
+            while self.peek().token == Token::Comma {
+                self.bump();
+                defaults.push(self.literal()?);
+            }
+        }
+        self.expect(Token::Semi)?;
+        Ok(Invocation {
+            task,
+            model,
+            reads,
+            writes,
+            defaults,
+            span,
+        })
+    }
+
+    fn access_list(&mut self) -> Result<Vec<Access>, LangError> {
+        let mut out = vec![self.access()?];
+        while self.peek().token == Token::Comma {
+            self.bump();
+            out.push(self.access()?);
+        }
+        Ok(out)
+    }
+
+    fn access(&mut self) -> Result<Access, LangError> {
+        let (comm, span) = self.ident()?;
+        self.expect(Token::LBracket)?;
+        let instance = self.int()?;
+        self.expect(Token::RBracket)?;
+        Ok(Access {
+            comm,
+            instance,
+            span,
+        })
+    }
+
+    fn switch(&mut self) -> Result<SwitchDecl, LangError> {
+        let span = self.expect_kw(Keyword::Switch)?;
+        let (event, _) = self.ident()?;
+        self.expect(Token::Arrow)?;
+        let (target, _) = self.ident()?;
+        self.expect(Token::Semi)?;
+        Ok(SwitchDecl {
+            event,
+            target,
+            span,
+        })
+    }
+
+    fn archblock(&mut self, items: &mut Vec<ArchItem>) -> Result<(), LangError> {
+        self.expect_kw(Keyword::Architecture)?;
+        self.expect(Token::LBrace)?;
+        loop {
+            match self.peek().token {
+                Token::RBrace => {
+                    self.bump();
+                    return Ok(());
+                }
+                Token::Keyword(Keyword::Host) => {
+                    let span = self.bump().span;
+                    let (name, _) = self.ident()?;
+                    self.expect_kw(Keyword::Reliability)?;
+                    let reliability = self.number()?;
+                    self.expect(Token::Semi)?;
+                    items.push(ArchItem::Host {
+                        name,
+                        reliability,
+                        span,
+                    });
+                }
+                Token::Keyword(Keyword::Sensor) => {
+                    let span = self.bump().span;
+                    let (name, _) = self.ident()?;
+                    self.expect_kw(Keyword::Reliability)?;
+                    let reliability = self.number()?;
+                    self.expect(Token::Semi)?;
+                    items.push(ArchItem::Sensor {
+                        name,
+                        reliability,
+                        span,
+                    });
+                }
+                Token::Keyword(Keyword::Broadcast) => {
+                    let span = self.bump().span;
+                    self.expect_kw(Keyword::Reliability)?;
+                    let reliability = self.number()?;
+                    self.expect(Token::Semi)?;
+                    items.push(ArchItem::Broadcast { reliability, span });
+                }
+                Token::Keyword(Keyword::Wcet) | Token::Keyword(Keyword::Wctt) => {
+                    let is_wcet = self.peek().token == Token::Keyword(Keyword::Wcet);
+                    let span = self.bump().span;
+                    let (task, _) = self.ident()?;
+                    self.expect_kw(Keyword::On)?;
+                    let (host, _) = self.ident()?;
+                    let ticks = self.int()?;
+                    self.expect(Token::Semi)?;
+                    items.push(if is_wcet {
+                        ArchItem::Wcet {
+                            task,
+                            host,
+                            ticks,
+                            span,
+                        }
+                    } else {
+                        ArchItem::Wctt {
+                            task,
+                            host,
+                            ticks,
+                            span,
+                        }
+                    });
+                }
+                _ => {
+                    return Err(self.err(
+                        "`host`, `sensor`, `broadcast`, `wcet`, `wctt` or `}`",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn mapblock(&mut self, items: &mut Vec<MapItem>) -> Result<(), LangError> {
+        self.expect_kw(Keyword::Map)?;
+        self.expect(Token::LBrace)?;
+        loop {
+            match self.peek().token.clone() {
+                Token::RBrace => {
+                    self.bump();
+                    return Ok(());
+                }
+                Token::Keyword(Keyword::Bind) => {
+                    let span = self.bump().span;
+                    let (comm, _) = self.ident()?;
+                    self.expect(Token::Arrow)?;
+                    let mut sensors = vec![self.ident()?.0];
+                    while self.peek().token == Token::Comma {
+                        self.bump();
+                        sensors.push(self.ident()?.0);
+                    }
+                    self.expect(Token::Semi)?;
+                    items.push(MapItem::Bind {
+                        comm,
+                        sensors,
+                        span,
+                    });
+                }
+                Token::Ident(_) => {
+                    let (task, span) = self.ident()?;
+                    self.expect(Token::Arrow)?;
+                    let mut hosts = vec![self.ident()?.0];
+                    while self.peek().token == Token::Comma {
+                        self.bump();
+                        hosts.push(self.ident()?.0);
+                    }
+                    self.expect(Token::Semi)?;
+                    items.push(MapItem::Assign { task, hosts, span });
+                }
+                _ => return Err(self.err("a task name, `bind` or `}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"
+// demo program
+program demo {
+    communicator s : float period 500 init 0.0 lrc 0.99 sensor;
+    communicator l : float period 100;
+    communicator u : float period 100 lrc 0.998;
+    module control {
+        start mode normal period 500 {
+            invoke reader model parallel reads s[0] writes l[1] defaults 0.0;
+            invoke ctrl reads l[1] writes u[3];
+            switch overload -> degraded;
+        }
+        mode degraded period 500 {
+            invoke reader model parallel reads s[0] writes l[1] defaults 0.0;
+            invoke ctrl_simple reads l[1] writes u[3];
+        }
+    }
+    architecture {
+        host h1 reliability 0.999;
+        host h2 reliability 0.999;
+        sensor sn reliability 0.999;
+        broadcast reliability 1.0;
+        wcet reader on h1 5;
+        wcet reader on h2 5;
+        wcet ctrl on h1 10;
+        wctt reader on h1 2;
+        wctt reader on h2 2;
+        wctt ctrl on h1 2;
+    }
+    map {
+        reader -> h1, h2;
+        ctrl -> h1;
+        bind s -> sn;
+    }
+}
+"#;
+
+    #[test]
+    fn parses_the_demo_program() {
+        let p = parse(DEMO).unwrap();
+        assert_eq!(p.name, "demo");
+        assert_eq!(p.communicators.len(), 3);
+        assert_eq!(p.modules.len(), 1);
+        assert_eq!(p.modules[0].modes.len(), 2);
+        assert!(p.modules[0].modes[0].start);
+        assert!(!p.modules[0].modes[1].start);
+        assert_eq!(p.modules[0].modes[0].invocations.len(), 2);
+        assert_eq!(p.modules[0].modes[0].switches.len(), 1);
+        assert_eq!(p.arch.len(), 10);
+        assert_eq!(p.map.len(), 3);
+    }
+
+    #[test]
+    fn communicator_options_parse() {
+        let p = parse(DEMO).unwrap();
+        let s = &p.communicators[0];
+        assert_eq!(s.lrc, Some(0.99));
+        assert!(s.sensor);
+        assert_eq!(s.init, Some(Literal::Float(0.0)));
+        let l = &p.communicators[1];
+        assert_eq!(l.lrc, None);
+        assert!(!l.sensor);
+    }
+
+    #[test]
+    fn invocation_details() {
+        let p = parse(DEMO).unwrap();
+        let inv = &p.modules[0].modes[0].invocations[0];
+        assert_eq!(inv.task, "reader");
+        assert_eq!(inv.model, ModelName::Parallel);
+        assert_eq!(inv.reads[0].comm, "s");
+        assert_eq!(inv.reads[0].instance, 0);
+        assert_eq!(inv.writes[0].instance, 1);
+        assert_eq!(inv.defaults, vec![Literal::Float(0.0)]);
+        let inv2 = &p.modules[0].modes[0].invocations[1];
+        assert_eq!(inv2.model, ModelName::Series);
+    }
+
+    #[test]
+    fn map_items() {
+        let p = parse(DEMO).unwrap();
+        assert!(matches!(&p.map[0], MapItem::Assign { task, hosts, .. }
+            if task == "reader" && hosts.len() == 2));
+        assert!(matches!(&p.map[2], MapItem::Bind { comm, sensors, .. }
+            if comm == "s" && sensors == &vec![String::from("sn")]));
+    }
+
+    #[test]
+    fn missing_semicolon_is_reported_with_position() {
+        let src = "program p { communicator c : float period 5 }";
+        let err = parse(src).unwrap_err();
+        let LangError::Parse { expected, span, .. } = err else {
+            panic!("expected parse error");
+        };
+        assert!(expected.contains(';'));
+        assert_eq!(span.line, 1);
+    }
+
+    #[test]
+    fn unexpected_item_is_reported() {
+        let err = parse("program p { mode m period 5 { } }").unwrap_err();
+        assert!(err.to_string().contains("communicator"));
+    }
+
+    #[test]
+    fn bad_model_name() {
+        let src = "program p { module m { mode x period 5 { invoke t model serial reads c[0] writes d[1]; } } }";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("series"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse("program p { } extra").unwrap_err();
+        assert!(matches!(err, LangError::Parse { .. }));
+    }
+
+    #[test]
+    fn integer_reliability_is_accepted() {
+        let src = "program p { architecture { broadcast reliability 1; } }";
+        let prog = parse(src).unwrap();
+        assert!(matches!(
+            prog.arch[0],
+            ArchItem::Broadcast { reliability, .. } if reliability == 1.0
+        ));
+    }
+}

@@ -1,0 +1,262 @@
+//! Pretty-printer: renders an AST back to parseable source.
+
+use crate::ast::*;
+
+fn literal(out: &mut String, lit: Literal) {
+    match lit {
+        Literal::Int(i) => out.push_str(&i.to_string()),
+        Literal::Float(x) => {
+            let s = format!("{x}");
+            out.push_str(&s);
+            // ensure it re-lexes as a float
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                out.push_str(".0");
+            }
+        }
+        Literal::Bool(b) => out.push_str(if b { "true" } else { "false" }),
+    }
+}
+
+fn number(out: &mut String, x: f64) {
+    let s = format!("{x}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn access_list(out: &mut String, accesses: &[Access]) {
+    for (i, a) in accesses.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}[{}]", a.comm, a.instance));
+    }
+}
+
+/// Renders `program` as source text that re-parses to an equal AST
+/// (modulo spans).
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("program {} {{\n", program.name));
+
+    for c in &program.communicators {
+        let ty = match c.ty {
+            TypeName::Float => "float",
+            TypeName::Int => "int",
+            TypeName::Bool => "bool",
+        };
+        out.push_str(&format!(
+            "    communicator {} : {ty} period {}",
+            c.name, c.period
+        ));
+        if let Some(init) = c.init {
+            out.push_str(" init ");
+            literal(&mut out, init);
+        }
+        if let Some(lrc) = c.lrc {
+            out.push_str(" lrc ");
+            number(&mut out, lrc);
+        }
+        if c.sensor {
+            out.push_str(" sensor");
+        }
+        out.push_str(";\n");
+    }
+
+    for module in &program.modules {
+        out.push_str(&format!("    module {} {{\n", module.name));
+        for mode in &module.modes {
+            out.push_str("        ");
+            if mode.start {
+                out.push_str("start ");
+            }
+            out.push_str(&format!("mode {} period {} {{\n", mode.name, mode.period));
+            for inv in &mode.invocations {
+                out.push_str(&format!("            invoke {}", inv.task));
+                match inv.model {
+                    ModelName::Series => {}
+                    ModelName::Parallel => out.push_str(" model parallel"),
+                    ModelName::Independent => out.push_str(" model independent"),
+                }
+                out.push_str(" reads ");
+                access_list(&mut out, &inv.reads);
+                out.push_str(" writes ");
+                access_list(&mut out, &inv.writes);
+                if !inv.defaults.is_empty() {
+                    out.push_str(" defaults ");
+                    for (i, &d) in inv.defaults.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        literal(&mut out, d);
+                    }
+                }
+                out.push_str(";\n");
+            }
+            for sw in &mode.switches {
+                out.push_str(&format!(
+                    "            switch {} -> {};\n",
+                    sw.event, sw.target
+                ));
+            }
+            out.push_str("        }\n");
+        }
+        out.push_str("    }\n");
+    }
+
+    if !program.arch.is_empty() {
+        out.push_str("    architecture {\n");
+        for item in &program.arch {
+            match item {
+                ArchItem::Host {
+                    name, reliability, ..
+                } => {
+                    out.push_str(&format!("        host {name} reliability "));
+                    number(&mut out, *reliability);
+                    out.push_str(";\n");
+                }
+                ArchItem::Sensor {
+                    name, reliability, ..
+                } => {
+                    out.push_str(&format!("        sensor {name} reliability "));
+                    number(&mut out, *reliability);
+                    out.push_str(";\n");
+                }
+                ArchItem::Broadcast { reliability, .. } => {
+                    out.push_str("        broadcast reliability ");
+                    number(&mut out, *reliability);
+                    out.push_str(";\n");
+                }
+                ArchItem::Wcet {
+                    task, host, ticks, ..
+                } => out.push_str(&format!("        wcet {task} on {host} {ticks};\n")),
+                ArchItem::Wctt {
+                    task, host, ticks, ..
+                } => out.push_str(&format!("        wctt {task} on {host} {ticks};\n")),
+            }
+        }
+        out.push_str("    }\n");
+    }
+
+    if !program.map.is_empty() {
+        out.push_str("    map {\n");
+        for item in &program.map {
+            match item {
+                MapItem::Assign { task, hosts, .. } => {
+                    out.push_str(&format!("        {task} -> {};\n", hosts.join(", ")));
+                }
+                MapItem::Bind { comm, sensors, .. } => {
+                    out.push_str(&format!(
+                        "        bind {comm} -> {};\n",
+                        sensors.join(", ")
+                    ));
+                }
+            }
+        }
+        out.push_str("    }\n");
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strips spans so ASTs can be compared structurally.
+    fn normalize(mut p: Program) -> Program {
+        use crate::token::Span;
+        let z = Span::default();
+        for c in &mut p.communicators {
+            c.span = z;
+        }
+        for m in &mut p.modules {
+            m.span = z;
+            for mode in &mut m.modes {
+                mode.span = z;
+                for inv in &mut mode.invocations {
+                    inv.span = z;
+                    for a in inv.reads.iter_mut().chain(&mut inv.writes) {
+                        a.span = z;
+                    }
+                }
+                for sw in &mut mode.switches {
+                    sw.span = z;
+                }
+            }
+        }
+        for item in &mut p.arch {
+            match item {
+                ArchItem::Host { span, .. }
+                | ArchItem::Sensor { span, .. }
+                | ArchItem::Broadcast { span, .. }
+                | ArchItem::Wcet { span, .. }
+                | ArchItem::Wctt { span, .. } => *span = z,
+            }
+        }
+        for item in &mut p.map {
+            match item {
+                MapItem::Assign { span, .. } | MapItem::Bind { span, .. } => *span = z,
+            }
+        }
+        p
+    }
+
+    const SRC: &str = r#"
+program demo {
+    communicator s : float period 500 init -2.5 lrc 0.99 sensor;
+    communicator u : int period 100 init 3;
+    communicator b : bool period 100 init true;
+    module control {
+        start mode normal period 500 {
+            invoke reader model parallel reads s[0] writes u[1], b[2] defaults 0.0;
+            switch overload -> degraded;
+        }
+        mode degraded period 500 {
+            invoke reader3 model independent reads s[0] writes u[1], b[2] defaults 1.0;
+        }
+    }
+    architecture {
+        host h1 reliability 0.999;
+        sensor sn reliability 1;
+        broadcast reliability 0.9999;
+        wcet reader on h1 5;
+        wctt reader on h1 2;
+    }
+    map {
+        reader -> h1;
+        bind s -> sn;
+    }
+}
+"#;
+
+    #[test]
+    fn round_trip_parse_print_parse() {
+        let p1 = parse(SRC).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(normalize(p1), normalize(p2));
+    }
+
+    #[test]
+    fn printer_emits_floats_that_relex_as_floats() {
+        let mut out = String::new();
+        number(&mut out, 1.0);
+        assert_eq!(out, "1.0");
+        let mut out2 = String::new();
+        literal(&mut out2, Literal::Float(-3.0));
+        assert_eq!(out2, "-3.0");
+    }
+
+    #[test]
+    fn printed_program_contains_all_names() {
+        let p = parse(SRC).unwrap();
+        let text = print_program(&p);
+        for name in ["demo", "reader", "reader3", "degraded", "overload", "h1", "sn"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based round-trip tests: randomly generated programs survive
+//! `print → parse` structurally intact, and generated *well-formed*
+//! programs elaborate successfully.
+
+#![cfg(test)]
+
+use crate::ast::*;
+use crate::parser::parse;
+use crate::printer::print_program;
+use crate::token::Span;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        crate::token::Keyword::lookup(s).is_none()
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Literal::Int),
+        (-100.0f64..100.0).prop_map(|x| Literal::Float((x * 8.0).round() / 8.0)),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn type_name() -> impl Strategy<Value = TypeName> {
+    prop_oneof![
+        Just(TypeName::Float),
+        Just(TypeName::Int),
+        Just(TypeName::Bool)
+    ]
+}
+
+/// A structurally arbitrary (not necessarily well-formed) program.
+fn program() -> impl Strategy<Value = Program> {
+    let z = Span::default();
+    let comm = (ident(), type_name(), 1u64..100, proptest::option::of(literal()))
+        .prop_map(move |(name, ty, period, init)| CommDecl {
+            name,
+            ty,
+            period,
+            init,
+            lrc: None,
+            sensor: false,
+            span: z,
+        });
+    fn access() -> impl Strategy<Value = Access> {
+        (ident(), 0u64..5).prop_map(|(comm, instance)| Access {
+            comm,
+            instance,
+            span: Span::default(),
+        })
+    }
+    let invocation = (
+        ident(),
+        prop_oneof![
+            Just(ModelName::Series),
+            Just(ModelName::Parallel),
+            Just(ModelName::Independent)
+        ],
+        proptest::collection::vec(access(), 1..3),
+        proptest::collection::vec(access(), 1..3),
+        proptest::collection::vec(literal(), 0..3),
+    )
+        .prop_map(move |(task, model, reads, writes, defaults)| Invocation {
+            task,
+            model,
+            reads,
+            writes,
+            defaults,
+            span: z,
+        });
+    let mode = (
+        ident(),
+        any::<bool>(),
+        1u64..1000,
+        proptest::collection::vec(invocation, 0..3),
+    )
+        .prop_map(move |(name, start, period, invocations)| Mode {
+            name,
+            start,
+            period,
+            invocations,
+            switches: Vec::new(),
+            span: z,
+        });
+    let module = (ident(), proptest::collection::vec(mode, 1..3)).prop_map(
+        move |(name, modes)| Module {
+            name,
+            modes,
+            span: z,
+        },
+    );
+    let arch_item = prop_oneof![
+        (ident(), 0.01f64..1.0).prop_map(move |(name, rel)| ArchItem::Host {
+            name,
+            reliability: (rel * 1024.0).round() / 1024.0,
+            span: z
+        }),
+        (ident(), 0.01f64..1.0).prop_map(move |(name, rel)| ArchItem::Sensor {
+            name,
+            reliability: (rel * 1024.0).round() / 1024.0,
+            span: z
+        }),
+        (ident(), ident(), 1u64..50).prop_map(move |(task, host, ticks)| ArchItem::Wcet {
+            task,
+            host,
+            ticks,
+            span: z
+        }),
+        (ident(), ident(), 0u64..50).prop_map(move |(task, host, ticks)| ArchItem::Wctt {
+            task,
+            host,
+            ticks,
+            span: z
+        }),
+    ];
+    let map_item = prop_oneof![
+        (ident(), proptest::collection::vec(ident(), 1..3)).prop_map(
+            move |(task, hosts)| MapItem::Assign {
+                task,
+                hosts,
+                span: z
+            }
+        ),
+        (ident(), proptest::collection::vec(ident(), 1..3)).prop_map(
+            move |(comm, sensors)| MapItem::Bind {
+                comm,
+                sensors,
+                span: z
+            }
+        ),
+    ];
+    (
+        ident(),
+        proptest::collection::vec(comm, 0..4),
+        proptest::collection::vec(module, 0..2),
+        proptest::collection::vec(arch_item, 0..4),
+        proptest::collection::vec(map_item, 0..3),
+    )
+        .prop_map(|(name, communicators, modules, arch, map)| Program {
+            name,
+            communicators,
+            modules,
+            arch,
+            map,
+        })
+}
+
+/// Strips spans for structural comparison.
+fn normalize(mut p: Program) -> Program {
+    let z = Span::default();
+    for c in &mut p.communicators {
+        c.span = z;
+    }
+    for m in &mut p.modules {
+        m.span = z;
+        for mode in &mut m.modes {
+            mode.span = z;
+            for inv in &mut mode.invocations {
+                inv.span = z;
+                for a in inv.reads.iter_mut().chain(&mut inv.writes) {
+                    a.span = z;
+                }
+            }
+            for sw in &mut mode.switches {
+                sw.span = z;
+            }
+        }
+    }
+    for item in &mut p.arch {
+        match item {
+            ArchItem::Host { span, .. }
+            | ArchItem::Sensor { span, .. }
+            | ArchItem::Broadcast { span, .. }
+            | ArchItem::Wcet { span, .. }
+            | ArchItem::Wctt { span, .. } => *span = z,
+        }
+    }
+    for item in &mut p.map {
+        match item {
+            MapItem::Assign { span, .. } | MapItem::Bind { span, .. } => *span = z,
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+    #[test]
+    fn print_parse_round_trip(p in program()) {
+        let text = print_program(&p);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("printer emitted unparseable text: {e}\n{text}"));
+        prop_assert_eq!(normalize(p), normalize(reparsed));
+    }
+}

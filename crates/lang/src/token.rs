@@ -1,0 +1,289 @@
+//! Tokens and source positions.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords of the language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `program`
+    Program,
+    /// `communicator`
+    Communicator,
+    /// `module`
+    Module,
+    /// `mode`
+    Mode,
+    /// `start`
+    Start,
+    /// `period`
+    Period,
+    /// `init`
+    Init,
+    /// `lrc`
+    Lrc,
+    /// `sensor`
+    Sensor,
+    /// `invoke`
+    Invoke,
+    /// `model`
+    Model,
+    /// `series`
+    Series,
+    /// `parallel`
+    Parallel,
+    /// `independent`
+    Independent,
+    /// `reads`
+    Reads,
+    /// `writes`
+    Writes,
+    /// `defaults`
+    Defaults,
+    /// `switch`
+    Switch,
+    /// `architecture`
+    Architecture,
+    /// `host`
+    Host,
+    /// `reliability`
+    Reliability,
+    /// `broadcast`
+    Broadcast,
+    /// `wcet`
+    Wcet,
+    /// `wctt`
+    Wctt,
+    /// `on`
+    On,
+    /// `map`
+    Map,
+    /// `bind`
+    Bind,
+    /// `refines`
+    Refines,
+    /// `float`
+    Float,
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `true`
+    True,
+    /// `false`
+    False,
+}
+
+impl Keyword {
+    /// Looks up a keyword by its spelling.
+    pub fn lookup(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "program" => Keyword::Program,
+            "communicator" => Keyword::Communicator,
+            "module" => Keyword::Module,
+            "mode" => Keyword::Mode,
+            "start" => Keyword::Start,
+            "period" => Keyword::Period,
+            "init" => Keyword::Init,
+            "lrc" => Keyword::Lrc,
+            "sensor" => Keyword::Sensor,
+            "invoke" => Keyword::Invoke,
+            "model" => Keyword::Model,
+            "series" => Keyword::Series,
+            "parallel" => Keyword::Parallel,
+            "independent" => Keyword::Independent,
+            "reads" => Keyword::Reads,
+            "writes" => Keyword::Writes,
+            "defaults" => Keyword::Defaults,
+            "switch" => Keyword::Switch,
+            "architecture" => Keyword::Architecture,
+            "host" => Keyword::Host,
+            "reliability" => Keyword::Reliability,
+            "broadcast" => Keyword::Broadcast,
+            "wcet" => Keyword::Wcet,
+            "wctt" => Keyword::Wctt,
+            "on" => Keyword::On,
+            "map" => Keyword::Map,
+            "bind" => Keyword::Bind,
+            "refines" => Keyword::Refines,
+            "float" => Keyword::Float,
+            "int" => Keyword::Int,
+            "bool" => Keyword::Bool,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Program => "program",
+            Keyword::Communicator => "communicator",
+            Keyword::Module => "module",
+            Keyword::Mode => "mode",
+            Keyword::Start => "start",
+            Keyword::Period => "period",
+            Keyword::Init => "init",
+            Keyword::Lrc => "lrc",
+            Keyword::Sensor => "sensor",
+            Keyword::Invoke => "invoke",
+            Keyword::Model => "model",
+            Keyword::Series => "series",
+            Keyword::Parallel => "parallel",
+            Keyword::Independent => "independent",
+            Keyword::Reads => "reads",
+            Keyword::Writes => "writes",
+            Keyword::Defaults => "defaults",
+            Keyword::Switch => "switch",
+            Keyword::Architecture => "architecture",
+            Keyword::Host => "host",
+            Keyword::Reliability => "reliability",
+            Keyword::Broadcast => "broadcast",
+            Keyword::Wcet => "wcet",
+            Keyword::Wctt => "wctt",
+            Keyword::On => "on",
+            Keyword::Map => "map",
+            Keyword::Bind => "bind",
+            Keyword::Refines => "refines",
+            Keyword::Float => "float",
+            Keyword::Int => "int",
+            Keyword::Bool => "bool",
+            Keyword::True => "true",
+            Keyword::False => "false",
+        }
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword.
+    Keyword(Keyword),
+    /// An identifier.
+    Ident(String),
+    /// An integer literal (possibly negative).
+    Int(i64),
+    /// A floating-point literal (contains `.`, `e` or `E`).
+    Float(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "`{}`", k.as_str()),
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Int(v) => write!(f, "integer `{v}`"),
+            Token::Float(v) => write!(f, "float `{v}`"),
+            Token::LBrace => write!(f, "`{{`"),
+            Token::RBrace => write!(f, "`}}`"),
+            Token::LBracket => write!(f, "`[`"),
+            Token::RBracket => write!(f, "`]`"),
+            Token::Colon => write!(f, "`:`"),
+            Token::Semi => write!(f, "`;`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Arrow => write!(f, "`->`"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::Program,
+            Keyword::Communicator,
+            Keyword::Module,
+            Keyword::Mode,
+            Keyword::Start,
+            Keyword::Period,
+            Keyword::Init,
+            Keyword::Lrc,
+            Keyword::Sensor,
+            Keyword::Invoke,
+            Keyword::Model,
+            Keyword::Series,
+            Keyword::Parallel,
+            Keyword::Independent,
+            Keyword::Reads,
+            Keyword::Writes,
+            Keyword::Defaults,
+            Keyword::Switch,
+            Keyword::Architecture,
+            Keyword::Host,
+            Keyword::Reliability,
+            Keyword::Broadcast,
+            Keyword::Wcet,
+            Keyword::Wctt,
+            Keyword::On,
+            Keyword::Map,
+            Keyword::Bind,
+            Keyword::Refines,
+            Keyword::Float,
+            Keyword::Int,
+            Keyword::Bool,
+            Keyword::True,
+            Keyword::False,
+        ] {
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::lookup("task"), None);
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(Token::Arrow.to_string(), "`->`");
+        assert_eq!(Token::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(Token::Keyword(Keyword::Mode).to_string(), "`mode`");
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span { line: 3, col: 7 }.to_string(), "3:7");
+    }
+}

@@ -1,0 +1,36 @@
+//! Refinement of specifications with incremental validity transfer.
+//!
+//! §3 of the paper: a system `(S', A', I')` *refines* `(S, A, I)` under a
+//! total, one-to-one task mapping `κ : tset' → tset` if six local
+//! constraints hold between each refining task `t'` and its image `κ(t')`:
+//!
+//! 1. identical replication mapping: `I'(t') = I(κ(t'))`;
+//! 2. no larger execution metrics: `wemap'(t', h) ≤ wemap(κ(t'), h)` and
+//!    `wtmap'(t', h) ≤ wtmap(κ(t'), h)` on every mapped host;
+//! 3. a contained LET: `read_{t'} ≥ read_{κ(t')}` and
+//!    `write_{t'} ≤ write_{κ(t')}`;
+//! 4. no stronger output LRCs: every output LRC of `t'` is at most the
+//!    largest output LRC of `κ(t')`;
+//! 5. identical input failure model;
+//! 6. inputs shrink under the series model (`icset(t') ⊆ icset(κ(t'))`)
+//!    and grow under the parallel model (`icset(t') ⊇ icset(κ(t'))`).
+//!
+//! Additionally the two architectures must share the host set. Under these
+//! conditions, Lemma 1 (schedulability) and Lemma 2 (reliability) transfer
+//! from the refined to the refining system, giving Proposition 2: a valid
+//! implementation of the refined specification is valid for the refining
+//! one — no re-analysis required. [`incremental_validate`] exploits
+//! exactly that.
+
+pub mod error;
+pub mod kappa;
+pub mod relation;
+pub mod validity;
+
+pub use error::{RefineError, Violation};
+pub use kappa::Kappa;
+pub use relation::{check_refinement, SystemRef};
+pub use validity::{
+    incremental_validate, validate, validate_time_dependent, TimeDependentCertificate,
+    ValidityCertificate, ValidityError,
+};

@@ -1,0 +1,44 @@
+//! Reliability analysis for interacting real-time tasks.
+//!
+//! This crate implements §3 of the DATE'08 paper *Logical Reliability of
+//! Interacting Real-Time Tasks*:
+//!
+//! * [`srg`] — singular reliability guarantees: the per-iteration
+//!   probability λ_c that a communicator update is reliable, computed
+//!   inductively from host/sensor reliabilities and input failure models;
+//! * [`analysis`] — the reliability check of Proposition 1 (λ_c ≥ µ_c for
+//!   every communicator implies long-run reliability with probability 1),
+//!   including periodic time-dependent implementations;
+//! * [`rbd`] — reliability block diagrams, the modelling background the
+//!   paper builds on (replications in parallel, blocks in series);
+//! * [`fault_tree`] — fault trees with AND/OR/voting gates and minimal cut
+//!   sets (paper reference \[12\]);
+//! * [`netrel`] — two-terminal network reliability by pivotal factoring
+//!   (paper references [4, 14]);
+//! * [`longrun`] — limit averages of reliability-abstract traces and
+//!   SLLN-style empirical checks with Hoeffding confidence bounds;
+//! * [`synthesis`] — replication synthesis: searching for a minimal
+//!   replication mapping that satisfies every LRC.
+
+pub mod analysis;
+pub mod error;
+pub mod fault_tree;
+pub mod importance;
+pub mod longrun;
+pub mod mission;
+pub mod netrel;
+pub mod rbd;
+pub mod srg;
+pub mod synthesis;
+
+pub use analysis::{check, check_time_dependent, LrcViolation, ReliabilityVerdict};
+pub use error::ReliabilityError;
+pub use fault_tree::Gate;
+pub use importance::{architecture_importance, block_importance, ComponentImportance};
+pub use longrun::{
+    empirical_check, hoeffding_epsilon, limit_average, running_average, LongRunVerdict,
+};
+pub use netrel::ReliabilityGraph;
+pub use rbd::Block;
+pub use srg::{communicator_block, compute_srgs, task_reliability, SrgReport};
+pub use synthesis::{exhaustive_synthesize, synthesize, SynthesisOptions};

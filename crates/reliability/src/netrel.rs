@@ -1,0 +1,827 @@
+//! Two-terminal network reliability by pivotal factoring.
+//!
+//! The paper notes that SRGs "can be computed based on networks of nodes
+//! [14, 4]" — probabilistic graphs whose edges fail independently. This
+//! module implements the classical pivotal-decomposition (factoring)
+//! algorithm with series-parallel and degree-1 reductions:
+//!
+//! `R(G) = p_e · R(G / e) + (1 − p_e) · R(G − e)`
+//!
+//! where `G / e` contracts edge `e` (it works) and `G − e` deletes it
+//! (it failed).
+
+use crate::error::ReliabilityError;
+
+/// An undirected probabilistic graph with perfectly reliable nodes and
+/// independently failing edges.
+///
+/// # Example
+///
+/// A "bridge" network: two parallel 2-edge paths plus a cross edge.
+///
+/// ```
+/// use logrel_reliability::ReliabilityGraph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = ReliabilityGraph::new(4);
+/// g.add_edge(0, 1, 0.9)?;
+/// g.add_edge(1, 3, 0.9)?;
+/// g.add_edge(0, 2, 0.9)?;
+/// g.add_edge(2, 3, 0.9)?;
+/// g.add_edge(1, 2, 0.9)?; // the bridge
+/// let r = g.two_terminal(0, 3)?;
+/// assert!(r > 0.97 && r < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityGraph {
+    nodes: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl ReliabilityGraph {
+    /// Creates a graph with `nodes` isolated vertices `0..nodes`.
+    pub fn new(nodes: usize) -> Self {
+        ReliabilityGraph {
+            nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an undirected edge with working probability `p ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReliabilityError::Structure`] for endpoints out of range,
+    /// a self loop, or `p` outside `[0, 1]`.
+    pub fn add_edge(&mut self, u: usize, v: usize, p: f64) -> Result<(), ReliabilityError> {
+        if u >= self.nodes || v >= self.nodes {
+            return Err(ReliabilityError::Structure {
+                detail: format!("edge ({u}, {v}) out of range for {} nodes", self.nodes),
+            });
+        }
+        if u == v {
+            return Err(ReliabilityError::Structure {
+                detail: format!("self loop at {u}"),
+            });
+        }
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(ReliabilityError::Structure {
+                detail: format!("edge probability {p} outside [0, 1]"),
+            });
+        }
+        self.edges.push((u, v, p));
+        Ok(())
+    }
+
+    /// The number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// The number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Probability that vertices `s` and `t` are connected by working
+    /// edges.
+    ///
+    /// Runs pivotal factoring with parallel-edge merging, series reduction
+    /// of internal degree-2 vertices and pruning of degree-≤1 internal
+    /// vertices; complexity is exponential in the residual cycle space,
+    /// which is fine for the architecture-sized graphs this library
+    /// analyses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReliabilityError::Structure`] if `s` or `t` is out of
+    /// range.
+    pub fn two_terminal(&self, s: usize, t: usize) -> Result<f64, ReliabilityError> {
+        if s >= self.nodes || t >= self.nodes {
+            return Err(ReliabilityError::Structure {
+                detail: format!("terminal out of range ({s}, {t})"),
+            });
+        }
+        if s == t {
+            return Ok(1.0);
+        }
+        // Work on a union-find labelling of contracted vertices.
+        let state = State {
+            parent: (0..self.nodes).collect(),
+            edges: self.edges.clone(),
+        };
+        Ok(factor(state, s, t))
+    }
+}
+
+impl ReliabilityGraph {
+    /// Two-terminal reliability by frontier (boundary-set) dynamic
+    /// programming over the edge order: states are partitions of the
+    /// currently *active* vertices (those with unprocessed edges) into
+    /// connected blocks, with marks for the blocks containing `s` and
+    /// `t`. Complexity is exponential only in the graph's pathwidth under
+    /// the given edge order — linear on ladders, series chains and other
+    /// narrow topologies where pivotal factoring explodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReliabilityError::Structure`] if a terminal is out of
+    /// range.
+    pub fn two_terminal_frontier(&self, s: usize, t: usize) -> Result<f64, ReliabilityError> {
+        use std::collections::BTreeMap;
+        if s >= self.nodes || t >= self.nodes {
+            return Err(ReliabilityError::Structure {
+                detail: format!("terminal out of range ({s}, {t})"),
+            });
+        }
+        if s == t {
+            return Ok(1.0);
+        }
+        // Last edge index touching each vertex (vertices retire after it).
+        let mut last_edge: Vec<Option<usize>> = vec![None; self.nodes];
+        for (i, &(u, v, _)) in self.edges.iter().enumerate() {
+            last_edge[u] = Some(i);
+            last_edge[v] = Some(i);
+        }
+        if last_edge[s].is_none() || last_edge[t].is_none() {
+            return Ok(0.0); // an isolated terminal can never connect
+        }
+
+        // A block: sorted active vertices + (has_s, has_t) marks.
+        type Block = (Vec<usize>, bool, bool);
+        type State = Vec<Block>;
+        let canon = |mut state: State| -> State {
+            for b in &mut state {
+                b.0.sort_unstable();
+            }
+            state.retain(|b| !b.0.is_empty() || b.1 || b.2);
+            state.sort();
+            state
+        };
+
+        let mut states: BTreeMap<State, f64> = BTreeMap::new();
+        states.insert(Vec::new(), 1.0);
+        let mut connected = 0.0_f64;
+
+        for (i, &(u, v, p)) in self.edges.iter().enumerate() {
+            let mut next: BTreeMap<State, f64> = BTreeMap::new();
+            for (state, weight) in states {
+                // Activate u and v in this state if absent.
+                let mut base = state.clone();
+                for &x in &[u, v] {
+                    if !base.iter().any(|b| b.0.contains(&x)) {
+                        base.push((vec![x], x == s, x == t));
+                    }
+                }
+                let bu = base.iter().position(|b| b.0.contains(&u)).expect("active");
+                let bv = base.iter().position(|b| b.0.contains(&v)).expect("active");
+
+                // Branch 1: the edge fails.
+                let fail = base.clone();
+                // Branch 2: the edge works — merge u's and v's blocks.
+                let mut work = base;
+                if bu != bv {
+                    let (lo, hi) = (bu.min(bv), bu.max(bv));
+                    let merged = work.remove(hi);
+                    work[lo].0.extend(merged.0);
+                    work[lo].1 |= merged.1;
+                    work[lo].2 |= merged.2;
+                }
+
+                for (mut branch, w) in [(fail, weight * (1.0 - p)), (work, weight * p)] {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    // Retire vertices whose last edge is this one.
+                    for b in &mut branch {
+                        b.0.retain(|&x| last_edge[x] != Some(i));
+                    }
+                    // Resolve emptied blocks.
+                    let mut dead = false;
+                    let mut done = false;
+                    branch.retain(|b| {
+                        if !b.0.is_empty() {
+                            return true;
+                        }
+                        match (b.1, b.2) {
+                            (true, true) => done = true,
+                            (true, false) | (false, true) => dead = true,
+                            (false, false) => {}
+                        }
+                        false
+                    });
+                    if dead {
+                        continue; // s or t got isolated: cannot connect
+                    }
+                    if done {
+                        connected += w; // s–t connected; rest is irrelevant
+                        continue;
+                    }
+                    // A block containing both marks while still active is
+                    // also terminal for the s–t question.
+                    if branch.iter().any(|b| b.1 && b.2) {
+                        connected += w;
+                        continue;
+                    }
+                    *next.entry(canon(branch)).or_insert(0.0) += w;
+                }
+            }
+            states = next;
+        }
+        Ok(connected)
+    }
+
+    /// Enumerates the minimal `s`–`t` path sets: inclusion-minimal sets of
+    /// edge indices whose joint operation connects the terminals.
+    ///
+    /// Uses simple-path DFS (paths never repeat vertices are automatically
+    /// minimal as edge sets on simple graphs; explicit absorption handles
+    /// parallel edges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReliabilityError::Structure`] if a terminal is out of
+    /// range.
+    pub fn minimal_paths(&self, s: usize, t: usize) -> Result<Vec<Vec<usize>>, ReliabilityError> {
+        if s >= self.nodes || t >= self.nodes {
+            return Err(ReliabilityError::Structure {
+                detail: format!("terminal out of range ({s}, {t})"),
+            });
+        }
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.nodes];
+        for (i, &(u, v, _)) in self.edges.iter().enumerate() {
+            adj[u].push((v, i));
+            adj[v].push((u, i));
+        }
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut visited = vec![false; self.nodes];
+        let mut path: Vec<usize> = Vec::new();
+        fn dfs(
+            node: usize,
+            t: usize,
+            adj: &[Vec<(usize, usize)>],
+            visited: &mut [bool],
+            path: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
+            if node == t {
+                let mut p = path.clone();
+                p.sort_unstable();
+                out.push(p);
+                return;
+            }
+            visited[node] = true;
+            for &(next, edge) in &adj[node] {
+                if !visited[next] {
+                    path.push(edge);
+                    dfs(next, t, adj, visited, path, out);
+                    path.pop();
+                }
+            }
+            visited[node] = false;
+        }
+        if s == t {
+            return Ok(vec![Vec::new()]);
+        }
+        dfs(s, t, &adj, &mut visited, &mut path, &mut out);
+        Ok(absorb(out))
+    }
+
+    /// Enumerates the minimal `s`–`t` cut sets: inclusion-minimal sets of
+    /// edge indices whose joint failure disconnects the terminals.
+    ///
+    /// Enumerated by exhaustive subset search with absorption — exponential
+    /// in the edge count and intended for architecture-sized graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReliabilityError::Structure`] if a terminal is out of
+    /// range or the graph has more than 20 edges.
+    pub fn minimal_cuts(&self, s: usize, t: usize) -> Result<Vec<Vec<usize>>, ReliabilityError> {
+        if s >= self.nodes || t >= self.nodes {
+            return Err(ReliabilityError::Structure {
+                detail: format!("terminal out of range ({s}, {t})"),
+            });
+        }
+        let m = self.edges.len();
+        if m > 20 {
+            return Err(ReliabilityError::Structure {
+                detail: format!("cut enumeration limited to 20 edges, got {m}"),
+            });
+        }
+        let connected = |dead: u32| -> bool {
+            let mut parent: Vec<usize> = (0..self.nodes).collect();
+            fn find(p: &mut [usize], mut x: usize) -> usize {
+                while p[x] != x {
+                    p[x] = p[p[x]];
+                    x = p[x];
+                }
+                x
+            }
+            for (i, &(u, v, _)) in self.edges.iter().enumerate() {
+                if dead & (1 << i) == 0 {
+                    let ru = find(&mut parent, u);
+                    let rv = find(&mut parent, v);
+                    parent[ru] = rv;
+                }
+            }
+            find(&mut parent, s) == find(&mut parent, t)
+        };
+        if !connected(0) {
+            // Already disconnected: the empty cut suffices.
+            return Ok(vec![Vec::new()]);
+        }
+        let mut cuts: Vec<Vec<usize>> = Vec::new();
+        for mask in 1u32..(1 << m) {
+            if !connected(mask) {
+                cuts.push((0..m).filter(|i| mask & (1 << i) != 0).collect());
+            }
+        }
+        Ok(absorb(cuts))
+    }
+
+    /// The Esary–Proschan bounds on the two-terminal reliability from the
+    /// minimal path and cut sets:
+    ///
+    /// `Π_cuts (1 − Π_{e∈cut} (1 − p_e))  ≤  R  ≤  1 − Π_paths (1 − Π_{e∈path} p_e)`
+    ///
+    /// # Errors
+    ///
+    /// Propagates the enumeration errors of [`Self::minimal_paths`] and
+    /// [`Self::minimal_cuts`].
+    pub fn esary_proschan_bounds(
+        &self,
+        s: usize,
+        t: usize,
+    ) -> Result<(f64, f64), ReliabilityError> {
+        let paths = self.minimal_paths(s, t)?;
+        let cuts = self.minimal_cuts(s, t)?;
+        let upper = 1.0
+            - paths
+                .iter()
+                .map(|p| 1.0 - p.iter().map(|&e| self.edges[e].2).product::<f64>())
+                .product::<f64>();
+        let lower = cuts
+            .iter()
+            .map(|c| 1.0 - c.iter().map(|&e| 1.0 - self.edges[e].2).product::<f64>())
+            .product::<f64>();
+        Ok((lower, upper))
+    }
+}
+
+/// Removes every set that is a superset of another (inclusion absorption).
+fn absorb(mut sets: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    sets.sort_by_key(Vec::len);
+    sets.dedup();
+    let mut minimal: Vec<Vec<usize>> = Vec::new();
+    for s in sets {
+        if !minimal
+            .iter()
+            .any(|m| m.iter().all(|e| s.binary_search(e).is_ok()))
+        {
+            minimal.push(s);
+        }
+    }
+    minimal
+}
+
+#[derive(Clone)]
+struct State {
+    parent: Vec<usize>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl State {
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Normalises: resolves endpoints, drops self loops, merges parallel
+    /// edges, and repeatedly removes dangling vertices / applies series
+    /// reduction around internal vertices. Returns `true` if s and t are
+    /// already merged.
+    fn simplify(&mut self, s: usize, t: usize) -> bool {
+        loop {
+            let rs = self.find(s);
+            let rt = self.find(t);
+            if rs == rt {
+                return true;
+            }
+            // Resolve and drop self loops.
+            let mut resolved: Vec<(usize, usize, f64)> = Vec::with_capacity(self.edges.len());
+            for &(u, v, p) in &self.edges.clone() {
+                let ru = self.find(u);
+                let rv = self.find(v);
+                if ru != rv && p > 0.0 {
+                    let (a, b) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                    resolved.push((a, b, p));
+                }
+            }
+            // Merge parallel edges.
+            resolved.sort_by_key(|x| (x.0, x.1));
+            let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(resolved.len());
+            for (u, v, p) in resolved {
+                match merged.last_mut() {
+                    Some(last) if last.0 == u && last.1 == v => {
+                        last.2 = 1.0 - (1.0 - last.2) * (1.0 - p);
+                    }
+                    _ => merged.push((u, v, p)),
+                }
+            }
+            self.edges = merged;
+
+            // Degree map.
+            let mut degree: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+            for (i, &(u, v, _)) in self.edges.iter().enumerate() {
+                degree.entry(u).or_default().push(i);
+                degree.entry(v).or_default().push(i);
+            }
+
+            let mut changed = false;
+            for (&node, incident) in &degree {
+                if node == rs || node == rt {
+                    continue;
+                }
+                match incident.len() {
+                    1 => {
+                        // Dangling internal vertex: its edge is irrelevant.
+                        self.edges.remove(incident[0]);
+                        changed = true;
+                        break;
+                    }
+                    2 => {
+                        // Series reduction.
+                        let (i, j) = (incident[0], incident[1]);
+                        let (u1, v1, p1) = self.edges[i];
+                        let (u2, v2, p2) = self.edges[j];
+                        let a = if u1 == node { v1 } else { u1 };
+                        let b = if u2 == node { v2 } else { u2 };
+                        // Remove higher index first.
+                        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                        self.edges.remove(hi);
+                        self.edges.remove(lo);
+                        if a != b {
+                            self.edges.push((a.min(b), a.max(b), p1 * p2));
+                        }
+                        changed = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+}
+
+fn factor(mut state: State, s: usize, t: usize) -> f64 {
+    if state.simplify(s, t) {
+        return 1.0;
+    }
+    // Connectivity check: if t unreachable from s even with all edges, 0.
+    if !possibly_connected(&mut state, s, t) {
+        return 0.0;
+    }
+    let Some(&(u, v, p)) = state.edges.first() else {
+        return 0.0;
+    };
+    // Contract branch.
+    let mut contracted = state.clone();
+    contracted.edges.remove(0);
+    contracted.union(u, v);
+    // Delete branch.
+    let mut deleted = state;
+    deleted.edges.remove(0);
+    p * factor(contracted, s, t) + (1.0 - p) * factor(deleted, s, t)
+}
+
+fn possibly_connected(state: &mut State, s: usize, t: usize) -> bool {
+    let mut reach = std::collections::BTreeSet::new();
+    let rs = state.find(s);
+    let rt = state.find(t);
+    reach.insert(rs);
+    let edges = state.edges.clone();
+    loop {
+        let mut grown = false;
+        for &(u, v, _) in &edges {
+            let ru = state.find(u);
+            let rv = state.find(v);
+            if reach.contains(&ru) && reach.insert(rv) {
+                grown = true;
+            }
+            if reach.contains(&rv) && reach.insert(ru) {
+                grown = true;
+            }
+        }
+        if !grown {
+            break;
+        }
+    }
+    reach.contains(&rt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = ReliabilityGraph::new(2);
+        g.add_edge(0, 1, 0.9).unwrap();
+        assert!((g.two_terminal(0, 1).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_chain() {
+        let mut g = ReliabilityGraph::new(3);
+        g.add_edge(0, 1, 0.9).unwrap();
+        g.add_edge(1, 2, 0.8).unwrap();
+        assert!((g.two_terminal(0, 2).unwrap() - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges() {
+        let mut g = ReliabilityGraph::new(2);
+        g.add_edge(0, 1, 0.9).unwrap();
+        g.add_edge(0, 1, 0.9).unwrap();
+        assert!((g.two_terminal(0, 1).unwrap() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let g = ReliabilityGraph::new(3);
+        assert_eq!(g.two_terminal(0, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn same_terminal_is_one() {
+        let g = ReliabilityGraph::new(3);
+        assert_eq!(g.two_terminal(1, 1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bridge_network_exact_value() {
+        // Classical bridge with all edges p: R = 2p^2 + 2p^3 - 5p^4 + 2p^5.
+        let p: f64 = 0.9;
+        let mut g = ReliabilityGraph::new(4);
+        g.add_edge(0, 1, p).unwrap();
+        g.add_edge(0, 2, p).unwrap();
+        g.add_edge(1, 3, p).unwrap();
+        g.add_edge(2, 3, p).unwrap();
+        g.add_edge(1, 2, p).unwrap();
+        let expected = 2.0 * p.powi(2) + 2.0 * p.powi(3) - 5.0 * p.powi(4) + 2.0 * p.powi(5);
+        let got = g.two_terminal(0, 3).unwrap();
+        assert!((got - expected).abs() < 1e-10, "got {got}, want {expected}");
+    }
+
+    #[test]
+    fn dangling_vertices_are_irrelevant() {
+        let mut g = ReliabilityGraph::new(4);
+        g.add_edge(0, 1, 0.9).unwrap();
+        g.add_edge(1, 2, 0.5).unwrap(); // dangling branch to vertex 2
+        g.add_edge(0, 3, 0.1).unwrap(); // dangling branch to vertex 3
+        assert!((g.two_terminal(0, 1).unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut g = ReliabilityGraph::new(2);
+        assert!(g.add_edge(0, 0, 0.5).is_err());
+        assert!(g.add_edge(0, 5, 0.5).is_err());
+        assert!(g.add_edge(0, 1, 1.5).is_err());
+        assert!(g.add_edge(0, 1, f64::NAN).is_err());
+        g.add_edge(0, 1, 0.9).unwrap();
+        assert!(g.two_terminal(0, 7).is_err());
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn perfect_edges_give_one() {
+        let mut g = ReliabilityGraph::new(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        assert!((g.two_terminal(0, 2).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontier_matches_factoring_on_small_graphs() {
+        let p = 0.9;
+        let mut g = ReliabilityGraph::new(4);
+        g.add_edge(0, 1, p).unwrap();
+        g.add_edge(0, 2, p).unwrap();
+        g.add_edge(1, 3, p).unwrap();
+        g.add_edge(2, 3, p).unwrap();
+        g.add_edge(1, 2, p).unwrap();
+        let exact = g.two_terminal(0, 3).unwrap();
+        let dp = g.two_terminal_frontier(0, 3).unwrap();
+        assert!((exact - dp).abs() < 1e-12, "{exact} vs {dp}");
+    }
+
+    #[test]
+    fn frontier_degenerate_cases() {
+        let g = ReliabilityGraph::new(3);
+        assert_eq!(g.two_terminal_frontier(1, 1).unwrap(), 1.0);
+        assert_eq!(g.two_terminal_frontier(0, 2).unwrap(), 0.0);
+        assert!(g.two_terminal_frontier(0, 9).is_err());
+        let mut g2 = ReliabilityGraph::new(2);
+        g2.add_edge(0, 1, 0.75).unwrap();
+        assert!((g2.two_terminal_frontier(0, 1).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontier_handles_long_ladders_quickly() {
+        // 100 rungs: factoring would need > 2^100 branches; the frontier
+        // DP keeps at most a handful of boundary states.
+        let rungs = 100usize;
+        let n = 2 * (rungs + 1);
+        let mut g = ReliabilityGraph::new(n);
+        for i in 0..=rungs {
+            g.add_edge(2 * i, 2 * i + 1, 0.95).unwrap();
+            if i < rungs {
+                g.add_edge(2 * i, 2 * i + 2, 0.95).unwrap();
+                g.add_edge(2 * i + 1, 2 * i + 3, 0.95).unwrap();
+            }
+        }
+        let r = g.two_terminal_frontier(0, n - 1).unwrap();
+        assert!(r > 0.5 && r < 1.0, "R = {r}");
+        // Agreement with factoring on a size factoring can still handle.
+        let small = {
+            let mut g = ReliabilityGraph::new(8);
+            for i in 0..=3usize {
+                g.add_edge(2 * i, 2 * i + 1, 0.95).unwrap();
+                if i < 3 {
+                    g.add_edge(2 * i, 2 * i + 2, 0.95).unwrap();
+                    g.add_edge(2 * i + 1, 2 * i + 3, 0.95).unwrap();
+                }
+            }
+            g
+        };
+        let a = small.two_terminal(0, 7).unwrap();
+        let b = small.two_terminal_frontier(0, 7).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimal_paths_of_the_bridge() {
+        let mut g = ReliabilityGraph::new(4);
+        g.add_edge(0, 1, 0.9).unwrap(); // 0
+        g.add_edge(0, 2, 0.9).unwrap(); // 1
+        g.add_edge(1, 3, 0.9).unwrap(); // 2
+        g.add_edge(2, 3, 0.9).unwrap(); // 3
+        g.add_edge(1, 2, 0.9).unwrap(); // 4 (bridge)
+        let paths = g.minimal_paths(0, 3).unwrap();
+        // {0,2}, {1,3}, {0,4,3}, {1,4,2}.
+        assert_eq!(paths.len(), 4);
+        assert!(paths.contains(&vec![0, 2]));
+        assert!(paths.contains(&vec![1, 3]));
+        assert!(paths.contains(&vec![0, 3, 4]));
+        assert!(paths.contains(&vec![1, 2, 4]));
+    }
+
+    #[test]
+    fn minimal_cuts_of_the_bridge() {
+        let mut g = ReliabilityGraph::new(4);
+        g.add_edge(0, 1, 0.9).unwrap();
+        g.add_edge(0, 2, 0.9).unwrap();
+        g.add_edge(1, 3, 0.9).unwrap();
+        g.add_edge(2, 3, 0.9).unwrap();
+        g.add_edge(1, 2, 0.9).unwrap();
+        let cuts = g.minimal_cuts(0, 3).unwrap();
+        // {0,1}, {2,3}, {0,4,3}, {1,4,2}.
+        assert_eq!(cuts.len(), 4);
+        assert!(cuts.contains(&vec![0, 1]));
+        assert!(cuts.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn esary_proschan_brackets_the_exact_value() {
+        let p = 0.9;
+        let mut g = ReliabilityGraph::new(4);
+        g.add_edge(0, 1, p).unwrap();
+        g.add_edge(0, 2, p).unwrap();
+        g.add_edge(1, 3, p).unwrap();
+        g.add_edge(2, 3, p).unwrap();
+        g.add_edge(1, 2, p).unwrap();
+        let exact = g.two_terminal(0, 3).unwrap();
+        let (lo, hi) = g.esary_proschan_bounds(0, 3).unwrap();
+        assert!(lo <= exact + 1e-12, "lower {lo} vs exact {exact}");
+        assert!(exact <= hi + 1e-12, "upper {hi} vs exact {exact}");
+        assert!(hi - lo < 0.05, "bounds should be informative: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn paths_and_cuts_degenerate_cases() {
+        let g = ReliabilityGraph::new(3);
+        // Disconnected: no paths, the empty cut.
+        assert!(g.minimal_paths(0, 2).unwrap().is_empty());
+        assert_eq!(g.minimal_cuts(0, 2).unwrap(), vec![Vec::<usize>::new()]);
+        // Same terminal: the empty path.
+        assert_eq!(g.minimal_paths(1, 1).unwrap(), vec![Vec::<usize>::new()]);
+        assert!(g.minimal_paths(0, 9).is_err());
+        assert!(g.minimal_cuts(9, 0).is_err());
+    }
+
+    #[test]
+    fn cut_enumeration_rejects_large_graphs() {
+        let mut g = ReliabilityGraph::new(23);
+        for i in 0..22 {
+            g.add_edge(i, i + 1, 0.9).unwrap();
+        }
+        assert!(g.minimal_cuts(0, 22).is_err());
+        // Paths still fine.
+        assert_eq!(g.minimal_paths(0, 22).unwrap().len(), 1);
+    }
+
+    /// Brute-force reference: enumerate all edge subsets.
+    fn brute_force(g: &ReliabilityGraph, s: usize, t: usize) -> f64 {
+        let m = g.edges.len();
+        let mut total = 0.0;
+        for mask in 0..(1u32 << m) {
+            let mut prob = 1.0;
+            let mut parent: Vec<usize> = (0..g.nodes).collect();
+            fn find(p: &mut [usize], mut x: usize) -> usize {
+                while p[x] != x {
+                    p[x] = p[p[x]];
+                    x = p[x];
+                }
+                x
+            }
+            for (i, &(u, v, pe)) in g.edges.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    prob *= pe;
+                    let ru = find(&mut parent, u);
+                    let rv = find(&mut parent, v);
+                    parent[ru] = rv;
+                } else {
+                    prob *= 1.0 - pe;
+                }
+            }
+            if find(&mut parent, s) == find(&mut parent, t) {
+                total += prob;
+            }
+        }
+        total
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn esary_proschan_brackets_random_graphs(
+            seed_edges in proptest::collection::vec(
+                (0usize..5, 0usize..5, 0.1f64..=1.0), 1..8)
+        ) {
+            let mut g = ReliabilityGraph::new(5);
+            for (u, v, p) in seed_edges {
+                if u != v {
+                    g.add_edge(u, v, p).unwrap();
+                }
+            }
+            if g.edge_count() == 0 {
+                return Ok(());
+            }
+            let exact = g.two_terminal(0, 4).unwrap();
+            let (lo, hi) = g.esary_proschan_bounds(0, 4).unwrap();
+            prop_assert!(lo <= exact + 1e-9, "lower {} vs exact {}", lo, exact);
+            prop_assert!(exact <= hi + 1e-9, "upper {} vs exact {}", hi, exact);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn factoring_matches_brute_force(
+            seed_edges in proptest::collection::vec(
+                (0usize..5, 0usize..5, 0.0f64..=1.0), 1..9)
+        ) {
+            let mut g = ReliabilityGraph::new(5);
+            for (u, v, p) in seed_edges {
+                if u != v {
+                    g.add_edge(u, v, p).unwrap();
+                }
+            }
+            let exact = brute_force(&g, 0, 4);
+            let fast = g.two_terminal(0, 4).unwrap();
+            prop_assert!((exact - fast).abs() < 1e-9, "exact {exact} vs fast {fast}");
+            let dp = g.two_terminal_frontier(0, 4).unwrap();
+            prop_assert!((exact - dp).abs() < 1e-9, "exact {exact} vs frontier {dp}");
+        }
+    }
+}

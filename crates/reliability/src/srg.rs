@@ -1,0 +1,573 @@
+//! Singular reliability guarantees (SRGs).
+//!
+//! Given an implementation `I`, the reliability of a task `t` is
+//! `λ_t = 1 − Π_{h ∈ I(t)} (1 − hrel(h))` — the probability that at least
+//! one replication executes. The SRG `λ_c` of a communicator is defined
+//! inductively (§3):
+//!
+//! * input communicator updated by sensors: `λ_c = 1 − Π (1 − srel(s))`
+//!   over the bound sensors (the paper's single-sensor base case
+//!   `λ_c = srel(s)` generalised to replicated sensors);
+//! * written by task `t` with input failure model…
+//!   * *series*: `λ_c = λ_t · Π_{c' ∈ icset_t} λ_{c'}`;
+//!   * *parallel*: `λ_c = λ_t · (1 − Π_{c' ∈ icset_t} (1 − λ_{c'}))`;
+//!   * *independent*: `λ_c = λ_t`.
+//!
+//! Like the paper (and classical RBD analysis), the induction treats the
+//! reliability of distinct inputs as independent; this is exact for
+//! tree-shaped dependency structures and an approximation when a
+//! communicator reaches a task along several paths.
+//!
+//! A non-perfect atomic broadcast (an extension the paper sketches) is
+//! folded in by derating each replication: a replication contributes only
+//! if its host works *and* its broadcast is delivered, so the effective
+//! per-replication reliability is `hrel(h) · brel`.
+
+use crate::error::ReliabilityError;
+use crate::rbd::Block;
+use logrel_core::graph::CommDependencyGraph;
+use logrel_core::{
+    Architecture, CommunicatorId, FailureModel, Implementation, Reliability, Specification, TaskId,
+};
+use std::fmt;
+
+/// The computed SRGs of every task and communicator of a system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SrgReport {
+    task: Vec<Reliability>,
+    comm: Vec<Reliability>,
+}
+
+impl SrgReport {
+    /// The reliability λ_t of task `t` under the analysed implementation.
+    pub fn task(&self, t: TaskId) -> Reliability {
+        self.task[t.index()]
+    }
+
+    /// The SRG λ_c of communicator `c`.
+    pub fn communicator(&self, c: CommunicatorId) -> Reliability {
+        self.comm[c.index()]
+    }
+
+    /// All communicator SRGs in declaration order.
+    pub fn communicators(&self) -> &[Reliability] {
+        &self.comm
+    }
+
+    /// All task reliabilities in declaration order.
+    pub fn tasks(&self) -> &[Reliability] {
+        &self.task
+    }
+
+    /// Renders a human-readable table using the names from `spec`.
+    pub fn render(&self, spec: &Specification) -> String {
+        let mut out = String::new();
+        out.push_str("task reliabilities:\n");
+        for t in spec.task_ids() {
+            out.push_str(&format!(
+                "  λ({}) = {:.9}\n",
+                spec.task(t).name(),
+                self.task(t).get()
+            ));
+        }
+        out.push_str("communicator SRGs:\n");
+        for c in spec.communicator_ids() {
+            let lrc = spec
+                .communicator(c)
+                .lrc()
+                .map_or(String::from("-"), |m| format!("{:.9}", m.get()));
+            out.push_str(&format!(
+                "  λ({}) = {:.9}  (LRC {lrc})\n",
+                spec.communicator(c).name(),
+                self.communicator(c).get()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SrgReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.comm.iter().enumerate() {
+            writeln!(f, "c{i}: {}", r.get())?;
+        }
+        Ok(())
+    }
+}
+
+/// The reliability `λ_t` of `task` under `imp`: the parallel combination of
+/// its replications' effective reliabilities (`hrel · brel`).
+///
+/// # Errors
+///
+/// Returns [`ReliabilityError::Core`] if the host set is empty (an
+/// unvalidated implementation).
+pub fn task_reliability(
+    arch: &Architecture,
+    imp: &Implementation,
+    task: TaskId,
+) -> Result<Reliability, ReliabilityError> {
+    let brel = arch.broadcast_reliability();
+    let replicas = imp
+        .hosts_of(task)
+        .iter()
+        .map(|&h| Reliability::series([arch.host(h).reliability(), brel]))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Reliability::parallel(replicas)?)
+}
+
+/// Computes the SRGs of every task and communicator for a static
+/// implementation.
+///
+/// # Errors
+///
+/// * [`ReliabilityError::CyclicDependencies`] if the communicator
+///   dependency graph contains a cycle with no independent-model task;
+/// * [`ReliabilityError::UnboundInput`] if an input communicator has no
+///   bound sensor.
+///
+/// # Example
+///
+/// The paper's introduction: a task on two hosts with SRG 0.8 each yields
+/// `1 − 0.04 = 0.96 ≥ 0.9`.
+///
+/// ```
+/// use logrel_core::prelude::*;
+/// use logrel_reliability::compute_srgs;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sb = Specification::builder();
+/// let s = sb.communicator(
+///     CommunicatorDecl::new("s", ValueType::Float, 10)?.from_sensor(),
+/// )?;
+/// let u = sb.communicator(
+///     CommunicatorDecl::new("u", ValueType::Float, 10)?
+///         .with_lrc(Reliability::new(0.9)?),
+/// )?;
+/// let t = sb.task(TaskDecl::new("t").reads(s, 0).writes(u, 1))?;
+/// let spec = sb.build()?;
+///
+/// let mut ab = Architecture::builder();
+/// let h1 = ab.host(HostDecl::new("h1", Reliability::new(0.8)?))?;
+/// let h2 = ab.host(HostDecl::new("h2", Reliability::new(0.8)?))?;
+/// let sen = ab.sensor(SensorDecl::new("sen", Reliability::ONE))?;
+/// ab.wcet_all(t, 1)?;
+/// ab.wctt_all(t, 1)?;
+/// let arch = ab.build();
+///
+/// let imp = Implementation::builder()
+///     .assign(t, [h1, h2])
+///     .bind_sensor(s, sen)
+///     .build(&spec, &arch)?;
+/// let report = compute_srgs(&spec, &arch, &imp)?;
+/// assert!((report.communicator(u).get() - 0.96).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compute_srgs(
+    spec: &Specification,
+    arch: &Architecture,
+    imp: &Implementation,
+) -> Result<SrgReport, ReliabilityError> {
+    let mut task = Vec::with_capacity(spec.task_count());
+    for t in spec.task_ids() {
+        task.push(task_reliability(arch, imp, t)?);
+    }
+
+    let graph = CommDependencyGraph::new(spec);
+    let order = graph
+        .analysis_order()
+        .map_err(|cyclic| ReliabilityError::CyclicDependencies {
+            communicators: cyclic
+                .iter()
+                .map(|&c| spec.communicator(c).name().to_owned())
+                .collect(),
+        })?;
+
+    let mut comm: Vec<Option<Reliability>> = vec![None; spec.communicator_count()];
+    for c in order {
+        let lambda = if spec.is_sensor_input(c) {
+            let sensors = imp.sensors_of(c);
+            if sensors.is_empty() {
+                return Err(ReliabilityError::UnboundInput {
+                    communicator: spec.communicator(c).name().to_owned(),
+                });
+            }
+            Reliability::parallel(sensors.iter().map(|&s| arch.sensor(s).reliability()))?
+        } else if let Some(t) = spec.writer(c) {
+            let lt = task[t.index()];
+            match spec.task(t).failure_model() {
+                FailureModel::Independent => lt,
+                FailureModel::Series => {
+                    let inputs = spec
+                        .task(t)
+                        .input_comm_set()
+                        .into_iter()
+                        .map(|c2| comm[c2.index()].expect("topological order"));
+                    Reliability::series(std::iter::once(lt).chain(inputs))?
+                }
+                FailureModel::Parallel => {
+                    let inputs = spec
+                        .task(t)
+                        .input_comm_set()
+                        .into_iter()
+                        .map(|c2| comm[c2.index()].expect("topological order"));
+                    let any_input = Reliability::parallel(inputs)?;
+                    Reliability::series([lt, any_input])?
+                }
+            }
+        } else {
+            // A constant communicator holds its (reliable) initial value
+            // forever.
+            Reliability::ONE
+        };
+        comm[c.index()] = Some(lambda);
+    }
+
+    Ok(SrgReport {
+        task,
+        comm: comm.into_iter().map(|r| r.expect("all computed")).collect(),
+    })
+}
+
+/// Builds the reliability block diagram whose evaluation equals the SRG of
+/// `comm`: task replications appear as parallel blocks of host units,
+/// composed in series/parallel according to the input failure models.
+///
+/// This makes the paper's claim that its approach "is closest to that of
+/// RBDs" executable: see the crate tests asserting
+/// `communicator_block(..).reliability() == compute_srgs(..)`.
+///
+/// # Errors
+///
+/// Same conditions as [`compute_srgs`].
+pub fn communicator_block(
+    spec: &Specification,
+    arch: &Architecture,
+    imp: &Implementation,
+    comm: CommunicatorId,
+) -> Result<Block, ReliabilityError> {
+    // Reject cyclic structures up front so recursion terminates.
+    let graph = CommDependencyGraph::new(spec);
+    graph
+        .analysis_order()
+        .map_err(|cyclic| ReliabilityError::CyclicDependencies {
+            communicators: cyclic
+                .iter()
+                .map(|&c| spec.communicator(c).name().to_owned())
+                .collect(),
+        })?;
+    block_rec(spec, arch, imp, comm)
+}
+
+fn block_rec(
+    spec: &Specification,
+    arch: &Architecture,
+    imp: &Implementation,
+    comm: CommunicatorId,
+) -> Result<Block, ReliabilityError> {
+    if spec.is_sensor_input(comm) {
+        let sensors = imp.sensors_of(comm);
+        if sensors.is_empty() {
+            return Err(ReliabilityError::UnboundInput {
+                communicator: spec.communicator(comm).name().to_owned(),
+            });
+        }
+        let units = sensors
+            .iter()
+            .map(|&s| Block::named_unit(arch.sensor(s).name(), arch.sensor(s).reliability()))
+            .collect();
+        return Block::parallel(units);
+    }
+    let Some(t) = spec.writer(comm) else {
+        return Ok(Block::named_unit(
+            format!("const:{}", spec.communicator(comm).name()),
+            Reliability::ONE,
+        ));
+    };
+    let brel = arch.broadcast_reliability();
+    let replicas = imp
+        .hosts_of(t)
+        .iter()
+        .map(|&h| {
+            let eff = Reliability::series([arch.host(h).reliability(), brel])?;
+            Ok(Block::named_unit(
+                format!("{}@{}", spec.task(t).name(), arch.host(h).name()),
+                eff,
+            ))
+        })
+        .collect::<Result<Vec<_>, ReliabilityError>>()?;
+    let task_block = Block::parallel(replicas)?;
+    let input_blocks = spec
+        .task(t)
+        .input_comm_set()
+        .into_iter()
+        .map(|c2| block_rec(spec, arch, imp, c2))
+        .collect::<Result<Vec<_>, _>>()?;
+    let block = match spec.task(t).failure_model() {
+        FailureModel::Independent => task_block,
+        FailureModel::Series => {
+            let mut parts = vec![task_block];
+            parts.extend(input_blocks);
+            Block::series(parts)
+        }
+        FailureModel::Parallel => {
+            Block::series(vec![task_block, Block::parallel(input_blocks)?])
+        }
+    };
+    Ok(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logrel_core::{
+        CommunicatorDecl, HostDecl, HostId, SensorDecl, SensorId, TaskDecl, Value, ValueType,
+    };
+
+    fn r(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    /// sensor -> s -> reader -> l -> ctrl -> u, all hosts/sensors at `rel`.
+    fn pipeline(rel: f64) -> (Specification, Architecture, Implementation) {
+        let mut sb = Specification::builder();
+        let s = sb
+            .communicator(
+                CommunicatorDecl::new("s", ValueType::Float, 500)
+                    .unwrap()
+                    .from_sensor(),
+            )
+            .unwrap();
+        let l = sb
+            .communicator(CommunicatorDecl::new("l", ValueType::Float, 100).unwrap())
+            .unwrap();
+        let u = sb
+            .communicator(CommunicatorDecl::new("u", ValueType::Float, 100).unwrap())
+            .unwrap();
+        let reader = sb
+            .task(TaskDecl::new("reader").reads(s, 0).writes(l, 1))
+            .unwrap();
+        let ctrl = sb.task(TaskDecl::new("ctrl").reads(l, 1).writes(u, 3)).unwrap();
+        let spec = sb.build().unwrap();
+
+        let mut ab = Architecture::builder();
+        let h1 = ab.host(HostDecl::new("h1", r(rel))).unwrap();
+        let h3 = ab.host(HostDecl::new("h3", r(rel))).unwrap();
+        ab.sensor(SensorDecl::new("sen1", r(rel))).unwrap();
+        for t in [reader, ctrl] {
+            ab.wcet_all(t, 1).unwrap();
+            ab.wctt_all(t, 1).unwrap();
+        }
+        let arch = ab.build();
+        let imp = Implementation::builder()
+            .assign(reader, [h3])
+            .assign(ctrl, [h1])
+            .bind_sensor(s, SensorId::new(0))
+            .build(&spec, &arch)
+            .unwrap();
+        (spec, arch, imp)
+    }
+
+    #[test]
+    fn series_chain_multiplies() {
+        let (spec, arch, imp) = pipeline(0.999);
+        let report = compute_srgs(&spec, &arch, &imp).unwrap();
+        let l = spec.find_communicator("l").unwrap();
+        let u = spec.find_communicator("u").unwrap();
+        assert!((report.communicator(l).get() - 0.999f64.powi(2)).abs() < 1e-12);
+        assert!((report.communicator(u).get() - 0.999f64.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_raises_task_reliability() {
+        let (spec, arch, imp) = pipeline(0.999);
+        let ctrl = spec.find_task("ctrl").unwrap();
+        let imp2 = imp.with_assignment(ctrl, [HostId::new(0), HostId::new(1)]);
+        let lt = task_reliability(&arch, &imp2, ctrl).unwrap();
+        assert!((lt.get() - (1.0 - 0.001f64 * 0.001)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_reliability_derates_replicas() {
+        let (spec, _, _) = pipeline(0.999);
+        let mut ab = Architecture::builder();
+        let h1 = ab.host(HostDecl::new("h1", r(0.9))).unwrap();
+        ab.sensor(SensorDecl::new("sen1", r(1.0))).unwrap();
+        for t in spec.task_ids() {
+            ab.wcet_all(t, 1).unwrap();
+            ab.wctt_all(t, 1).unwrap();
+        }
+        ab.broadcast_reliability(r(0.5));
+        let arch = ab.build();
+        let s = spec.find_communicator("s").unwrap();
+        let imp = Implementation::builder()
+            .assign(spec.find_task("reader").unwrap(), [h1])
+            .assign(spec.find_task("ctrl").unwrap(), [h1])
+            .bind_sensor(s, SensorId::new(0))
+            .build(&spec, &arch)
+            .unwrap();
+        let lt = task_reliability(&arch, &imp, spec.find_task("ctrl").unwrap()).unwrap();
+        assert!((lt.get() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_model_needs_only_one_input() {
+        let mut sb = Specification::builder();
+        let a = sb
+            .communicator(
+                CommunicatorDecl::new("a", ValueType::Float, 10)
+                    .unwrap()
+                    .from_sensor(),
+            )
+            .unwrap();
+        let b = sb
+            .communicator(
+                CommunicatorDecl::new("b", ValueType::Float, 10)
+                    .unwrap()
+                    .from_sensor(),
+            )
+            .unwrap();
+        let o = sb
+            .communicator(CommunicatorDecl::new("o", ValueType::Float, 10).unwrap())
+            .unwrap();
+        let t = sb
+            .task(
+                TaskDecl::new("t")
+                    .reads(a, 0)
+                    .reads(b, 0)
+                    .writes(o, 1)
+                    .model(FailureModel::Parallel)
+                    .default_value(Value::Float(0.0))
+                    .default_value(Value::Float(0.0)),
+            )
+            .unwrap();
+        let spec = sb.build().unwrap();
+        let mut ab = Architecture::builder();
+        let h = ab.host(HostDecl::new("h", r(1.0))).unwrap();
+        let s1 = ab.sensor(SensorDecl::new("s1", r(0.9))).unwrap();
+        let s2 = ab.sensor(SensorDecl::new("s2", r(0.9))).unwrap();
+        ab.wcet_all(t, 1).unwrap();
+        ab.wctt_all(t, 1).unwrap();
+        let arch = ab.build();
+        let imp = Implementation::builder()
+            .assign(t, [h])
+            .bind_sensor(a, s1)
+            .bind_sensor(b, s2)
+            .build(&spec, &arch)
+            .unwrap();
+        let report = compute_srgs(&spec, &arch, &imp).unwrap();
+        // λ_o = 1.0 * (1 - 0.1^2) = 0.99
+        assert!((report.communicator(o).get() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_model_ignores_inputs() {
+        let mut sb = Specification::builder();
+        let a = sb
+            .communicator(
+                CommunicatorDecl::new("a", ValueType::Float, 10)
+                    .unwrap()
+                    .from_sensor(),
+            )
+            .unwrap();
+        let o = sb
+            .communicator(CommunicatorDecl::new("o", ValueType::Float, 10).unwrap())
+            .unwrap();
+        let t = sb
+            .task(
+                TaskDecl::new("t")
+                    .reads(a, 0)
+                    .writes(o, 1)
+                    .model(FailureModel::Independent)
+                    .default_value(Value::Float(0.0)),
+            )
+            .unwrap();
+        let spec = sb.build().unwrap();
+        let mut ab = Architecture::builder();
+        let h = ab.host(HostDecl::new("h", r(0.95))).unwrap();
+        let s1 = ab.sensor(SensorDecl::new("s1", r(0.5))).unwrap();
+        ab.wcet_all(t, 1).unwrap();
+        ab.wctt_all(t, 1).unwrap();
+        let arch = ab.build();
+        let imp = Implementation::builder()
+            .assign(t, [h])
+            .bind_sensor(a, s1)
+            .build(&spec, &arch)
+            .unwrap();
+        let report = compute_srgs(&spec, &arch, &imp).unwrap();
+        assert!((report.communicator(o).get() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensor_replication_parallel_base_case() {
+        let (spec, _, _) = pipeline(0.999);
+        let s = spec.find_communicator("s").unwrap();
+        let mut ab = Architecture::builder();
+        let h = ab.host(HostDecl::new("h", r(1.0))).unwrap();
+        let s1 = ab.sensor(SensorDecl::new("s1", r(0.999))).unwrap();
+        let s2 = ab.sensor(SensorDecl::new("s2", r(0.999))).unwrap();
+        for t in spec.task_ids() {
+            ab.wcet_all(t, 1).unwrap();
+            ab.wctt_all(t, 1).unwrap();
+        }
+        let arch = ab.build();
+        let imp = Implementation::builder()
+            .assign(spec.find_task("reader").unwrap(), [h])
+            .assign(spec.find_task("ctrl").unwrap(), [h])
+            .bind_sensor(s, s1)
+            .bind_sensor(s, s2)
+            .build(&spec, &arch)
+            .unwrap();
+        let report = compute_srgs(&spec, &arch, &imp).unwrap();
+        assert!((report.communicator(s).get() - (1.0 - 0.001f64 * 0.001)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_series_spec_is_rejected() {
+        let mut sb = Specification::builder();
+        let c = sb
+            .communicator(CommunicatorDecl::new("c", ValueType::Float, 10).unwrap())
+            .unwrap();
+        let t = sb.task(TaskDecl::new("t").reads(c, 0).writes(c, 1)).unwrap();
+        let spec = sb.build().unwrap();
+        let mut ab = Architecture::builder();
+        let h = ab.host(HostDecl::new("h", r(0.9))).unwrap();
+        ab.wcet_all(t, 1).unwrap();
+        ab.wctt_all(t, 1).unwrap();
+        let arch = ab.build();
+        let imp = Implementation::builder()
+            .assign(t, [h])
+            .build(&spec, &arch)
+            .unwrap();
+        let err = compute_srgs(&spec, &arch, &imp).unwrap_err();
+        assert!(matches!(err, ReliabilityError::CyclicDependencies { .. }));
+        assert!(communicator_block(&spec, &arch, &imp, c).is_err());
+    }
+
+    #[test]
+    fn rbd_matches_srg_induction() {
+        let (spec, arch, imp) = pipeline(0.97);
+        let report = compute_srgs(&spec, &arch, &imp).unwrap();
+        for c in spec.communicator_ids() {
+            let block = communicator_block(&spec, &arch, &imp, c).unwrap();
+            let via_rbd = block.reliability().unwrap();
+            assert!(
+                (via_rbd.get() - report.communicator(c).get()).abs() < 1e-12,
+                "mismatch for {}",
+                spec.communicator(c).name()
+            );
+        }
+    }
+
+    #[test]
+    fn report_render_names_everything() {
+        let (spec, arch, imp) = pipeline(0.999);
+        let report = compute_srgs(&spec, &arch, &imp).unwrap();
+        let text = report.render(&spec);
+        for name in ["reader", "ctrl", "s", "l", "u"] {
+            assert!(text.contains(name));
+        }
+        assert!(!report.to_string().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! The processor-demand criterion: an analytical EDF feasibility test.
+//!
+//! For a finite job set on one preemptive processor, EDF feasibility is
+//! equivalent to the *processor demand criterion*: for every interval
+//! `[a, b]`, the total execution demand of jobs with `release ≥ a` and
+//! `deadline ≤ b` must not exceed `b − a`. It suffices to check intervals
+//! whose endpoints are job releases and deadlines.
+//!
+//! This gives a second, independent implementation of the CPU-side
+//! feasibility question answered constructively by
+//! [`crate::edf::simulate_edf`]; the two are cross-checked by property
+//! tests.
+
+use crate::edf::CpuJob;
+
+/// A violated demand interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandOverflow {
+    /// Interval start (a job release).
+    pub from: u64,
+    /// Interval end (a job deadline).
+    pub to: u64,
+    /// Total demand of jobs contained in the interval.
+    pub demand: u64,
+}
+
+/// Checks the processor demand criterion for `jobs` (all on one host).
+///
+/// Returns `Ok(())` if every interval's demand fits, or the first violated
+/// interval.
+///
+/// # Errors
+///
+/// Returns a [`DemandOverflow`] describing a witness interval whose demand
+/// exceeds its length (so the job set is EDF-infeasible).
+pub fn processor_demand_check(jobs: &[CpuJob]) -> Result<(), DemandOverflow> {
+    let mut starts: Vec<u64> = jobs.iter().map(|j| j.release.as_u64()).collect();
+    let mut ends: Vec<u64> = jobs.iter().map(|j| j.deadline.as_u64()).collect();
+    starts.sort_unstable();
+    starts.dedup();
+    ends.sort_unstable();
+    ends.dedup();
+    for &a in &starts {
+        for &b in &ends {
+            if b <= a {
+                continue;
+            }
+            let demand: u64 = jobs
+                .iter()
+                .filter(|j| j.release.as_u64() >= a && j.deadline.as_u64() <= b)
+                .map(|j| j.exec)
+                .sum();
+            if demand > b - a {
+                return Err(DemandOverflow {
+                    from: a,
+                    to: b,
+                    demand,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf::simulate_edf;
+    use logrel_core::{HostId, TaskId, Tick};
+    use proptest::prelude::*;
+
+    fn job(t: u32, release: u64, exec: u64, deadline: u64) -> CpuJob {
+        CpuJob {
+            task: TaskId::new(t),
+            host: HostId::new(0),
+            release: Tick::new(release),
+            exec,
+            deadline: Tick::new(deadline),
+        }
+    }
+
+    #[test]
+    fn feasible_set_passes() {
+        let jobs = [job(0, 0, 2, 4), job(1, 0, 2, 8), job(2, 4, 2, 8)];
+        processor_demand_check(&jobs).unwrap();
+        assert!(simulate_edf(&jobs).feasible());
+    }
+
+    #[test]
+    fn overloaded_interval_is_witnessed() {
+        let jobs = [job(0, 0, 3, 4), job(1, 0, 3, 4)];
+        let err = processor_demand_check(&jobs).unwrap_err();
+        assert_eq!(err, DemandOverflow { from: 0, to: 4, demand: 6 });
+        assert!(!simulate_edf(&jobs).feasible());
+    }
+
+    #[test]
+    fn empty_set_is_feasible() {
+        processor_demand_check(&[]).unwrap();
+    }
+
+    #[test]
+    fn demand_only_counts_contained_jobs() {
+        // A long-deadline job overlapping the interval does not count.
+        let jobs = [job(0, 0, 4, 4), job(1, 0, 100, 200)];
+        processor_demand_check(&jobs).unwrap();
+        assert!(simulate_edf(&jobs).feasible());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        /// EDF optimality: the constructive simulation and the analytical
+        /// criterion agree on feasibility for every job set.
+        #[test]
+        fn demand_criterion_matches_edf_simulation(
+            raw in proptest::collection::vec((0u64..20, 1u64..6, 1u64..25), 1..9)
+        ) {
+            let jobs: Vec<CpuJob> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, e, d))| job(i as u32, r, e, r + d))
+                .collect();
+            let analytical = processor_demand_check(&jobs).is_ok();
+            let constructive = simulate_edf(&jobs).feasible();
+            prop_assert_eq!(analytical, constructive);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Preemptive earliest-deadline-first simulation on one host.
+//!
+//! EDF is optimal on a single preemptive processor, so if this simulation
+//! misses a deadline the replication set is infeasible on that host (for
+//! the declared WCETs) — making the check exact on the CPU side.
+
+use crate::error::MissedDeadline;
+use crate::schedule::ExecSlot;
+use logrel_core::{HostId, TaskId, Tick};
+
+/// A CPU job: one task replication's execution demand within one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuJob {
+    /// The replicated task.
+    pub task: TaskId,
+    /// The executing host.
+    pub host: HostId,
+    /// Release instant (the task's read time).
+    pub release: Tick,
+    /// Execution budget (WCET on this host), > 0.
+    pub exec: u64,
+    /// Absolute CPU deadline (write time minus WCTT).
+    pub deadline: Tick,
+}
+
+/// Result of scheduling one host's jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdfOutcome {
+    /// Completion instant per input job (same order as the input).
+    pub completions: Vec<Tick>,
+    /// The produced execution slots, in chronological order (a preempted
+    /// job occupies several slots).
+    pub slots: Vec<ExecSlot>,
+    /// Jobs whose completion exceeds their deadline.
+    pub misses: Vec<usize>,
+}
+
+impl EdfOutcome {
+    /// `true` if every job met its deadline.
+    pub fn feasible(&self) -> bool {
+        self.misses.is_empty()
+    }
+}
+
+/// Simulates preemptive EDF over the given jobs (all on one host).
+///
+/// Ties on deadlines are broken by job index, making the schedule
+/// deterministic. The simulation runs until all jobs complete, even past
+/// deadlines, so that diagnostics can report actual completion times.
+pub fn simulate_edf(jobs: &[CpuJob]) -> EdfOutcome {
+    let n = jobs.len();
+    let mut remaining: Vec<u64> = jobs.iter().map(|j| j.exec).collect();
+    let mut completions: Vec<Tick> = vec![Tick::ZERO; n];
+    let mut done = vec![false; n];
+    let mut slots: Vec<ExecSlot> = Vec::new();
+    let mut now = jobs
+        .iter()
+        .map(|j| j.release)
+        .min()
+        .unwrap_or(Tick::ZERO);
+    let mut pending = n;
+
+    while pending > 0 {
+        // Ready job with earliest deadline.
+        let ready = (0..n)
+            .filter(|&i| !done[i] && jobs[i].release <= now)
+            .min_by_key(|&i| (jobs[i].deadline, i));
+        let Some(i) = ready else {
+            // Idle until next release.
+            now = jobs
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| !done[*k])
+                .map(|(_, j)| j.release)
+                .min()
+                .expect("pending jobs exist");
+            continue;
+        };
+        // Run job i until it finishes or a release could preempt it.
+        let next_release = jobs
+            .iter()
+            .enumerate()
+            .filter(|(k, j)| !done[*k] && j.release > now)
+            .map(|(_, j)| j.release)
+            .min();
+        let finish_at = now + remaining[i];
+        let until = match next_release {
+            Some(r) if r < finish_at => r,
+            _ => finish_at,
+        };
+        let ran = until - now;
+        remaining[i] -= ran;
+        // Merge with the previous slot when the same job continues.
+        match slots.last_mut() {
+            Some(last) if last.task == jobs[i].task && last.end == now => last.end = until,
+            _ => slots.push(ExecSlot {
+                task: jobs[i].task,
+                host: jobs[i].host,
+                start: now,
+                end: until,
+            }),
+        }
+        now = until;
+        if remaining[i] == 0 {
+            done[i] = true;
+            completions[i] = now;
+            pending -= 1;
+        }
+    }
+
+    let misses = (0..n)
+        .filter(|&i| completions[i] > jobs[i].deadline)
+        .collect();
+    EdfOutcome {
+        completions,
+        slots,
+        misses,
+    }
+}
+
+/// Converts EDF misses into [`MissedDeadline`] diagnostics.
+pub fn miss_diagnostics(
+    jobs: &[CpuJob],
+    outcome: &EdfOutcome,
+    task_name: impl Fn(TaskId) -> String,
+    host_name: impl Fn(HostId) -> String,
+) -> Vec<MissedDeadline> {
+    outcome
+        .misses
+        .iter()
+        .map(|&i| MissedDeadline {
+            task: task_name(jobs[i].task),
+            host: host_name(jobs[i].host),
+            release: jobs[i].release.as_u64(),
+            deadline: jobs[i].deadline.as_u64(),
+            completion: Some(outcome.completions[i].as_u64()),
+            on_bus: false,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn job(release: u64, exec: u64, deadline: u64) -> CpuJob {
+        CpuJob {
+            task: TaskId::new(0),
+            host: HostId::new(0),
+            release: Tick::new(release),
+            exec,
+            deadline: Tick::new(deadline),
+        }
+    }
+
+    fn job_t(t: u32, release: u64, exec: u64, deadline: u64) -> CpuJob {
+        CpuJob {
+            task: TaskId::new(t),
+            ..job(release, exec, deadline)
+        }
+    }
+
+    #[test]
+    fn single_job_runs_at_release() {
+        let out = simulate_edf(&[job(3, 2, 10)]);
+        assert!(out.feasible());
+        assert_eq!(out.completions, vec![Tick::new(5)]);
+        assert_eq!(out.slots.len(), 1);
+        assert_eq!(out.slots[0].start, Tick::new(3));
+        assert_eq!(out.slots[0].end, Tick::new(5));
+    }
+
+    #[test]
+    fn edf_prefers_earlier_deadline() {
+        let jobs = [job_t(0, 0, 5, 20), job_t(1, 0, 2, 4)];
+        let out = simulate_edf(&jobs);
+        assert!(out.feasible());
+        // Job 1 (deadline 4) runs first.
+        assert_eq!(out.completions[1], Tick::new(2));
+        assert_eq!(out.completions[0], Tick::new(7));
+    }
+
+    #[test]
+    fn preemption_on_later_release() {
+        // Long job released at 0 with deadline 20; short urgent job at 2.
+        let jobs = [job_t(0, 0, 10, 20), job_t(1, 2, 3, 6)];
+        let out = simulate_edf(&jobs);
+        assert!(out.feasible());
+        assert_eq!(out.completions[1], Tick::new(5));
+        assert_eq!(out.completions[0], Tick::new(13));
+        // The long job appears in two slots (preempted at t=2).
+        let slots_t0: Vec<_> = out
+            .slots
+            .iter()
+            .filter(|s| s.task == TaskId::new(0))
+            .collect();
+        assert_eq!(slots_t0.len(), 2);
+    }
+
+    #[test]
+    fn overload_is_reported_not_hidden() {
+        let jobs = [job_t(0, 0, 5, 4)];
+        let out = simulate_edf(&jobs);
+        assert!(!out.feasible());
+        assert_eq!(out.misses, vec![0]);
+        assert_eq!(out.completions[0], Tick::new(5));
+        let diags = miss_diagnostics(
+            &jobs,
+            &out,
+            |t| format!("task{}", t.index()),
+            |h| format!("host{}", h.index()),
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].completion, Some(5));
+        assert!(!diags[0].on_bus);
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped() {
+        let jobs = [job_t(0, 0, 1, 2), job_t(1, 10, 1, 12)];
+        let out = simulate_edf(&jobs);
+        assert!(out.feasible());
+        assert_eq!(out.completions[1], Tick::new(11));
+        assert_eq!(out.slots.len(), 2);
+    }
+
+    #[test]
+    fn empty_job_set() {
+        let out = simulate_edf(&[]);
+        assert!(out.feasible());
+        assert!(out.slots.is_empty());
+    }
+
+    #[test]
+    fn slots_of_same_task_merge_when_contiguous() {
+        // Two jobs of the same task back to back merge into one slot.
+        let jobs = [job_t(0, 0, 2, 10), job_t(0, 2, 2, 12)];
+        let out = simulate_edf(&jobs);
+        assert_eq!(out.slots.len(), 1);
+        assert_eq!(out.slots[0].end, Tick::new(4));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn edf_slots_never_overlap_and_cover_exec(
+            raw in proptest::collection::vec((0u64..20, 1u64..5, 1u64..30), 1..8)
+        ) {
+            let jobs: Vec<CpuJob> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, e, d))| CpuJob {
+                    task: TaskId::new(i as u32),
+                    host: HostId::new(0),
+                    release: Tick::new(r),
+                    exec: e,
+                    deadline: Tick::new(r + d),
+                })
+                .collect();
+            let out = simulate_edf(&jobs);
+            // Slots are chronological and non-overlapping.
+            for w in out.slots.windows(2) {
+                prop_assert!(w[0].end <= w[1].start);
+            }
+            // Total slot time equals total execution demand.
+            let total: u64 = out.slots.iter().map(|s| s.end - s.start).sum();
+            let demand: u64 = jobs.iter().map(|j| j.exec).sum();
+            prop_assert_eq!(total, demand);
+            // Completions are never before release + exec.
+            for (i, j) in jobs.iter().enumerate() {
+                prop_assert!(out.completions[i] >= j.release + j.exec);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Errors of the schedulability analysis.
+
+use logrel_core::CoreError;
+use std::error::Error;
+use std::fmt;
+
+/// A job that cannot meet its deadline, with enough context to explain why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissedDeadline {
+    /// The task whose replication misses.
+    pub task: String,
+    /// The host executing the replication (or broadcasting on the bus).
+    pub host: String,
+    /// The job's release instant.
+    pub release: u64,
+    /// The job's absolute deadline.
+    pub deadline: u64,
+    /// The earliest completion the analysis could achieve (`None` if the
+    /// job cannot even start, e.g. its budget exceeds its window).
+    pub completion: Option<u64>,
+    /// `true` if the miss occurred on the broadcast bus rather than a CPU.
+    pub on_bus: bool,
+}
+
+impl fmt::Display for MissedDeadline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let res = if self.on_bus { "bus" } else { "cpu" };
+        match self.completion {
+            Some(c) => write!(
+                f,
+                "{res} job `{}`@`{}` [release {}, deadline {}] completes at {c}",
+                self.task, self.host, self.release, self.deadline
+            ),
+            None => write!(
+                f,
+                "{res} job `{}`@`{}` [release {}, deadline {}] cannot fit its window",
+                self.task, self.host, self.release, self.deadline
+            ),
+        }
+    }
+}
+
+/// Errors raised while checking schedulability.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// A core-model error.
+    Core(CoreError),
+    /// The implementation is not schedulable; every missed deadline is
+    /// reported.
+    NotSchedulable {
+        /// All deadline misses found (CPU first, then bus).
+        misses: Vec<MissedDeadline>,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Core(e) => write!(f, "{e}"),
+            SchedError::NotSchedulable { misses } => {
+                write!(f, "not schedulable: ")?;
+                for (i, m) in misses.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{m}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SchedError {
+    fn from(e: CoreError) -> Self {
+        SchedError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let m1 = MissedDeadline {
+            task: "t".into(),
+            host: "h".into(),
+            release: 0,
+            deadline: 5,
+            completion: Some(7),
+            on_bus: false,
+        };
+        let m2 = MissedDeadline {
+            task: "t".into(),
+            host: "h".into(),
+            release: 0,
+            deadline: 5,
+            completion: None,
+            on_bus: true,
+        };
+        assert!(m1.to_string().contains("completes at 7"));
+        assert!(m2.to_string().contains("cannot fit"));
+        let e = SchedError::NotSchedulable {
+            misses: vec![m1, m2],
+        };
+        assert!(e.to_string().contains("not schedulable"));
+        let c: SchedError = CoreError::ZeroPeriod.into();
+        assert!(!c.to_string().is_empty());
+        assert!(c.source().is_some());
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,246 @@
+//! Worst-case end-to-end data age along communicator chains.
+//!
+//! LET semantics make end-to-end latency *deterministic*: a task's output
+//! becomes visible exactly at its write time, regardless of when the
+//! replication actually finished. The *data age* of a communicator is the
+//! time since the oldest sensor sample that influenced its current value:
+//!
+//! * a sensor-fed communicator has age 0 at its update instants;
+//! * a task `t` reading `c` at access instant `a` and writing `c'` at `w`
+//!   adds `(a − w_c) mod π_S` (how long `c`'s value waited since its
+//!   producing write `w_c`) plus `w − a` (the LET transport);
+//! * with several inputs the worst (oldest) chain dominates.
+//!
+//! Computed by dynamic programming over the communicator dependency graph
+//! (which the reliability analysis already requires to be acyclic).
+
+use logrel_core::graph::CommDependencyGraph;
+use logrel_core::{CommAccess, CommunicatorId, Specification};
+
+/// Worst-case data ages, per communicator, in ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataAges {
+    ages: Vec<Option<u64>>,
+    write_instants: Vec<Option<u64>>,
+}
+
+impl DataAges {
+    /// The worst-case age of `comm`'s value at its producing write instant
+    /// (`Some(0)` for sensor-fed communicators; `None` for constants and
+    /// for communicators downstream of an unresolvable cycle).
+    pub fn age(&self, comm: CommunicatorId) -> Option<u64> {
+        self.ages[comm.index()]
+    }
+}
+
+/// Computes worst-case data ages for every communicator of `spec`.
+///
+/// Communicators on dependency cycles (and everything downstream of them)
+/// get `None` — the age there is unbounded across rounds.
+pub fn data_ages(spec: &Specification) -> DataAges {
+    let n = spec.communicator_count();
+    let round = spec.round_period().as_u64();
+    let mut ages: Vec<Option<u64>> = vec![None; n];
+    let mut write_instants: Vec<Option<u64>> = vec![None; n];
+
+    let graph = CommDependencyGraph::new(spec);
+    let Ok(order) = graph.analysis_order() else {
+        // Cyclic: leave everything unresolved except pure sensors.
+        for c in spec.communicator_ids() {
+            if spec.is_sensor_input(c) {
+                ages[c.index()] = Some(0);
+                write_instants[c.index()] = Some(0);
+            }
+        }
+        return DataAges {
+            ages,
+            write_instants,
+        };
+    };
+
+    for c in order {
+        if spec.is_sensor_input(c) {
+            ages[c.index()] = Some(0);
+            // Sensor communicators refresh at every update instant; use 0
+            // as the canonical producing instant (ages are measured per
+            // access below, modulo the round).
+            write_instants[c.index()] = Some(0);
+            continue;
+        }
+        let Some(t) = spec.writer(c) else {
+            continue; // constant: no meaningful age
+        };
+        let decl = spec.task(t);
+        // The write instant of THIS communicator among t's outputs.
+        let w_out = decl
+            .outputs()
+            .iter()
+            .filter(|a| a.comm == c)
+            .map(|&a| spec.access_instant(a).as_u64())
+            .max()
+            .expect("writer writes c");
+        let mut worst: Option<u64> = Some(0);
+        for &access in decl.inputs() {
+            let CommAccess { comm: c_in, .. } = access;
+            let a_in = spec.access_instant(access).as_u64();
+            let (Some(up_age), Some(up_write)) =
+                (ages[c_in.index()], write_instants[c_in.index()])
+            else {
+                worst = None;
+                break;
+            };
+            let wait = if spec.is_sensor_input(c_in) {
+                // Sensor comms refresh every π_c; the value read at a_in
+                // was sampled at the latest update not after a_in: age 0.
+                0
+            } else {
+                (a_in + round - up_write % round) % round
+            };
+            let chain = up_age + wait + (w_out - a_in);
+            worst = worst.map(|w| w.max(chain));
+        }
+        ages[c.index()] = worst;
+        write_instants[c.index()] = Some(w_out);
+    }
+    DataAges {
+        ages,
+        write_instants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logrel_core::{CommunicatorDecl, FailureModel, TaskDecl, Value, ValueType};
+
+    fn comm(name: &str, period: u64) -> CommunicatorDecl {
+        CommunicatorDecl::new(name, ValueType::Float, period).unwrap()
+    }
+
+    #[test]
+    fn chain_ages_accumulate_let_transport() {
+        // sensor s(p100) -> read@[0,100] -> l -> ctrl@[100,300] -> u.
+        let mut b = Specification::builder();
+        let s = b.communicator(comm("s", 500).from_sensor()).unwrap();
+        let l = b.communicator(comm("l", 100)).unwrap();
+        let u = b.communicator(comm("u", 100)).unwrap();
+        b.task(TaskDecl::new("read").reads(s, 0).writes(l, 1)).unwrap();
+        b.task(TaskDecl::new("ctrl").reads(l, 1).writes(u, 3)).unwrap();
+        let spec = b.build().unwrap();
+        let ages = data_ages(&spec);
+        assert_eq!(ages.age(s), Some(0));
+        assert_eq!(ages.age(l), Some(100));
+        // ctrl reads l exactly at its write instant: no waiting; +200 LET.
+        assert_eq!(ages.age(u), Some(300));
+    }
+
+    #[test]
+    fn waiting_between_write_and_read_is_counted() {
+        // producer writes l at 100; consumer reads l@3 (t=300): value
+        // waited 200 ticks before being picked up.
+        let mut b = Specification::builder();
+        let s = b.communicator(comm("s", 500).from_sensor()).unwrap();
+        let l = b.communicator(comm("l", 100)).unwrap();
+        let u = b.communicator(comm("u", 100)).unwrap();
+        b.task(TaskDecl::new("read").reads(s, 0).writes(l, 1)).unwrap();
+        b.task(TaskDecl::new("ctrl").reads(l, 3).writes(u, 4)).unwrap();
+        let spec = b.build().unwrap();
+        let ages = data_ages(&spec);
+        // age(l)=100; wait (300-100)=200; transport (400-300)=100.
+        assert_eq!(ages.age(u), Some(400));
+    }
+
+    #[test]
+    fn cross_round_wait_wraps_by_the_round_period() {
+        // producer writes l at 400 (round 500); consumer reads l@1 (t=100):
+        // it sees the PREVIOUS round's value, waited (100+500-400)=200.
+        let mut b = Specification::builder();
+        let s = b.communicator(comm("s", 500).from_sensor()).unwrap();
+        let l = b.communicator(comm("l", 100)).unwrap();
+        let u = b.communicator(comm("u", 100)).unwrap();
+        let r = b.communicator(comm("r", 500)).unwrap();
+        b.task(TaskDecl::new("read").reads(s, 0).writes(l, 4)).unwrap();
+        // ctrl reads l@1 and writes u@2 -- but it must read strictly
+        // before writing and the dependency graph has read->l; l is
+        // written at 400, so ctrl's l@1 read sees the previous round.
+        b.task(TaskDecl::new("ctrl").reads(l, 1).writes(u, 2)).unwrap();
+        b.task(TaskDecl::new("obs").reads(u, 2).writes(r, 1)).unwrap();
+        let spec = b.build().unwrap();
+        let ages = data_ages(&spec);
+        assert_eq!(ages.age(l), Some(400));
+        // age(u) = 400 + 200 (wrap wait) + (200-100) = 700.
+        assert_eq!(ages.age(u), Some(700));
+        // obs reads u@2 (=200, its write instant): wait 0; +300 transport.
+        assert_eq!(ages.age(r), Some(1000));
+    }
+
+    #[test]
+    fn worst_input_dominates_a_diamond() {
+        let mut b = Specification::builder();
+        let s = b.communicator(comm("s", 500).from_sensor()).unwrap();
+        let fast = b.communicator(comm("fast", 100)).unwrap();
+        let slow = b.communicator(comm("slow", 100)).unwrap();
+        let out = b.communicator(comm("out", 100)).unwrap();
+        b.task(TaskDecl::new("f").reads(s, 0).writes(fast, 1)).unwrap();
+        b.task(TaskDecl::new("g").reads(s, 0).writes(slow, 3)).unwrap();
+        b.task(
+            TaskDecl::new("join")
+                .reads(fast, 3)
+                .reads(slow, 3)
+                .writes(out, 4),
+        )
+        .unwrap();
+        let spec = b.build().unwrap();
+        let ages = data_ages(&spec);
+        // fast: age 100, waits 200 at the join -> chain 100+200+100 = 400.
+        // slow: age 300, waits 0 -> chain 300+0+100 = 400. Equal here;
+        // stretch slow's write to make it dominate:
+        assert_eq!(ages.age(out), Some(400));
+    }
+
+    #[test]
+    fn constants_and_cycles_have_no_age() {
+        let mut b = Specification::builder();
+        let k = b.communicator(comm("k", 10)).unwrap(); // constant
+        let c = b.communicator(comm("c", 10)).unwrap();
+        b.task(
+            TaskDecl::new("t")
+                .reads(k, 0)
+                .reads(c, 0)
+                .writes(c, 1)
+                .model(FailureModel::Independent)
+                .default_value(Value::Float(0.0))
+                .default_value(Value::Float(0.0)),
+        )
+        .unwrap();
+        let spec = b.build().unwrap();
+        let ages = data_ages(&spec);
+        assert_eq!(ages.age(k), None);
+        // c reads the constant k (no age) and itself: unresolved.
+        assert_eq!(ages.age(c), None);
+    }
+
+    #[test]
+    fn three_tank_actuation_age_is_300ms() {
+        // The full 3TS has the same structure as chain_ages... verify via
+        // a replica of its timing.
+        let mut b = Specification::builder();
+        let s1 = b.communicator(comm("s1", 500).from_sensor()).unwrap();
+        let l1 = b.communicator(comm("l1", 100)).unwrap();
+        let u1 = b.communicator(comm("u1", 100)).unwrap();
+        let r1 = b.communicator(comm("r1", 500)).unwrap();
+        b.task(TaskDecl::new("read1").reads(s1, 0).writes(l1, 1)).unwrap();
+        b.task(TaskDecl::new("t1").reads(l1, 1).writes(u1, 3)).unwrap();
+        b.task(
+            TaskDecl::new("estimate1")
+                .reads(l1, 1)
+                .reads(u1, 3)
+                .writes(r1, 1),
+        )
+        .unwrap();
+        let spec = b.build().unwrap();
+        let ages = data_ages(&spec);
+        assert_eq!(ages.age(u1), Some(300));
+        assert_eq!(ages.age(r1), Some(500));
+    }
+}

@@ -1,0 +1,359 @@
+//! Fault injection.
+//!
+//! Hosts are fail-silent: a failed invocation produces no output at all.
+//! [`ProbabilisticFaults`] draws independent per-invocation faults from the
+//! architecture's `hrel`/`srel`/broadcast reliabilities — exactly the
+//! probability space `Pr_I` over which Proposition 1 is stated.
+//! [`UnplugAt`] reproduces the paper's §4 experiment ("we unplugged one of
+//! the two hosts from the network"): from a given instant on, one host
+//! stays silent forever.
+
+use logrel_core::{Architecture, HostId, SensorId, Tick};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Decides, per invocation/reading/broadcast, whether a component works.
+pub trait FaultInjector {
+    /// Does `host` execute its task invocation at `now` correctly?
+    fn host_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool;
+    /// Does `sensor` deliver a reliable reading at `now`?
+    fn sensor_ok(&mut self, sensor: SensorId, now: Tick, rng: &mut StdRng) -> bool;
+    /// Is the atomic broadcast of `host`'s outputs at `now` delivered?
+    fn broadcast_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool;
+    /// May mutate a *delivered* replica's outputs — a non-fail-silent
+    /// host emitting garbage instead of staying quiet. The paper assumes
+    /// this never happens (fail-silence, its ref \[2\]); the default
+    /// implementation honours that.
+    fn corrupt(
+        &mut self,
+        host: HostId,
+        now: Tick,
+        outputs: &mut [logrel_core::Value],
+        rng: &mut StdRng,
+    ) {
+        let _ = (host, now, outputs, rng);
+    }
+}
+
+/// The fault-free injector: everything always works.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn host_ok(&mut self, _host: HostId, _now: Tick, _rng: &mut StdRng) -> bool {
+        true
+    }
+    fn sensor_ok(&mut self, _sensor: SensorId, _now: Tick, _rng: &mut StdRng) -> bool {
+        true
+    }
+    fn broadcast_ok(&mut self, _host: HostId, _now: Tick, _rng: &mut StdRng) -> bool {
+        true
+    }
+}
+
+/// Independent per-invocation transient faults drawn from the
+/// architecture's declared reliabilities.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticFaults {
+    host_rel: Vec<f64>,
+    sensor_rel: Vec<f64>,
+    broadcast_rel: f64,
+}
+
+impl ProbabilisticFaults {
+    /// Derives fault probabilities from `arch`.
+    pub fn from_architecture(arch: &Architecture) -> Self {
+        ProbabilisticFaults {
+            host_rel: arch
+                .host_ids()
+                .map(|h| arch.host(h).reliability().get())
+                .collect(),
+            sensor_rel: arch
+                .sensor_ids()
+                .map(|s| arch.sensor(s).reliability().get())
+                .collect(),
+            broadcast_rel: arch.broadcast_reliability().get(),
+        }
+    }
+}
+
+impl FaultInjector for ProbabilisticFaults {
+    fn host_ok(&mut self, host: HostId, _now: Tick, rng: &mut StdRng) -> bool {
+        rng.gen::<f64>() < self.host_rel[host.index()]
+    }
+    fn sensor_ok(&mut self, sensor: SensorId, _now: Tick, rng: &mut StdRng) -> bool {
+        rng.gen::<f64>() < self.sensor_rel[sensor.index()]
+    }
+    fn broadcast_ok(&mut self, _host: HostId, _now: Tick, rng: &mut StdRng) -> bool {
+        self.broadcast_rel >= 1.0 || rng.gen::<f64>() < self.broadcast_rel
+    }
+}
+
+/// A non-fail-silent fault model: instead of staying quiet, a faulty host
+/// *delivers corrupted values* with probability `corruption` per
+/// invocation (float outputs are replaced by a garbage constant). Used to
+/// test the paper's fail-silence assumption: under `AnyReliable` voting a
+/// single corrupted replica poisons the communicator; `Majority` voting
+/// over ≥3 replicas recovers.
+#[derive(Debug, Clone)]
+pub struct CorruptingFaults {
+    corruption: f64,
+    garbage: f64,
+}
+
+impl CorruptingFaults {
+    /// Corrupts each delivered replica independently with probability
+    /// `corruption`, replacing float outputs by `garbage`.
+    pub fn new(corruption: f64, garbage: f64) -> Self {
+        CorruptingFaults {
+            corruption: corruption.clamp(0.0, 1.0),
+            garbage,
+        }
+    }
+}
+
+impl FaultInjector for CorruptingFaults {
+    fn host_ok(&mut self, _host: HostId, _now: Tick, _rng: &mut StdRng) -> bool {
+        true
+    }
+    fn sensor_ok(&mut self, _sensor: SensorId, _now: Tick, _rng: &mut StdRng) -> bool {
+        true
+    }
+    fn broadcast_ok(&mut self, _host: HostId, _now: Tick, _rng: &mut StdRng) -> bool {
+        true
+    }
+    fn corrupt(
+        &mut self,
+        _host: HostId,
+        _now: Tick,
+        outputs: &mut [logrel_core::Value],
+        rng: &mut StdRng,
+    ) {
+        if rng.gen::<f64>() < self.corruption {
+            for v in outputs.iter_mut() {
+                if matches!(v, logrel_core::Value::Float(_)) {
+                    *v = logrel_core::Value::Float(self.garbage);
+                }
+            }
+        }
+    }
+}
+
+/// Wraps another injector and silences one host permanently from `at` on.
+#[derive(Debug, Clone)]
+pub struct UnplugAt<I> {
+    inner: I,
+    host: HostId,
+    at: Tick,
+}
+
+impl<I> UnplugAt<I> {
+    /// Unplugs `host` at instant `at`, delegating everything else to
+    /// `inner`.
+    pub fn new(inner: I, host: HostId, at: Tick) -> Self {
+        UnplugAt { inner, host, at }
+    }
+}
+
+impl<I: FaultInjector> FaultInjector for UnplugAt<I> {
+    fn host_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
+        if host == self.host && now >= self.at {
+            return false;
+        }
+        self.inner.host_ok(host, now, rng)
+    }
+    fn sensor_ok(&mut self, sensor: SensorId, now: Tick, rng: &mut StdRng) -> bool {
+        self.inner.sensor_ok(sensor, now, rng)
+    }
+    fn broadcast_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
+        if host == self.host && now >= self.at {
+            return false;
+        }
+        self.inner.broadcast_ok(host, now, rng)
+    }
+    fn corrupt(
+        &mut self,
+        host: HostId,
+        now: Tick,
+        outputs: &mut [logrel_core::Value],
+        rng: &mut StdRng,
+    ) {
+        // An unplugged host delivers nothing, so corruption is moot for
+        // it; everything else delegates.
+        if !(host == self.host && now >= self.at) {
+            self.inner.corrupt(host, now, outputs, rng);
+        }
+    }
+}
+
+/// Permanent (crash) faults: at every invocation a still-alive host fails
+/// with its hazard probability and then stays silent forever — the
+/// fail-silent *crash* regime, in contrast to the paper's per-invocation
+/// transient model. Useful for studying how long a replication degree
+/// survives (experiment binaries sweep this).
+#[derive(Debug, Clone)]
+pub struct PermanentFaults {
+    hazard: Vec<f64>,
+    dead: Vec<bool>,
+}
+
+impl PermanentFaults {
+    /// Per-invocation crash hazards, one per host (index = host id).
+    pub fn new(hazard: Vec<f64>) -> Self {
+        let n = hazard.len();
+        PermanentFaults {
+            hazard,
+            dead: vec![false; n],
+        }
+    }
+
+    /// Uses `1 − hrel(h)` as the per-invocation crash hazard of each host.
+    pub fn from_architecture(arch: &Architecture) -> Self {
+        Self::new(
+            arch.host_ids()
+                .map(|h| 1.0 - arch.host(h).reliability().get())
+                .collect(),
+        )
+    }
+
+    /// `true` if `host` has crashed so far.
+    pub fn is_dead(&self, host: HostId) -> bool {
+        self.dead[host.index()]
+    }
+
+    /// Number of hosts still alive.
+    pub fn alive_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+}
+
+impl FaultInjector for PermanentFaults {
+    fn host_ok(&mut self, host: HostId, _now: Tick, rng: &mut StdRng) -> bool {
+        let i = host.index();
+        if self.dead[i] {
+            return false;
+        }
+        if rng.gen::<f64>() < self.hazard[i] {
+            self.dead[i] = true;
+            return false;
+        }
+        true
+    }
+    fn sensor_ok(&mut self, _sensor: SensorId, _now: Tick, _rng: &mut StdRng) -> bool {
+        true
+    }
+    fn broadcast_ok(&mut self, _host: HostId, _now: Tick, _rng: &mut StdRng) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logrel_core::{HostDecl, Reliability, SensorDecl};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn no_faults_is_always_ok() {
+        let mut f = NoFaults;
+        let mut r = rng();
+        assert!(f.host_ok(HostId::new(0), Tick::ZERO, &mut r));
+        assert!(f.sensor_ok(SensorId::new(0), Tick::ZERO, &mut r));
+        assert!(f.broadcast_ok(HostId::new(0), Tick::ZERO, &mut r));
+    }
+
+    #[test]
+    fn probabilistic_faults_match_declared_rates() {
+        let mut ab = logrel_core::Architecture::builder();
+        ab.host(HostDecl::new("h", Reliability::new(0.7).unwrap()))
+            .unwrap();
+        ab.sensor(SensorDecl::new("s", Reliability::new(0.9).unwrap()))
+            .unwrap();
+        let arch = ab.build();
+        let mut f = ProbabilisticFaults::from_architecture(&arch);
+        let mut r = rng();
+        let n = 200_000;
+        let ok = (0..n)
+            .filter(|_| f.host_ok(HostId::new(0), Tick::ZERO, &mut r))
+            .count();
+        let rate = ok as f64 / n as f64;
+        assert!((rate - 0.7).abs() < 0.01, "rate {rate}");
+        let ok_s = (0..n)
+            .filter(|_| f.sensor_ok(SensorId::new(0), Tick::ZERO, &mut r))
+            .count();
+        assert!((ok_s as f64 / n as f64 - 0.9).abs() < 0.01);
+        // Perfect broadcast never consumes randomness or fails.
+        assert!(f.broadcast_ok(HostId::new(0), Tick::ZERO, &mut r));
+    }
+
+    #[test]
+    fn unplug_silences_only_the_target_after_the_instant() {
+        let mut f = UnplugAt::new(NoFaults, HostId::new(1), Tick::new(100));
+        let mut r = rng();
+        assert!(f.host_ok(HostId::new(1), Tick::new(99), &mut r));
+        assert!(!f.host_ok(HostId::new(1), Tick::new(100), &mut r));
+        assert!(!f.host_ok(HostId::new(1), Tick::new(500), &mut r));
+        assert!(!f.broadcast_ok(HostId::new(1), Tick::new(100), &mut r));
+        assert!(f.host_ok(HostId::new(0), Tick::new(500), &mut r));
+        assert!(f.sensor_ok(SensorId::new(0), Tick::new(500), &mut r));
+    }
+
+    #[test]
+    fn permanent_faults_kill_hosts_forever() {
+        let mut f = PermanentFaults::new(vec![0.5, 0.0]);
+        let mut r = rng();
+        assert_eq!(f.alive_count(), 2);
+        // Invoke host 0 until it dies (hazard 0.5: quickly).
+        let mut died_at = None;
+        for k in 0..100 {
+            if !f.host_ok(HostId::new(0), Tick::new(k), &mut r) {
+                died_at = Some(k);
+                break;
+            }
+        }
+        let died_at = died_at.expect("host 0 must crash with hazard 0.5");
+        assert!(f.is_dead(HostId::new(0)));
+        assert_eq!(f.alive_count(), 1);
+        // Dead forever.
+        for k in died_at..died_at + 10 {
+            assert!(!f.host_ok(HostId::new(0), Tick::new(k), &mut r));
+        }
+        // Host 1 (hazard 0) never dies.
+        for k in 0..100 {
+            assert!(f.host_ok(HostId::new(1), Tick::new(k), &mut r));
+        }
+        // Sensors and broadcast are untouched by this injector.
+        assert!(f.sensor_ok(SensorId::new(0), Tick::ZERO, &mut r));
+        assert!(f.broadcast_ok(HostId::new(0), Tick::ZERO, &mut r));
+    }
+
+    #[test]
+    fn permanent_faults_from_architecture() {
+        let mut ab = logrel_core::Architecture::builder();
+        ab.host(HostDecl::new("h", Reliability::new(0.75).unwrap()))
+            .unwrap();
+        let f = PermanentFaults::from_architecture(&ab.build());
+        assert!(!f.is_dead(HostId::new(0)));
+        assert_eq!(f.alive_count(), 1);
+    }
+
+    #[test]
+    fn seeded_rng_makes_injection_deterministic() {
+        let mut ab = logrel_core::Architecture::builder();
+        ab.host(HostDecl::new("h", Reliability::new(0.5).unwrap()))
+            .unwrap();
+        let arch = ab.build();
+        let draw = || {
+            let mut f = ProbabilisticFaults::from_architecture(&arch);
+            let mut r = rng();
+            (0..64)
+                .map(|_| f.host_ok(HostId::new(0), Tick::ZERO, &mut r))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,48 @@
+//! Discrete-event simulation of the distributed runtime.
+//!
+//! The paper's semantics (§2) defines an execution as a sequence of
+//! communicator values at harmonic time instants, produced by replicated
+//! tasks on fail-silent hosts that broadcast their outputs and vote. This
+//! crate executes that semantics directly:
+//!
+//! * [`kernel`] — the deterministic, seeded simulation loop: communicator
+//!   updates (environment sensing, replica voting, value persistence),
+//!   task reads with the three input failure models, replica execution
+//!   with fault injection, and broadcast delivery;
+//! * [`behavior`] — task function registries ([`TaskBehavior`]);
+//! * [`environment`] — the world outside the program: sensor value
+//!   sources and actuator sinks (a closed-loop plant implements this);
+//! * [`fault`] — fault injectors: per-invocation transient faults from the
+//!   architecture's reliabilities, scheduled "unplug" events, and
+//!   compositions;
+//! * [`trace`] — recorded traces, their reliability abstraction ρ and
+//!   limit averages;
+//! * [`emrun`] — cross-validation of the E-machine code generator against
+//!   the kernel's event sequence.
+//!
+//! A key simplification, justified by the paper's assumptions: because the
+//! broadcast is atomic (a lost broadcast reaches *no* host) and all
+//! replicas of a task produce identical outputs, all replications of a
+//! communicator hold identical values at read time — so the kernel keeps
+//! one logical copy per communicator, and per-replica state reduces to
+//! success/failure of each invocation.
+//!
+//! [`TaskBehavior`]: behavior::TaskBehavior
+
+pub mod behavior;
+pub mod cosim;
+pub mod emrun;
+pub mod environment;
+pub mod fault;
+pub mod kernel;
+pub mod trace;
+pub mod voting;
+
+pub use behavior::{BehaviorMap, TaskBehavior};
+pub use environment::{ConstantEnvironment, Environment};
+pub use fault::{
+    CorruptingFaults, FaultInjector, NoFaults, PermanentFaults, ProbabilisticFaults, UnplugAt,
+};
+pub use kernel::{SimConfig, SimOutput, Simulation};
+pub use trace::Trace;
+pub use voting::{vote, VotingStrategy};

@@ -1,0 +1,179 @@
+//! Recorded traces and their reliability abstraction.
+//!
+//! A trace assigns each communicator a sequence of values, one per update
+//! instant (the `X_i` of §2, restricted to instants where `i mod π_c = 0`).
+//! The abstraction ρ maps each value to 1 (reliable) or 0 (⊥); the
+//! limit average of that 0/1 sequence is what an LRC constrains.
+
+use logrel_core::{CommunicatorId, Specification, Tick, Value};
+
+/// A per-communicator record of update instants and values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    rows: Vec<Vec<(Tick, Value)>>,
+}
+
+impl Trace {
+    /// An empty trace for `spec`'s communicators.
+    pub fn new(spec: &Specification) -> Self {
+        Trace {
+            rows: vec![Vec::new(); spec.communicator_count()],
+        }
+    }
+
+    /// Appends an update of `comm` at instant `at`.
+    pub fn record(&mut self, comm: CommunicatorId, at: Tick, value: Value) {
+        self.rows[comm.index()].push((at, value));
+    }
+
+    /// The recorded updates of `comm`, chronological.
+    pub fn values(&self, comm: CommunicatorId) -> &[(Tick, Value)] {
+        &self.rows[comm.index()]
+    }
+
+    /// The reliability abstraction of `comm`'s updates: `true` per
+    /// reliable update.
+    pub fn abstraction(&self, comm: CommunicatorId) -> Vec<bool> {
+        self.rows[comm.index()]
+            .iter()
+            .map(|(_, v)| v.is_reliable())
+            .collect()
+    }
+
+    /// The empirical limit average of `comm`'s abstraction (0 for an empty
+    /// record).
+    pub fn limit_average(&self, comm: CommunicatorId) -> f64 {
+        let row = &self.rows[comm.index()];
+        if row.is_empty() {
+            return 0.0;
+        }
+        row.iter().filter(|(_, v)| v.is_reliable()).count() as f64 / row.len() as f64
+    }
+
+    /// Number of recorded updates of `comm`.
+    pub fn update_count(&self, comm: CommunicatorId) -> usize {
+        self.rows[comm.index()].len()
+    }
+
+    /// Windowed reliability: the fraction of reliable updates in each
+    /// consecutive window of `window` updates (a trailing partial window
+    /// is dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn windowed_average(&self, comm: CommunicatorId, window: usize) -> Vec<f64> {
+        assert!(window > 0, "window must be positive");
+        self.rows[comm.index()]
+            .chunks_exact(window)
+            .map(|chunk| {
+                chunk.iter().filter(|(_, v)| v.is_reliable()).count() as f64 / window as f64
+            })
+            .collect()
+    }
+
+    /// The length of the longest run of consecutive unreliable updates of
+    /// `comm` — the worst outage a consumer observed.
+    pub fn longest_outage(&self, comm: CommunicatorId) -> usize {
+        let mut longest = 0usize;
+        let mut current = 0usize;
+        for (_, v) in &self.rows[comm.index()] {
+            if v.is_reliable() {
+                current = 0;
+            } else {
+                current += 1;
+                longest = longest.max(current);
+            }
+        }
+        longest
+    }
+
+    /// The instant of the first unreliable update of `comm`, if any.
+    pub fn first_failure(&self, comm: CommunicatorId) -> Option<Tick> {
+        self.rows[comm.index()]
+            .iter()
+            .find(|(_, v)| !v.is_reliable())
+            .map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logrel_core::{CommunicatorDecl, TaskDecl, ValueType};
+
+    fn spec() -> Specification {
+        let mut b = Specification::builder();
+        let s = b
+            .communicator(
+                CommunicatorDecl::new("s", ValueType::Float, 10)
+                    .unwrap()
+                    .from_sensor(),
+            )
+            .unwrap();
+        let u = b
+            .communicator(CommunicatorDecl::new("u", ValueType::Float, 10).unwrap())
+            .unwrap();
+        b.task(TaskDecl::new("t").reads(s, 0).writes(u, 1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn record_and_abstract() {
+        let spec = spec();
+        let u = spec.find_communicator("u").unwrap();
+        let mut trace = Trace::new(&spec);
+        trace.record(u, Tick::new(10), Value::Float(1.0));
+        trace.record(u, Tick::new(20), Value::Unreliable);
+        trace.record(u, Tick::new(30), Value::Float(2.0));
+        assert_eq!(trace.update_count(u), 3);
+        assert_eq!(trace.abstraction(u), vec![true, false, true]);
+        assert!((trace.limit_average(u) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(trace.values(u)[1], (Tick::new(20), Value::Unreliable));
+    }
+
+    #[test]
+    fn windowed_average_and_outages() {
+        let spec = spec();
+        let u = spec.find_communicator("u").unwrap();
+        let mut trace = Trace::new(&spec);
+        let pattern = [true, true, false, false, false, true, false, true];
+        for (k, &ok) in pattern.iter().enumerate() {
+            let v = if ok { Value::Float(1.0) } else { Value::Unreliable };
+            trace.record(u, Tick::new(10 * k as u64), v);
+        }
+        assert_eq!(trace.windowed_average(u, 4), vec![0.5, 0.5]);
+        assert_eq!(trace.windowed_average(u, 3), vec![2.0 / 3.0, 1.0 / 3.0]);
+        assert_eq!(trace.longest_outage(u), 3);
+        assert_eq!(trace.first_failure(u), Some(Tick::new(20)));
+    }
+
+    #[test]
+    fn outage_free_trace() {
+        let spec = spec();
+        let u = spec.find_communicator("u").unwrap();
+        let mut trace = Trace::new(&spec);
+        trace.record(u, Tick::new(0), Value::Float(1.0));
+        assert_eq!(trace.longest_outage(u), 0);
+        assert_eq!(trace.first_failure(u), None);
+        assert!(trace.windowed_average(u, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let spec = spec();
+        let u = spec.find_communicator("u").unwrap();
+        Trace::new(&spec).windowed_average(u, 0);
+    }
+
+    #[test]
+    fn empty_rows() {
+        let spec = spec();
+        let s = spec.find_communicator("s").unwrap();
+        let trace = Trace::new(&spec);
+        assert_eq!(trace.update_count(s), 0);
+        assert_eq!(trace.limit_average(s), 0.0);
+        assert!(trace.abstraction(s).is_empty());
+    }
+}

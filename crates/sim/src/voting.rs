@@ -1,0 +1,136 @@
+//! Voting over replica outputs.
+//!
+//! The paper's runtime assumes *fail-silent* hosts: every delivered replica
+//! output is correct, so "if there is at least one non-⊥ value, then the
+//! communicator replication is assigned that value"
+//! ([`VotingStrategy::AnyReliable`]). The paper cites \[2\] for the claim
+//! that fail-silence is achievable at reasonable cost; this module makes
+//! that assumption *testable*: with [`VotingStrategy::Majority`] the
+//! runtime tolerates value-corrupting (non-fail-silent) replicas at the
+//! price of needing a strict majority.
+
+use logrel_core::Value;
+
+/// How a communicator replication decides among received replica outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VotingStrategy {
+    /// Take any delivered value (the paper's fail-silent voting): all
+    /// delivered values are assumed identical and correct.
+    #[default]
+    AnyReliable,
+    /// Per output, take the value delivered by a strict majority of the
+    /// delivering replicas; no strict majority yields ⊥.
+    Majority,
+}
+
+/// Votes over the per-replica delivered outputs (`None` = the replica was
+/// silent). Returns one value per output position; positions that cannot
+/// be decided are ⊥.
+///
+/// # Panics
+///
+/// Panics in debug builds if a delivered output list has a length other
+/// than `arity`.
+pub fn vote(
+    replicas: &[Option<Vec<Value>>],
+    arity: usize,
+    strategy: VotingStrategy,
+) -> Vec<Value> {
+    let delivered: Vec<&Vec<Value>> = replicas.iter().flatten().collect();
+    for d in &delivered {
+        debug_assert_eq!(d.len(), arity, "output arity mismatch");
+    }
+    if delivered.is_empty() {
+        return vec![Value::Unreliable; arity];
+    }
+    match strategy {
+        VotingStrategy::AnyReliable => delivered[0].clone(),
+        VotingStrategy::Majority => (0..arity)
+            .map(|k| {
+                let need = delivered.len() / 2 + 1;
+                for candidate in &delivered {
+                    let v = candidate[k];
+                    let count = delivered.iter().filter(|d| d[k] == v).count();
+                    if count >= need {
+                        return v;
+                    }
+                }
+                Value::Unreliable
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_delivery_is_bottom() {
+        let out = vote(&[None, None], 2, VotingStrategy::AnyReliable);
+        assert_eq!(out, vec![Value::Unreliable, Value::Unreliable]);
+        let out = vote(&[], 1, VotingStrategy::Majority);
+        assert_eq!(out, vec![Value::Unreliable]);
+    }
+
+    #[test]
+    fn any_reliable_takes_the_first_delivery() {
+        let out = vote(
+            &[None, Some(vec![Value::Float(42.0)]), Some(vec![Value::Float(7.0)])],
+            1,
+            VotingStrategy::AnyReliable,
+        );
+        assert_eq!(out, vec![Value::Float(42.0)]);
+    }
+
+    #[test]
+    fn majority_outvotes_a_corrupted_replica() {
+        let out = vote(
+            &[
+                Some(vec![Value::Float(42.0)]),
+                Some(vec![Value::Float(9999.0)]), // corrupted
+                Some(vec![Value::Float(42.0)]),
+            ],
+            1,
+            VotingStrategy::Majority,
+        );
+        assert_eq!(out, vec![Value::Float(42.0)]);
+    }
+
+    #[test]
+    fn majority_with_two_way_split_is_bottom() {
+        let out = vote(
+            &[
+                Some(vec![Value::Float(1.0)]),
+                Some(vec![Value::Float(2.0)]),
+            ],
+            1,
+            VotingStrategy::Majority,
+        );
+        assert_eq!(out, vec![Value::Unreliable]);
+    }
+
+    #[test]
+    fn majority_votes_per_output_position() {
+        let out = vote(
+            &[
+                Some(vec![Value::Float(1.0), Value::Int(7)]),
+                Some(vec![Value::Float(1.0), Value::Int(8)]),
+                Some(vec![Value::Float(2.0), Value::Int(8)]),
+            ],
+            2,
+            VotingStrategy::Majority,
+        );
+        assert_eq!(out, vec![Value::Float(1.0), Value::Int(8)]);
+    }
+
+    #[test]
+    fn single_delivery_is_its_own_majority() {
+        let out = vote(
+            &[Some(vec![Value::Bool(true)]), None],
+            1,
+            VotingStrategy::Majority,
+        );
+        assert_eq!(out, vec![Value::Bool(true)]);
+    }
+}

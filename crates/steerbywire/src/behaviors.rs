@@ -1,0 +1,56 @@
+//! Task behaviours for the runtime simulator.
+
+use crate::control::{filter_hand_wheel, plausibility, steering_command, SteerGains};
+use crate::plant::VehicleParams;
+use crate::system::SteerSystem;
+use logrel_core::Value;
+use logrel_sim::BehaviorMap;
+
+/// Builds the behaviour registry for the three steering tasks.
+pub fn build_behaviors(sys: &SteerSystem, params: &VehicleParams) -> BehaviorMap {
+    let gains: SteerGains = sys.gains;
+    let max_road_wheel = params.max_road_wheel;
+    let mut map = BehaviorMap::new();
+    map.register(sys.ids.filter, move |inputs: &[Value]| {
+        vec![Value::Float(filter_hand_wheel(
+            inputs[0].as_float().unwrap_or(0.0),
+            gains.max_hand_wheel,
+        ))]
+    });
+    map.register(sys.ids.steer, move |inputs: &[Value]| {
+        let hand_wheel = inputs[0].as_float().unwrap_or(0.0);
+        let speed = inputs[1].as_float().unwrap_or(1.0);
+        let yaw = inputs[2].as_float().unwrap_or(0.0);
+        vec![Value::Float(steering_command(
+            hand_wheel, yaw, speed, &gains,
+        ))]
+    });
+    map.register(sys.ids.monitor, move |inputs: &[Value]| {
+        let cmd = inputs[0].as_float().unwrap_or(0.0);
+        vec![Value::Bool(plausibility(cmd, max_road_wheel))]
+    });
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SteerScenario;
+
+    #[test]
+    fn all_tasks_registered_and_sane() {
+        let sys = SteerSystem::new(SteerScenario::SingleEcu, None).unwrap();
+        let mut map = build_behaviors(&sys, &VehicleParams::default());
+        for t in [sys.ids.filter, sys.ids.steer, sys.ids.monitor] {
+            assert!(map.contains(t));
+        }
+        let out = map.invoke(
+            &sys.spec,
+            sys.ids.steer,
+            &[Value::Float(1.6), Value::Float(25.0), Value::Float(0.0)],
+        );
+        assert!((out[0].as_float().unwrap() - 0.1).abs() < 1e-12);
+        let diag = map.invoke(&sys.spec, sys.ids.monitor, &[Value::Float(0.1)]);
+        assert_eq!(diag[0], Value::Bool(true));
+    }
+}

@@ -1,0 +1,213 @@
+//! The steer-by-wire specification, architecture and deployments.
+//!
+//! Timing (one round π_S = 50 ticks, 1 tick = 1 ms):
+//!
+//! | task      | reads                               | writes     | LET      | model    |
+//! |-----------|-------------------------------------|------------|----------|----------|
+//! | `filter`  | `angle[0]` @0                       | `filtered[1]` | [0, 10] | series |
+//! | `steer`   | `filtered[1]`, `speed[0]`, `yaw[1]` | `cmd[3]`   | [10, 30] | series   |
+//! | `monitor` | `cmd[3]` @30                        | `diag[1]`  | [30, 50] | parallel |
+
+use crate::control::SteerGains;
+use logrel_core::{
+    Architecture, CommunicatorDecl, CommunicatorId, CoreError, FailureModel, HostId,
+    Implementation, Reliability, SensorId, Specification, TaskDecl, TaskId, Value, ValueType,
+};
+
+/// Ids of the steer-by-wire entities.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct SteerIds {
+    pub angle: CommunicatorId,
+    pub speed: CommunicatorId,
+    pub yaw: CommunicatorId,
+    pub filtered: CommunicatorId,
+    pub cmd: CommunicatorId,
+    pub diag: CommunicatorId,
+    pub filter: TaskId,
+    pub steer: TaskId,
+    pub monitor: TaskId,
+    pub ecu_a: HostId,
+    pub ecu_b: HostId,
+    pub gateway: HostId,
+    pub hand_wheel: SensorId,
+    pub speed_sensor: SensorId,
+    pub gyro: SensorId,
+}
+
+/// Deployment scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteerScenario {
+    /// The whole control path on one ECU (monitor on the gateway).
+    SingleEcu,
+    /// `filter` and `steer` replicated on both ECUs.
+    ReplicatedEcus,
+}
+
+/// A complete, validated steer-by-wire system.
+#[derive(Debug, Clone)]
+pub struct SteerSystem {
+    /// The specification.
+    pub spec: Specification,
+    /// The architecture.
+    pub arch: Architecture,
+    /// The deployment.
+    pub imp: Implementation,
+    /// All ids.
+    pub ids: SteerIds,
+    /// The scenario.
+    pub scenario: SteerScenario,
+    /// Controller gains used by the behaviours.
+    pub gains: SteerGains,
+}
+
+impl SteerSystem {
+    /// Builds a scenario with the default reliabilities (ECUs 0.997,
+    /// gateway 0.9995) and an optional LRC on the steering command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if `lrc_cmd` is outside `(0, 1]`.
+    pub fn new(scenario: SteerScenario, lrc_cmd: Option<f64>) -> Result<Self, CoreError> {
+        let lrc = lrc_cmd.map(Reliability::new).transpose()?;
+
+        let mut sb = Specification::builder();
+        let fcomm = |n: &str, p: u64| CommunicatorDecl::new(n, ValueType::Float, p);
+        let angle = sb.communicator(fcomm("angle", 10)?.from_sensor())?;
+        let speed = sb.communicator(fcomm("speed", 50)?.from_sensor())?;
+        let yaw = sb.communicator(fcomm("yaw", 10)?.from_sensor())?;
+        let filtered = sb.communicator(fcomm("filtered", 10)?)?;
+        let mut cmd_decl = fcomm("cmd", 10)?;
+        if let Some(m) = lrc {
+            cmd_decl = cmd_decl.with_lrc(m);
+        }
+        let cmd = sb.communicator(cmd_decl)?;
+        let diag = sb.communicator(
+            CommunicatorDecl::new("diag", ValueType::Bool, 50)?
+                .with_init(Value::Bool(true))?,
+        )?;
+
+        let filter = sb.task(TaskDecl::new("filter").reads(angle, 0).writes(filtered, 1))?;
+        let steer = sb.task(
+            TaskDecl::new("steer")
+                .reads(filtered, 1)
+                .reads(speed, 0)
+                .reads(yaw, 1)
+                .writes(cmd, 3),
+        )?;
+        let monitor = sb.task(
+            TaskDecl::new("monitor")
+                .reads(cmd, 3)
+                .writes(diag, 1)
+                .model(FailureModel::Parallel)
+                .default_value(Value::Float(0.0)),
+        )?;
+        let spec = sb.build()?;
+
+        let mut ab = Architecture::builder();
+        let ecu = Reliability::new(0.997)?;
+        let ecu_a = ab.host(logrel_core::HostDecl::new("ecu_a", ecu))?;
+        let ecu_b = ab.host(logrel_core::HostDecl::new("ecu_b", ecu))?;
+        let gateway = ab.host(logrel_core::HostDecl::new("gateway", Reliability::new(0.9995)?))?;
+        let hand_wheel =
+            ab.sensor(logrel_core::SensorDecl::new("hand_wheel", Reliability::new(0.9999)?))?;
+        let speed_sensor = ab.sensor(logrel_core::SensorDecl::new(
+            "speed_sensor",
+            Reliability::new(0.99999)?,
+        ))?;
+        let gyro = ab.sensor(logrel_core::SensorDecl::new("gyro", Reliability::new(0.9995)?))?;
+        ab.wcet_all(filter, 2)?;
+        ab.wctt_all(filter, 1)?;
+        ab.wcet_all(steer, 5)?;
+        ab.wctt_all(steer, 1)?;
+        ab.wcet_all(monitor, 5)?;
+        ab.wctt_all(monitor, 1)?;
+        let arch = ab.build();
+
+        let control_hosts: Vec<HostId> = match scenario {
+            SteerScenario::SingleEcu => vec![ecu_a],
+            SteerScenario::ReplicatedEcus => vec![ecu_a, ecu_b],
+        };
+        let imp = Implementation::builder()
+            .assign(filter, control_hosts.clone())
+            .assign(steer, control_hosts)
+            .assign(monitor, [gateway])
+            .bind_sensor(angle, hand_wheel)
+            .bind_sensor(speed, speed_sensor)
+            .bind_sensor(yaw, gyro)
+            .build(&spec, &arch)?;
+
+        Ok(SteerSystem {
+            spec,
+            arch,
+            imp,
+            ids: SteerIds {
+                angle,
+                speed,
+                yaw,
+                filtered,
+                cmd,
+                diag,
+                filter,
+                steer,
+                monitor,
+                ecu_a,
+                ecu_b,
+                gateway,
+                hand_wheel,
+                speed_sensor,
+                gyro,
+            },
+            scenario,
+            gains: SteerGains::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_is_50ms_and_lets_match() {
+        let sys = SteerSystem::new(SteerScenario::SingleEcu, None).unwrap();
+        assert_eq!(sys.spec.round_period().as_u64(), 50);
+        assert_eq!(sys.spec.read_time(sys.ids.filter).as_u64(), 0);
+        assert_eq!(sys.spec.write_time(sys.ids.filter).as_u64(), 10);
+        assert_eq!(sys.spec.read_time(sys.ids.steer).as_u64(), 10);
+        assert_eq!(sys.spec.write_time(sys.ids.steer).as_u64(), 30);
+        assert_eq!(sys.spec.read_time(sys.ids.monitor).as_u64(), 30);
+        assert_eq!(sys.spec.write_time(sys.ids.monitor).as_u64(), 50);
+    }
+
+    #[test]
+    fn replication_scenario_doubles_the_control_path() {
+        let single = SteerSystem::new(SteerScenario::SingleEcu, None).unwrap();
+        let duo = SteerSystem::new(SteerScenario::ReplicatedEcus, None).unwrap();
+        assert_eq!(single.imp.hosts_of(single.ids.steer).len(), 1);
+        assert_eq!(duo.imp.hosts_of(duo.ids.steer).len(), 2);
+        assert_eq!(duo.imp.hosts_of(duo.ids.monitor).len(), 1);
+    }
+
+    #[test]
+    fn replication_meets_a_strict_command_lrc() {
+        // λ(cmd) single: 0.997² · sensors ≈ 0.9925 < 0.998;
+        // replicated: (1-0.003²)² · sensors ≈ 0.9984 ≥ 0.998.
+        let single = SteerSystem::new(SteerScenario::SingleEcu, Some(0.998)).unwrap();
+        let duo = SteerSystem::new(SteerScenario::ReplicatedEcus, Some(0.998)).unwrap();
+        let v1 = logrel_reliability::check(&single.spec, &single.arch, &single.imp).unwrap();
+        let v2 = logrel_reliability::check(&duo.spec, &duo.arch, &duo.imp).unwrap();
+        assert!(!v1.is_reliable());
+        assert!(v2.is_reliable(), "λ(cmd) = {}", v2.long_run_srg(duo.ids.cmd));
+    }
+
+    #[test]
+    fn both_scenarios_are_schedulable_with_30ms_actuation_age() {
+        for scenario in [SteerScenario::SingleEcu, SteerScenario::ReplicatedEcus] {
+            let sys = SteerSystem::new(scenario, None).unwrap();
+            logrel_sched::analyze(&sys.spec, &sys.arch, &sys.imp).unwrap();
+            let ages = logrel_sched::data_ages(&sys.spec);
+            assert_eq!(ages.age(sys.ids.cmd), Some(30));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The closed-loop environment: plant wired to sensors and pumps.
+
+use crate::plant::{PlantParams, ThreeTankPlant};
+use crate::system::ThreeTankIds;
+use logrel_core::{CommunicatorId, Tick, Value};
+use logrel_sim::Environment;
+
+/// Wires the simulated plant to the program: sensor communicators `s1`,
+/// `s2` sample the tank levels; actuations of `u1`, `u2` set the pump
+/// currents. One logical tick is `dt` seconds of plant time.
+///
+/// The environment keeps a tracking-error log so experiments can compare
+/// control performance across fault conditions.
+#[derive(Debug, Clone)]
+pub struct ThreeTankEnvironment {
+    plant: ThreeTankPlant,
+    ids: ThreeTankIds,
+    dt: f64,
+    last: Tick,
+    /// Optional perturbation: (instant, tank index, tap coefficient).
+    perturbation: Option<(Tick, usize, f64)>,
+    /// (instant, |h1 − ref1|, |h2 − ref2|) sampled at every advance.
+    error_log: Vec<(Tick, f64, f64)>,
+    ref1: f64,
+    ref2: f64,
+}
+
+impl ThreeTankEnvironment {
+    /// Creates the environment. `dt` is the plant-seconds per logical
+    /// tick (the 3TS uses 1 ms ticks, so `dt = 0.001`).
+    pub fn new(params: PlantParams, ids: ThreeTankIds, dt: f64, ref1: f64, ref2: f64) -> Self {
+        ThreeTankEnvironment {
+            plant: ThreeTankPlant::new(params),
+            ids,
+            dt,
+            last: Tick::ZERO,
+            perturbation: None,
+            error_log: Vec::new(),
+            ref1,
+            ref2,
+        }
+    }
+
+    /// Schedules a tap opening at `at` on `tank` (0-based) with the given
+    /// coefficient.
+    pub fn perturb_at(&mut self, at: Tick, tank: usize, coefficient: f64) -> &mut Self {
+        self.perturbation = Some((at, tank, coefficient));
+        self
+    }
+
+    /// The plant (for inspection).
+    pub fn plant(&self) -> &ThreeTankPlant {
+        &self.plant
+    }
+
+    /// The tracking-error log.
+    pub fn error_log(&self) -> &[(Tick, f64, f64)] {
+        &self.error_log
+    }
+
+    /// Mean absolute tracking error of both tanks over instants at or
+    /// after `from` (0 if nothing is logged there yet).
+    pub fn mean_error_since(&self, from: Tick) -> f64 {
+        let entries: Vec<f64> = self
+            .error_log
+            .iter()
+            .filter(|(t, _, _)| *t >= from)
+            .map(|(_, e1, e2)| (e1 + e2) / 2.0)
+            .collect();
+        if entries.is_empty() {
+            0.0
+        } else {
+            entries.iter().sum::<f64>() / entries.len() as f64
+        }
+    }
+}
+
+impl Environment for ThreeTankEnvironment {
+    fn advance(&mut self, now: Tick) {
+        if let Some((at, tank, coeff)) = self.perturbation {
+            if now >= at {
+                self.plant.set_tap(tank, coeff);
+                self.perturbation = None;
+            }
+        }
+        let steps = now - self.last;
+        for _ in 0..steps {
+            self.plant.step(self.dt);
+        }
+        self.last = now;
+        let s = self.plant.state();
+        self.error_log
+            .push((now, (s.h1 - self.ref1).abs(), (s.h2 - self.ref2).abs()));
+    }
+
+    fn sense(&mut self, comm: CommunicatorId, _now: Tick) -> Value {
+        let s = self.plant.state();
+        if comm == self.ids.s1 {
+            Value::Float(s.h1)
+        } else if comm == self.ids.s2 {
+            Value::Float(s.h2)
+        } else {
+            Value::Unreliable
+        }
+    }
+
+    fn actuate(&mut self, comm: CommunicatorId, value: Value, _now: Tick) {
+        let Some(v) = value.as_float() else {
+            // ⊥ on an actuator: the pump keeps its last current (a real
+            // actuator holds its input when no update arrives).
+            return;
+        };
+        let (u1, u2) = self.plant.pump_currents();
+        if comm == self.ids.u1 {
+            self.plant.set_pump_currents(v, u2);
+        } else if comm == self.ids.u2 {
+            self.plant.set_pump_currents(u1, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{Scenario, ThreeTankSystem};
+
+    fn env() -> ThreeTankEnvironment {
+        let sys = ThreeTankSystem::new(Scenario::Baseline);
+        ThreeTankEnvironment::new(PlantParams::default(), sys.ids, 0.001, 0.2, 0.1)
+    }
+
+    #[test]
+    fn advance_integrates_and_logs() {
+        let mut e = env();
+        e.advance(Tick::new(100));
+        e.advance(Tick::new(200));
+        assert_eq!(e.error_log().len(), 2);
+        assert!(e.mean_error_since(Tick::ZERO) > 0.0);
+    }
+
+    #[test]
+    fn sense_reports_levels() {
+        let mut e = env();
+        let ids = e.ids;
+        let v = e.sense(ids.s1, Tick::ZERO);
+        assert_eq!(v, Value::Float(0.0));
+        assert_eq!(e.sense(ids.l1, Tick::ZERO), Value::Unreliable);
+    }
+
+    #[test]
+    fn actuate_drives_the_pumps() {
+        let mut e = env();
+        let ids = e.ids;
+        e.actuate(ids.u1, Value::Float(1.0), Tick::ZERO);
+        e.advance(Tick::new(5000));
+        assert!(e.plant().state().h1 > 0.0);
+    }
+
+    #[test]
+    fn bottom_actuation_holds_last_value() {
+        let mut e = env();
+        let ids = e.ids;
+        e.actuate(ids.u1, Value::Float(1.0), Tick::ZERO);
+        e.actuate(ids.u1, Value::Unreliable, Tick::ZERO);
+        e.advance(Tick::new(5000));
+        assert!(e.plant().state().h1 > 0.0, "pump kept running on ⊥");
+    }
+
+    #[test]
+    fn perturbation_fires_once() {
+        let mut e = env();
+        e.perturb_at(Tick::new(50), 0, 0.7);
+        e.advance(Tick::new(100));
+        assert_eq!(e.plant().params().taps[0], 0.7);
+    }
+
+    #[test]
+    fn mean_error_since_filters_by_time() {
+        let mut e = env();
+        e.advance(Tick::new(10));
+        e.advance(Tick::new(20));
+        assert_eq!(e.mean_error_since(Tick::new(1000)), 0.0);
+    }
+}

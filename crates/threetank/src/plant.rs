@@ -1,0 +1,262 @@
+//! The coupled three-tank plant.
+//!
+//! Standard laboratory 3TS dynamics (Amira DTS200-style): three tanks of
+//! equal cross-section; tank 3 sits between tanks 1 and 2; inter-tank and
+//! evacuation flows follow Torricelli's law
+//! `q = a · S · sign(Δh) · sqrt(2 g |Δh|)`. Pumps feed tanks 1 and 2 with
+//! flows proportional to their (saturated) motor currents. Integrated with
+//! classical fourth-order Runge–Kutta.
+
+/// Physical parameters of the plant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlantParams {
+    /// Tank cross-section (m²).
+    pub tank_area: f64,
+    /// Connecting-pipe cross-section (m²).
+    pub pipe_area: f64,
+    /// Outflow coefficient tank1 ↔ tank3.
+    pub az13: f64,
+    /// Outflow coefficient tank3 ↔ tank2.
+    pub az32: f64,
+    /// Outflow coefficient of tank2's nominal evacuation to the reservoir.
+    pub az20: f64,
+    /// Evacuation-tap coefficients of tanks 1..3 (0 = closed).
+    pub taps: [f64; 3],
+    /// Maximal pump flow (m³/s) at motor current 1.0.
+    pub pump_max_flow: f64,
+    /// Gravitational acceleration (m/s²).
+    pub gravity: f64,
+}
+
+impl Default for PlantParams {
+    fn default() -> Self {
+        PlantParams {
+            tank_area: 0.0154,
+            pipe_area: 5.0e-5,
+            az13: 0.46,
+            az32: 0.48,
+            az20: 0.58,
+            taps: [0.0, 0.0, 0.0],
+            pump_max_flow: 1.0e-4,
+            gravity: 9.81,
+        }
+    }
+}
+
+/// Water levels of the three tanks (m).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlantState {
+    /// Level of tank 1.
+    pub h1: f64,
+    /// Level of tank 2.
+    pub h2: f64,
+    /// Level of tank 3.
+    pub h3: f64,
+}
+
+/// The simulated plant.
+///
+/// # Example
+///
+/// ```
+/// use logrel_threetank::{PlantParams, ThreeTankPlant};
+///
+/// let mut plant = ThreeTankPlant::new(PlantParams::default());
+/// plant.set_pump_currents(0.8, 0.6);
+/// for _ in 0..10_000 {
+///     plant.step(0.001); // 10 s of simulated time
+/// }
+/// assert!(plant.state().h1 > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreeTankPlant {
+    params: PlantParams,
+    state: PlantState,
+    /// Saturated motor currents in `[0, 1]`.
+    u1: f64,
+    u2: f64,
+}
+
+impl ThreeTankPlant {
+    /// An empty plant (all levels zero, pumps off).
+    pub fn new(params: PlantParams) -> Self {
+        ThreeTankPlant {
+            params,
+            state: PlantState::default(),
+            u1: 0.0,
+            u2: 0.0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> PlantState {
+        self.state
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &PlantParams {
+        &self.params
+    }
+
+    /// Sets the pump motor currents (saturated into `[0, 1]`).
+    pub fn set_pump_currents(&mut self, u1: f64, u2: f64) {
+        self.u1 = u1.clamp(0.0, 1.0);
+        self.u2 = u2.clamp(0.0, 1.0);
+    }
+
+    /// The current (saturated) pump motor currents `(u1, u2)`.
+    pub fn pump_currents(&self) -> (f64, f64) {
+        (self.u1, self.u2)
+    }
+
+    /// Opens or closes an evacuation tap (`tank` in `0..3`); used to
+    /// inject plant perturbations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tank >= 3`.
+    pub fn set_tap(&mut self, tank: usize, coefficient: f64) {
+        self.params.taps[tank] = coefficient.max(0.0);
+    }
+
+    /// Torricelli flow through an orifice with coefficient `az` under head
+    /// difference `dh` (signed).
+    fn torricelli(&self, az: f64, dh: f64) -> f64 {
+        az * self.params.pipe_area * dh.signum() * (2.0 * self.params.gravity * dh.abs()).sqrt()
+    }
+
+    /// The level derivatives at state `s`.
+    fn derivatives(&self, s: PlantState) -> [f64; 3] {
+        let p = &self.params;
+        let q13 = self.torricelli(p.az13, s.h1 - s.h3);
+        let q32 = self.torricelli(p.az32, s.h3 - s.h2);
+        let q20 = self.torricelli(p.az20, s.h2);
+        let leak1 = self.torricelli(p.taps[0], s.h1);
+        let leak2 = self.torricelli(p.taps[1], s.h2);
+        let leak3 = self.torricelli(p.taps[2], s.h3);
+        let q1 = self.u1 * p.pump_max_flow;
+        let q2 = self.u2 * p.pump_max_flow;
+        [
+            (q1 - q13 - leak1) / p.tank_area,
+            (q2 + q32 - q20 - leak2) / p.tank_area,
+            (q13 - q32 - leak3) / p.tank_area,
+        ]
+    }
+
+    /// Advances the plant by `dt` seconds with one RK4 step; levels are
+    /// clamped at zero (tanks cannot be negative).
+    pub fn step(&mut self, dt: f64) {
+        let s = self.state;
+        let add = |s: PlantState, k: [f64; 3], f: f64| PlantState {
+            h1: s.h1 + f * k[0],
+            h2: s.h2 + f * k[1],
+            h3: s.h3 + f * k[2],
+        };
+        let k1 = self.derivatives(s);
+        let k2 = self.derivatives(add(s, k1, dt / 2.0));
+        let k3 = self.derivatives(add(s, k2, dt / 2.0));
+        let k4 = self.derivatives(add(s, k3, dt));
+        self.state = PlantState {
+            h1: (s.h1 + dt / 6.0 * (k1[0] + 2.0 * k2[0] + 2.0 * k3[0] + k4[0])).max(0.0),
+            h2: (s.h2 + dt / 6.0 * (k1[1] + 2.0 * k2[1] + 2.0 * k3[1] + k4[1])).max(0.0),
+            h3: (s.h3 + dt / 6.0 * (k1[2] + 2.0 * k2[2] + 2.0 * k3[2] + k4[2])).max(0.0),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(plant: &mut ThreeTankPlant, seconds: f64) {
+        let steps = (seconds / 0.001) as usize;
+        for _ in 0..steps {
+            plant.step(0.001);
+        }
+    }
+
+    #[test]
+    fn pumping_raises_levels() {
+        let mut plant = ThreeTankPlant::new(PlantParams::default());
+        plant.set_pump_currents(1.0, 1.0);
+        run(&mut plant, 20.0);
+        let s = plant.state();
+        assert!(s.h1 > 0.05, "h1 = {}", s.h1);
+        assert!(s.h2 > 0.0);
+    }
+
+    #[test]
+    fn water_flows_downhill_into_tank3() {
+        let mut plant = ThreeTankPlant::new(PlantParams::default());
+        plant.set_pump_currents(1.0, 0.0);
+        run(&mut plant, 30.0);
+        let s = plant.state();
+        assert!(s.h1 > s.h3, "coupling should keep h1 above h3");
+        assert!(s.h3 > 0.0, "tank3 receives water from tank1");
+    }
+
+    #[test]
+    fn pumps_off_drains_through_evacuation() {
+        let mut plant = ThreeTankPlant::new(PlantParams::default());
+        plant.set_pump_currents(1.0, 1.0);
+        run(&mut plant, 30.0);
+        let before = plant.state().h2;
+        plant.set_pump_currents(0.0, 0.0);
+        run(&mut plant, 60.0);
+        assert!(plant.state().h2 < before);
+    }
+
+    #[test]
+    fn levels_never_go_negative() {
+        let mut plant = ThreeTankPlant::new(PlantParams::default());
+        plant.set_tap(0, 1.0);
+        plant.set_tap(1, 1.0);
+        plant.set_tap(2, 1.0);
+        run(&mut plant, 60.0);
+        let s = plant.state();
+        assert!(s.h1 >= 0.0 && s.h2 >= 0.0 && s.h3 >= 0.0);
+    }
+
+    #[test]
+    fn steady_state_is_reached_under_constant_input() {
+        let mut plant = ThreeTankPlant::new(PlantParams::default());
+        plant.set_pump_currents(0.2, 0.2);
+        // RK4 is stable at coarser steps; use 10 ms to cover 3000 s fast.
+        for _ in 0..300_000 {
+            plant.step(0.01);
+        }
+        let a = plant.state();
+        for _ in 0..10_000 {
+            plant.step(0.01);
+        }
+        let b = plant.state();
+        assert!(
+            (a.h1 - b.h1).abs() < 2e-3,
+            "h1 not settled: {} vs {}",
+            a.h1,
+            b.h1
+        );
+        assert!((a.h2 - b.h2).abs() < 2e-3);
+    }
+
+    #[test]
+    fn opening_a_tap_perturbs_the_level() {
+        let mut plant = ThreeTankPlant::new(PlantParams::default());
+        plant.set_pump_currents(0.5, 0.5);
+        run(&mut plant, 200.0);
+        let nominal = plant.state().h1;
+        plant.set_tap(0, 0.6);
+        run(&mut plant, 100.0);
+        assert!(plant.state().h1 < nominal - 0.005);
+    }
+
+    #[test]
+    fn pump_currents_saturate() {
+        let mut plant = ThreeTankPlant::new(PlantParams::default());
+        plant.set_pump_currents(7.0, -3.0);
+        run(&mut plant, 5.0);
+        // u2 saturated to 0: tank2 only receives via tank3, slowly.
+        let s = plant.state();
+        assert!(s.h1 > s.h2);
+    }
+}

@@ -1,0 +1,305 @@
+//! The Fig. 2 specification, architecture and the paper's three mappings.
+//!
+//! Timing (one round π_S = 500 ticks, 1 tick = 1 ms):
+//!
+//! | task        | reads                | writes     | LET        | model    |
+//! |-------------|----------------------|------------|------------|----------|
+//! | `read1/2`   | `s1/2[0]` @0         | `l1/2[1]`  | [0, 100]   | parallel |
+//! | `t1/2`      | `l1/2[1]` @100       | `u1/2[3]`  | [100, 300] | series   |
+//! | `estimate1/2` | `l[1]`@100, `u[3]`@300 | `r1/2[1]` | [300, 500] | series |
+//!
+//! which matches the paper's reported SRGs: `λ_l = λ_read · λ_s` and
+//! `λ_u = λ_t · λ_l`.
+
+use crate::control::ControlGains;
+use logrel_core::{
+    Architecture, CommunicatorDecl, CommunicatorId, CoreError, FailureModel, HostId,
+    Implementation, Reliability, SensorId, Specification, TaskDecl, TaskId, Value, ValueType,
+};
+
+/// Ids of every communicator and task of the 3TS program.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct ThreeTankIds {
+    pub s1: CommunicatorId,
+    pub s2: CommunicatorId,
+    pub l1: CommunicatorId,
+    pub l2: CommunicatorId,
+    pub u1: CommunicatorId,
+    pub u2: CommunicatorId,
+    pub r1: CommunicatorId,
+    pub r2: CommunicatorId,
+    pub read1: TaskId,
+    pub read2: TaskId,
+    pub t1: TaskId,
+    pub t2: TaskId,
+    pub estimate1: TaskId,
+    pub estimate2: TaskId,
+    pub h1: HostId,
+    pub h2: HostId,
+    pub h3: HostId,
+    pub sen1a: SensorId,
+    pub sen1b: SensorId,
+    pub sen2a: SensorId,
+    pub sen2b: SensorId,
+}
+
+/// The three deployment scenarios of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// t1 → h1, t2 → h2, the rest → h3; one sensor per tank.
+    Baseline,
+    /// Scenario 1: t1 and t2 replicated on {h1, h2}.
+    ReplicatedControllers,
+    /// Scenario 2: two sensors per tank (read tasks are model-2).
+    ReplicatedSensors,
+}
+
+/// A complete, validated 3TS system.
+#[derive(Debug, Clone)]
+pub struct ThreeTankSystem {
+    /// The Fig. 2 specification.
+    pub spec: Specification,
+    /// The three-host architecture.
+    pub arch: Architecture,
+    /// The scenario's replication mapping.
+    pub imp: Implementation,
+    /// All ids.
+    pub ids: ThreeTankIds,
+    /// The scenario this system realises.
+    pub scenario: Scenario,
+    /// Control gains used by the behaviours.
+    pub gains: ControlGains,
+}
+
+impl ThreeTankSystem {
+    /// Builds a scenario with the reconstructed paper constants: host and
+    /// sensor reliability 0.999 and no LRCs declared.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the fixed constants used here.
+    pub fn new(scenario: Scenario) -> Self {
+        Self::with_options(scenario, 0.999, None).expect("fixed constants are valid")
+    }
+
+    /// Builds a scenario with explicit host/sensor reliability and an
+    /// optional LRC on `u1`/`u2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if `host_reliability` or `lrc_u` is outside
+    /// `(0, 1]`.
+    pub fn with_options(
+        scenario: Scenario,
+        host_reliability: f64,
+        lrc_u: Option<f64>,
+    ) -> Result<Self, CoreError> {
+        let rel = Reliability::new(host_reliability)?;
+        let lrc = lrc_u.map(Reliability::new).transpose()?;
+
+        // ---- specification -------------------------------------------
+        let mut sb = Specification::builder();
+        let comm = |name: &str, period: u64| CommunicatorDecl::new(name, ValueType::Float, period);
+        let s1 = sb.communicator(comm("s1", 500)?.from_sensor())?;
+        let s2 = sb.communicator(comm("s2", 500)?.from_sensor())?;
+        let l1 = sb.communicator(comm("l1", 100)?)?;
+        let l2 = sb.communicator(comm("l2", 100)?)?;
+        let mut u1d = comm("u1", 100)?;
+        let mut u2d = comm("u2", 100)?;
+        if let Some(m) = lrc {
+            u1d = u1d.with_lrc(m);
+            u2d = u2d.with_lrc(m);
+        }
+        let u1 = sb.communicator(u1d)?;
+        let u2 = sb.communicator(u2d)?;
+        let r1 = sb.communicator(comm("r1", 500)?)?;
+        let r2 = sb.communicator(comm("r2", 500)?)?;
+
+        let read = |name: &str, s, l| {
+            TaskDecl::new(name)
+                .reads(s, 0)
+                .writes(l, 1)
+                .model(FailureModel::Parallel)
+                .default_value(Value::Float(0.0))
+        };
+        let read1 = sb.task(read("read1", s1, l1))?;
+        let read2 = sb.task(read("read2", s2, l2))?;
+        let t1 = sb.task(TaskDecl::new("t1").reads(l1, 1).writes(u1, 3))?;
+        let t2 = sb.task(TaskDecl::new("t2").reads(l2, 1).writes(u2, 3))?;
+        let estimate1 =
+            sb.task(TaskDecl::new("estimate1").reads(l1, 1).reads(u1, 3).writes(r1, 1))?;
+        let estimate2 =
+            sb.task(TaskDecl::new("estimate2").reads(l2, 1).reads(u2, 3).writes(r2, 1))?;
+        let spec = sb.build()?;
+
+        // ---- architecture --------------------------------------------
+        let mut ab = Architecture::builder();
+        let h1 = ab.host(logrel_core::HostDecl::new("h1", rel))?;
+        let h2 = ab.host(logrel_core::HostDecl::new("h2", rel))?;
+        let h3 = ab.host(logrel_core::HostDecl::new("h3", rel))?;
+        let sen1a = ab.sensor(logrel_core::SensorDecl::new("sen1a", rel))?;
+        let sen1b = ab.sensor(logrel_core::SensorDecl::new("sen1b", rel))?;
+        let sen2a = ab.sensor(logrel_core::SensorDecl::new("sen2a", rel))?;
+        let sen2b = ab.sensor(logrel_core::SensorDecl::new("sen2b", rel))?;
+        for t in [read1, read2] {
+            ab.wcet_all(t, 5)?;
+            ab.wctt_all(t, 2)?;
+        }
+        for t in [t1, t2, estimate1, estimate2] {
+            ab.wcet_all(t, 10)?;
+            ab.wctt_all(t, 2)?;
+        }
+        let arch = ab.build();
+
+        // ---- implementation ------------------------------------------
+        let mut ib = Implementation::builder()
+            .assign(read1, [h3])
+            .assign(read2, [h3])
+            .assign(estimate1, [h3])
+            .assign(estimate2, [h3])
+            .bind_sensor(s1, sen1a)
+            .bind_sensor(s2, sen2a);
+        match scenario {
+            Scenario::Baseline => {
+                ib = ib.assign(t1, [h1]).assign(t2, [h2]);
+            }
+            Scenario::ReplicatedControllers => {
+                ib = ib.assign(t1, [h1, h2]).assign(t2, [h1, h2]);
+            }
+            Scenario::ReplicatedSensors => {
+                ib = ib
+                    .assign(t1, [h1])
+                    .assign(t2, [h2])
+                    .bind_sensor(s1, sen1b)
+                    .bind_sensor(s2, sen2b);
+            }
+        }
+        let imp = ib.build(&spec, &arch)?;
+
+        Ok(ThreeTankSystem {
+            spec,
+            arch,
+            imp,
+            ids: ThreeTankIds {
+                s1,
+                s2,
+                l1,
+                l2,
+                u1,
+                u2,
+                r1,
+                r2,
+                read1,
+                read2,
+                t1,
+                t2,
+                estimate1,
+                estimate2,
+                h1,
+                h2,
+                h3,
+                sen1a,
+                sen1b,
+                sen2a,
+                sen2b,
+            },
+            scenario,
+            gains: ControlGains::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_period_is_500() {
+        let sys = ThreeTankSystem::new(Scenario::Baseline);
+        assert_eq!(sys.spec.round_period().as_u64(), 500);
+    }
+
+    #[test]
+    fn lets_match_the_figure() {
+        let sys = ThreeTankSystem::new(Scenario::Baseline);
+        assert_eq!(sys.spec.read_time(sys.ids.read1).as_u64(), 0);
+        assert_eq!(sys.spec.write_time(sys.ids.read1).as_u64(), 100);
+        assert_eq!(sys.spec.read_time(sys.ids.t1).as_u64(), 100);
+        assert_eq!(sys.spec.write_time(sys.ids.t1).as_u64(), 300);
+        assert_eq!(sys.spec.read_time(sys.ids.estimate1).as_u64(), 300);
+        assert_eq!(sys.spec.write_time(sys.ids.estimate1).as_u64(), 500);
+    }
+
+    #[test]
+    fn baseline_mapping_matches_the_paper() {
+        let sys = ThreeTankSystem::new(Scenario::Baseline);
+        assert_eq!(
+            sys.imp.hosts_of(sys.ids.t1).iter().copied().collect::<Vec<_>>(),
+            vec![sys.ids.h1]
+        );
+        assert_eq!(
+            sys.imp.hosts_of(sys.ids.t2).iter().copied().collect::<Vec<_>>(),
+            vec![sys.ids.h2]
+        );
+        for t in [sys.ids.read1, sys.ids.read2, sys.ids.estimate1, sys.ids.estimate2] {
+            assert_eq!(
+                sys.imp.hosts_of(t).iter().copied().collect::<Vec<_>>(),
+                vec![sys.ids.h3]
+            );
+        }
+        assert_eq!(sys.imp.sensors_of(sys.ids.s1).len(), 1);
+    }
+
+    #[test]
+    fn scenario1_replicates_controllers() {
+        let sys = ThreeTankSystem::new(Scenario::ReplicatedControllers);
+        assert_eq!(sys.imp.hosts_of(sys.ids.t1).len(), 2);
+        assert_eq!(sys.imp.hosts_of(sys.ids.t2).len(), 2);
+        assert_eq!(sys.imp.sensors_of(sys.ids.s1).len(), 1);
+    }
+
+    #[test]
+    fn scenario2_replicates_sensors() {
+        let sys = ThreeTankSystem::new(Scenario::ReplicatedSensors);
+        assert_eq!(sys.imp.hosts_of(sys.ids.t1).len(), 1);
+        assert_eq!(sys.imp.sensors_of(sys.ids.s1).len(), 2);
+        assert_eq!(sys.imp.sensors_of(sys.ids.s2).len(), 2);
+    }
+
+    #[test]
+    fn the_spec_is_memory_free() {
+        let sys = ThreeTankSystem::new(Scenario::Baseline);
+        let g = logrel_core::graph::SpecGraph::new(&sys.spec);
+        assert!(g.communicator_cycles().is_memory_free());
+    }
+
+    #[test]
+    fn lrc_option_is_applied() {
+        let sys =
+            ThreeTankSystem::with_options(Scenario::Baseline, 0.999, Some(0.99)).unwrap();
+        assert_eq!(
+            sys.spec.communicator(sys.ids.u1).lrc().unwrap().get(),
+            0.99
+        );
+        assert!(sys.spec.communicator(sys.ids.l1).lrc().is_none());
+        assert!(ThreeTankSystem::with_options(Scenario::Baseline, 1.5, None).is_err());
+    }
+
+    #[test]
+    fn failure_models_match_the_paper() {
+        let sys = ThreeTankSystem::new(Scenario::Baseline);
+        assert_eq!(
+            sys.spec.task(sys.ids.read1).failure_model(),
+            FailureModel::Parallel
+        );
+        assert_eq!(
+            sys.spec.task(sys.ids.t1).failure_model(),
+            FailureModel::Series
+        );
+        assert_eq!(
+            sys.spec.task(sys.ids.estimate1).failure_model(),
+            FailureModel::Series
+        );
+    }
+}

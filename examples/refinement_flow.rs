@@ -1,0 +1,76 @@
+//! Incremental design by refinement (§3, Proposition 2): analyse an
+//! abstract system once, then check only the cheap local refinement
+//! constraints for each design step.
+//!
+//! Run with: `cargo run --example refinement_flow`
+
+use logrel::core::prelude::*;
+use logrel::refine::{check_refinement, incremental_validate, validate, Kappa, SystemRef};
+
+struct Sys {
+    spec: Specification,
+    arch: Architecture,
+    imp: Implementation,
+}
+
+impl Sys {
+    fn as_ref(&self) -> SystemRef<'_> {
+        SystemRef::new(&self.spec, &self.arch, &self.imp)
+    }
+}
+
+/// One controller task with a parameterised LET, WCET and LRC.
+fn build(read_i: u64, write_i: u64, wcet: u64, lrc: f64) -> Result<Sys, CoreError> {
+    let mut sb = Specification::builder();
+    let s = sb.communicator(CommunicatorDecl::new("s", ValueType::Float, 10)?.from_sensor())?;
+    let u = sb.communicator(
+        CommunicatorDecl::new("u", ValueType::Float, 10)?.with_lrc(Reliability::new(lrc)?),
+    )?;
+    let ctrl = sb.task(TaskDecl::new("ctrl").reads(s, read_i).writes(u, write_i))?;
+    let spec = sb.build()?;
+    let mut ab = Architecture::builder();
+    let h1 = ab.host(HostDecl::new("h1", Reliability::new(0.999)?))?;
+    let h2 = ab.host(HostDecl::new("h2", Reliability::new(0.999)?))?;
+    let sen = ab.sensor(SensorDecl::new("sen", Reliability::new(0.9999)?))?;
+    ab.wcet(ctrl, h1, wcet)?.wcet(ctrl, h2, wcet)?;
+    ab.wctt(ctrl, h1, 2)?.wctt(ctrl, h2, 2)?;
+    let arch = ab.build();
+    let imp = Implementation::builder()
+        .assign(ctrl, [h1, h2])
+        .bind_sensor(s, sen)
+        .build(&spec, &arch)?;
+    Ok(Sys { spec, arch, imp })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 0 — requirements model: generous LET [0, 50], WCET budget 30,
+    // strong LRC 0.999.
+    let requirements = build(0, 5, 30, 0.999)?;
+    let cert = validate(requirements.as_ref())?;
+    println!("requirements model validated once (round {} ticks)", cert.schedule.round());
+
+    // Step 1 — tighten the timing: LET [10, 40], measured WCET 18.
+    let step1 = build(1, 4, 18, 0.999)?;
+    let k1 = Kappa::by_name(&step1.spec, &requirements.spec);
+    incremental_validate(step1.as_ref(), requirements.as_ref(), &k1, &cert)?;
+    println!("step 1 (tighter LET, smaller WCET): valid by Proposition 2, no re-analysis");
+
+    // Step 2 — final implementation model: LET [20, 30], WCET 7, and a
+    // relaxed LRC on a monitoring output (0.99 ≤ 0.999: allowed).
+    let step2 = build(2, 3, 7, 0.99)?;
+    let k2 = Kappa::by_name(&step2.spec, &step1.spec);
+    check_refinement(step2.as_ref(), step1.as_ref(), &k2)?;
+    // Transitivity: step2 also refines the requirements directly.
+    let k20 = Kappa::by_name(&step2.spec, &requirements.spec);
+    incremental_validate(step2.as_ref(), requirements.as_ref(), &k20, &cert)?;
+    println!("step 2 (final timing): valid by transitivity of refinement");
+
+    // A broken step: enlarging the LET is caught immediately.
+    let broken = build(0, 5, 7, 0.99)?;
+    let kb = Kappa::by_name(&broken.spec, &step2.spec);
+    match check_refinement(broken.as_ref(), step2.as_ref(), &kb) {
+        Err(e) => println!("\nbroken step rejected as expected:\n  {e}"),
+        Ok(()) => unreachable!("a wider LET must not refine a tighter one"),
+    }
+    Ok(())
+}

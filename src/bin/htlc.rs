@@ -1,0 +1,252 @@
+//! `htlc` — the logrel command-line compiler and analysis driver.
+//!
+//! ```text
+//! htlc check <file>                  parse, elaborate and run the joint
+//!                                    schedulability/reliability analysis
+//! htlc fmt <file>                    pretty-print the program
+//! htlc graph <file>                  emit the specification graph as DOT
+//! htlc ecode <file> <host>           disassemble one host's E-code
+//! htlc importance <file> <comm>      rank components by Birnbaum importance
+//! htlc simulate <file> [rounds [seed]]  fault-injected simulation summary
+//! htlc refine <refining> <refined>   check the refinement relation (κ by
+//!                                    task name)
+//! ```
+
+use logrel::lang::{compile, elaborate_file, parse, parse_file, print_program};
+use logrel::refine::{check_refinement, validate, Kappa, SystemRef};
+use logrel::reliability::architecture_importance;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("htlc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: htlc <check|fmt|graph|ecode|importance|simulate|refine> <args>\n\
+                 run `htlc help` for details";
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "help" | "--help" | "-h" => {
+            println!(
+                "htlc — logical-reliability compiler\n\n\
+                 htlc check <file>                 joint analysis with SRG table\n\
+                 htlc check-file <file>            multi-program file with declared refinements\n\
+                 htlc fmt <file>                   pretty-print\n\
+                 htlc graph <file>                 specification graph (DOT)\n\
+                 htlc ecode <file> <host>          E-code disassembly\n\
+                 htlc latency <file>               worst-case data ages\n\
+                 htlc importance <file> <comm>     component importance ranking\n\
+                 htlc simulate <file> [rounds [seed]]  fault-injected run\n\
+                 htlc refine <refining> <refined>  refinement check"
+            );
+            Ok(())
+        }
+        "check" => {
+            let path = args.get(1).ok_or(usage)?;
+            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            println!(
+                "program `{}`: {} communicators, {} tasks, round {}",
+                sys.name,
+                sys.spec.communicator_count(),
+                sys.spec.task_count(),
+                sys.spec.round_period()
+            );
+            match validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp)) {
+                Ok(cert) => {
+                    println!("VALID: schedulable and reliable\n");
+                    println!("{}", cert.verdict.static_report().render(&sys.spec));
+                    println!(
+                        "{}",
+                        cert.schedule.gantt(
+                            |t| sys.spec.task(t).name().to_owned(),
+                            |h| sys.arch.host(h).name().to_owned(),
+                        )
+                    );
+                    Ok(())
+                }
+                Err(e) => Err(format!("INVALID: {e}")),
+            }
+        }
+        "check-file" => {
+            // Multi-program file: validate the refinement roots fully, then
+            // check each declared refinement and inherit validity (Prop 2).
+            let path = args.get(1).ok_or(usage)?;
+            let file = parse_file(&read(path)?).map_err(|e| e.to_string())?;
+            let elaborated = elaborate_file(&file).map_err(|e| e.to_string())?;
+            println!(
+                "{} program(s), {} refinement declaration(s)",
+                elaborated.systems.len(),
+                elaborated.refinements.len()
+            );
+            // Roots: programs no declaration refines further.
+            let refining_set: std::collections::BTreeSet<usize> = elaborated
+                .refinements
+                .iter()
+                .map(|r| r.refining)
+                .collect();
+            let mut certs = std::collections::BTreeMap::new();
+            for (i, sys) in elaborated.systems.iter().enumerate() {
+                if !refining_set.contains(&i) {
+                    let cert = validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp))
+                        .map_err(|e| format!("program `{}` is INVALID: {e}", sys.name))?;
+                    println!("program `{}`: VALID (analysed directly)", sys.name);
+                    certs.insert(i, cert);
+                }
+            }
+            for r in &elaborated.refinements {
+                let refining = &elaborated.systems[r.refining];
+                let refined = &elaborated.systems[r.refined];
+                let kappa = Kappa::from_pairs(
+                    &refining.spec,
+                    &refined.spec,
+                    r.pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+                )
+                .map_err(|e| e.to_string())?;
+                check_refinement(
+                    SystemRef::new(&refining.spec, &refining.arch, &refining.imp),
+                    SystemRef::new(&refined.spec, &refined.arch, &refined.imp),
+                    &kappa,
+                )
+                .map_err(|e| e.to_string())?;
+                println!(
+                    "program `{}`: VALID by refinement of `{}` (Proposition 2)",
+                    refining.name, refined.name
+                );
+            }
+            Ok(())
+        }
+        "fmt" => {
+            let path = args.get(1).ok_or(usage)?;
+            let program = parse(&read(path)?).map_err(|e| e.to_string())?;
+            print!("{}", print_program(&program));
+            Ok(())
+        }
+        "latency" => {
+            let path = args.get(1).ok_or(usage)?;
+            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let ages = logrel::sched::data_ages(&sys.spec);
+            println!("{:<16} {:>16}", "communicator", "worst data age");
+            for c in sys.spec.communicator_ids() {
+                let age = ages
+                    .age(c)
+                    .map_or("unbounded/-".to_owned(), |a| a.to_string());
+                println!("{:<16} {:>16}", sys.spec.communicator(c).name(), age);
+            }
+            Ok(())
+        }
+        "graph" => {
+            let path = args.get(1).ok_or(usage)?;
+            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let graph = logrel::core::graph::SpecGraph::new(&sys.spec);
+            print!("{}", graph.to_dot(&sys.spec));
+            let cycles = graph.communicator_cycles();
+            if !cycles.is_memory_free() {
+                eprintln!("warning: the specification has communicator cycles (memory)");
+            }
+            Ok(())
+        }
+        "ecode" => {
+            let path = args.get(1).ok_or(usage)?;
+            let host_name = args.get(2).ok_or(usage)?;
+            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let host = sys
+                .arch
+                .find_host(host_name)
+                .ok_or_else(|| format!("unknown host `{host_name}`"))?;
+            let code = logrel::emachine::generate(&sys.spec, &sys.imp, host);
+            print!("{}", code.disassemble());
+            Ok(())
+        }
+        "importance" => {
+            let path = args.get(1).ok_or(usage)?;
+            let comm_name = args.get(2).ok_or(usage)?;
+            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let comm = sys
+                .spec
+                .find_communicator(comm_name)
+                .ok_or_else(|| format!("unknown communicator `{comm_name}`"))?;
+            let ranking = architecture_importance(&sys.spec, &sys.arch, &sys.imp, comm)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{:<24} {:>10} {:>12}",
+                "component", "birnbaum", "improvement"
+            );
+            for c in ranking {
+                println!("{:<24} {:>10.6} {:>12.6}", c.name, c.birnbaum, c.improvement);
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let path = args.get(1).ok_or(usage)?;
+            let rounds: u64 = args
+                .get(2)
+                .map(|s| s.parse().map_err(|_| format!("bad round count `{s}`")))
+                .transpose()?
+                .unwrap_or(10_000);
+            let seed: u64 = args
+                .get(3)
+                .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                .transpose()?
+                .unwrap_or(0xC0FFEE);
+            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let analytic = logrel::reliability::compute_srgs(&sys.spec, &sys.arch, &sys.imp)
+                .map_err(|e| e.to_string())?;
+            let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
+            let sim = logrel::sim::Simulation::new(&sys.spec, &sys.arch, &td);
+            let mut inj = logrel::sim::ProbabilisticFaults::from_architecture(&sys.arch);
+            let out = sim.run(
+                &mut logrel::sim::BehaviorMap::new(),
+                &mut logrel::sim::ConstantEnvironment::new(logrel::core::Value::Float(1.0)),
+                &mut inj,
+                &logrel::sim::SimConfig { rounds, seed },
+            );
+            println!("{rounds} rounds, seed {seed}\n");
+            println!("{:<12} {:>12} {:>12}", "communicator", "empirical", "analytic");
+            for c in sys.spec.communicator_ids() {
+                let bits: Vec<bool> = out.trace.abstraction(c).into_iter().skip(2).collect();
+                let mean = if bits.is_empty() {
+                    0.0
+                } else {
+                    bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64
+                };
+                println!(
+                    "{:<12} {:>12.6} {:>12.6}",
+                    sys.spec.communicator(c).name(),
+                    mean,
+                    analytic.communicator(c).get()
+                );
+            }
+            Ok(())
+        }
+        "refine" => {
+            let refining_path = args.get(1).ok_or(usage)?;
+            let refined_path = args.get(2).ok_or(usage)?;
+            let refining = compile(&read(refining_path)?).map_err(|e| e.to_string())?;
+            let refined = compile(&read(refined_path)?).map_err(|e| e.to_string())?;
+            let kappa = Kappa::by_name(&refining.spec, &refined.spec);
+            match check_refinement(
+                SystemRef::new(&refining.spec, &refining.arch, &refining.imp),
+                SystemRef::new(&refined.spec, &refined.arch, &refined.imp),
+                &kappa,
+            ) {
+                Ok(()) => {
+                    println!("`{refining_path}` refines `{refined_path}`");
+                    Ok(())
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        }
+        other => Err(format!("unknown command `{other}`\n{usage}")),
+    }
+}

@@ -1,0 +1,24 @@
+//! # logrel — logical reliability of interacting real-time tasks
+//!
+//! Facade crate re-exporting the whole toolchain built around the DATE'08
+//! paper *Logical Reliability of Interacting Real-Time Tasks*: the core
+//! model, the joint schedulability/reliability analyses, the refinement
+//! checker, the HTL-style language front-end, the E-machine code generator,
+//! the distributed-runtime simulator and the three-tank case study.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+pub use logrel_core as core;
+pub use logrel_emachine as emachine;
+pub use logrel_lang as lang;
+pub use logrel_refine as refine;
+pub use logrel_reliability as reliability;
+pub use logrel_sched as sched;
+pub use logrel_sim as sim;
+pub use logrel_steerbywire as steerbywire;
+pub use logrel_threetank as threetank;
+
+/// One-stop prelude for applications.
+pub mod prelude {
+    pub use logrel_core::prelude::*;
+}

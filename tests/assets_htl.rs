@@ -1,0 +1,62 @@
+//! The repository's HTL assets compile, validate, and exercise the modal
+//! pipeline.
+
+use logrel_core::HostId;
+use logrel_emachine::{generate_modal, ModalMode, ModeSwitch};
+use logrel_lang::{compile, elaborate_modes, parse};
+use logrel_refine::{validate, SystemRef};
+
+const STEER: &str = include_str!("../assets/steer_by_wire.htl");
+
+#[test]
+fn steer_by_wire_compiles_and_validates() {
+    let sys = compile(STEER).unwrap();
+    assert_eq!(sys.name, "steer_by_wire");
+    assert_eq!(sys.spec.task_count(), 3); // start mode only
+    let cert = validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp)).unwrap();
+    assert!(cert.verdict.is_reliable());
+    // The replicated torque path meets the strict LRC with margin.
+    let cmd = sys.spec.find_communicator("cmd").unwrap();
+    let lambda = cert.verdict.long_run_srg(cmd);
+    assert!(lambda >= 0.9995, "λ(cmd) = {lambda}");
+    // End-to-end LET latency of the actuation command: filter [0,10] +
+    // torque [10,30] = 30 ms.
+    let ages = logrel_sched::data_ages(&sys.spec);
+    assert_eq!(ages.age(cmd), Some(30));
+}
+
+#[test]
+fn steer_by_wire_degraded_mode_is_also_valid() {
+    let modal = elaborate_modes(&parse(STEER).unwrap()).unwrap();
+    assert_eq!(modal.modes.len(), 2);
+    for m in &modal.modes {
+        let cert = validate(SystemRef::new(&m.spec, &modal.arch, &m.imp))
+            .unwrap_or_else(|e| panic!("mode `{}`: {e}", m.name));
+        assert!(cert.verdict.is_reliable(), "mode `{}`", m.name);
+    }
+    // Both modes write identical communicator sets (checked at
+    // elaboration), so modal E-code can be generated for every host.
+    let modes: Vec<ModalMode<'_>> = modal
+        .modes
+        .iter()
+        .map(|m| ModalMode {
+            name: &m.name,
+            spec: &m.spec,
+            imp: &m.imp,
+        })
+        .collect();
+    let switches: Vec<ModeSwitch> = modal
+        .switches
+        .iter()
+        .enumerate()
+        .map(|(i, (from, _, to))| ModeSwitch {
+            from: *from,
+            event: i as u32,
+            to: *to,
+        })
+        .collect();
+    for h in 0..modal.arch.host_count() as u32 {
+        let code = generate_modal(&modes, &switches, HostId::new(h)).unwrap();
+        assert!(!code.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! E2–E5: the §4 reliability numbers of the paper, reproduced exactly.
+//!
+//! Host/sensor reliability r = 0.999 (reconstructed; see EXPERIMENTS.md):
+//!
+//! * baseline: λ_l = r² = 0.998001, λ_u = r³ = 0.997002999;
+//!   LRC 0.99 → reliable, LRC 0.998 → NOT reliable;
+//! * scenario 1 (controllers on {h1, h2}): λ_t = 1 − 10⁻⁶ = 0.999999,
+//!   λ_u = λ_l · λ_t ≈ 0.998000002 → reliable at 0.998;
+//! * scenario 2 (two sensors): λ_l = r · (1 − (1 − r)²) = 0.998999001,
+//!   λ_u ≈ 0.998000012 → reliable at 0.998.
+
+use logrel_refine::{validate, SystemRef, ValidityError};
+use logrel_reliability::compute_srgs;
+use logrel_threetank::{Scenario, ThreeTankSystem};
+
+const EPS: f64 = 1e-12;
+
+#[test]
+fn e2_baseline_srgs_match_the_paper() {
+    let sys = ThreeTankSystem::new(Scenario::Baseline);
+    let report = compute_srgs(&sys.spec, &sys.arch, &sys.imp).unwrap();
+    assert!((report.communicator(sys.ids.s1).get() - 0.999).abs() < EPS);
+    assert!((report.communicator(sys.ids.l1).get() - 0.998001).abs() < EPS);
+    assert!((report.communicator(sys.ids.l2).get() - 0.998001).abs() < EPS);
+    assert!((report.communicator(sys.ids.u1).get() - 0.997002999).abs() < EPS);
+    assert!((report.communicator(sys.ids.u2).get() - 0.997002999).abs() < EPS);
+    // Task reliabilities equal their single host's reliability.
+    assert!((report.task(sys.ids.t1).get() - 0.999).abs() < EPS);
+}
+
+#[test]
+fn e2_baseline_is_valid_for_lrc_099() {
+    let sys = ThreeTankSystem::with_options(Scenario::Baseline, 0.999, Some(0.99)).unwrap();
+    let cert = validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp)).unwrap();
+    assert!(cert.verdict.is_reliable());
+}
+
+#[test]
+fn e3_baseline_violates_lrc_0998() {
+    let sys = ThreeTankSystem::with_options(Scenario::Baseline, 0.999, Some(0.998)).unwrap();
+    let err = validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp)).unwrap_err();
+    let ValidityError::NotReliable { verdict } = err else {
+        panic!("expected a reliability violation, got: {err}");
+    };
+    assert_eq!(verdict.violations.len(), 2); // u1 and u2
+    assert!((verdict.violations[0].achieved - 0.997002999).abs() < EPS);
+}
+
+#[test]
+fn e4_scenario1_controller_replication_meets_0998() {
+    let sys =
+        ThreeTankSystem::with_options(Scenario::ReplicatedControllers, 0.999, Some(0.998))
+            .unwrap();
+    let report = compute_srgs(&sys.spec, &sys.arch, &sys.imp).unwrap();
+    // λ_t1 = 1 - (1 - 0.999)^2 = 0.999999.
+    assert!((report.task(sys.ids.t1).get() - 0.999999).abs() < EPS);
+    // λ_u1 = 0.998001 * 0.999999 = 0.998000002...
+    assert!((report.communicator(sys.ids.u1).get() - 0.998001 * 0.999999).abs() < EPS);
+    let cert = validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp)).unwrap();
+    assert!(cert.verdict.is_reliable());
+}
+
+#[test]
+fn e5_scenario2_sensor_replication_meets_0998() {
+    let sys =
+        ThreeTankSystem::with_options(Scenario::ReplicatedSensors, 0.999, Some(0.998)).unwrap();
+    let report = compute_srgs(&sys.spec, &sys.arch, &sys.imp).unwrap();
+    // λ_s1 = 1 - (1 - 0.999)^2 = 0.999999; λ_l1 = 0.999 * 0.999999.
+    let lambda_l = 0.999 * 0.999999;
+    assert!((report.communicator(sys.ids.l1).get() - lambda_l).abs() < EPS);
+    // λ_u1 = λ_l1 * 0.999 ≈ 0.998 (the paper's rounded value).
+    let lambda_u = report.communicator(sys.ids.u1).get();
+    assert!((lambda_u - lambda_l * 0.999).abs() < EPS);
+    assert!((lambda_u - 0.998).abs() < 1e-6, "λ_u = {lambda_u}");
+    let cert = validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp)).unwrap();
+    assert!(cert.verdict.is_reliable());
+}
+
+#[test]
+fn all_three_scenarios_are_schedulable() {
+    for scenario in [
+        Scenario::Baseline,
+        Scenario::ReplicatedControllers,
+        Scenario::ReplicatedSensors,
+    ] {
+        let sys = ThreeTankSystem::new(scenario);
+        let schedule = logrel_sched::analyze(&sys.spec, &sys.arch, &sys.imp)
+            .unwrap_or_else(|e| panic!("{scenario:?}: {e}"));
+        assert_eq!(schedule.round().as_u64(), 500);
+        // Controller replicas must finish CPU work by write − wctt.
+        for (t, h) in sys.imp.replications() {
+            let done = schedule.completion(t, h).unwrap();
+            assert!(done <= sys.spec.write_time(t));
+        }
+    }
+}
+
+#[test]
+fn intro_example_two_hosts_at_08_reach_09() {
+    // §1: "To achieve LRCs of 0.9 with hosts that guarantee only SRGs of
+    // 0.8, all tasks ... need to be replicated on two hosts ...
+    // 1 - 0.2*0.2 = 0.96".
+    use logrel_core::prelude::*;
+    let mut sb = Specification::builder();
+    let s = sb
+        .communicator(
+            CommunicatorDecl::new("s", ValueType::Float, 10)
+                .unwrap()
+                .from_sensor(),
+        )
+        .unwrap();
+    let c = sb
+        .communicator(
+            CommunicatorDecl::new("c", ValueType::Float, 10)
+                .unwrap()
+                .with_lrc(Reliability::new(0.9).unwrap()),
+        )
+        .unwrap();
+    let t = sb.task(TaskDecl::new("t").reads(s, 0).writes(c, 1)).unwrap();
+    let spec = sb.build().unwrap();
+    let mut ab = Architecture::builder();
+    let h1 = ab
+        .host(HostDecl::new("h1", Reliability::new(0.8).unwrap()))
+        .unwrap();
+    let h2 = ab
+        .host(HostDecl::new("h2", Reliability::new(0.8).unwrap()))
+        .unwrap();
+    let sen = ab.sensor(SensorDecl::new("sen", Reliability::ONE)).unwrap();
+    ab.wcet_all(t, 2).unwrap();
+    ab.wctt_all(t, 1).unwrap();
+    let arch = ab.build();
+    let single = Implementation::builder()
+        .assign(t, [h1])
+        .bind_sensor(s, sen)
+        .build(&spec, &arch)
+        .unwrap();
+    assert!(!logrel_reliability::check(&spec, &arch, &single)
+        .unwrap()
+        .is_reliable());
+    let replicated = single.with_assignment(t, [h1, h2]);
+    let verdict = logrel_reliability::check(&spec, &arch, &replicated).unwrap();
+    assert!(verdict.is_reliable());
+    assert!((verdict.long_run_srg(c) - 0.96).abs() < EPS);
+}
