@@ -1,0 +1,171 @@
+//! Emits `BENCH_baseline.json`: a small, dependency-free performance
+//! snapshot of the hot paths (the Criterion benches need a dev-dependency
+//! and an interactive run; this binary gives CI and future sessions one
+//! comparable JSON artefact).
+//!
+//! Measured, each as the median of several timed repetitions:
+//!
+//! * compiled simulator kernel and the map-driven reference interpreter on
+//!   the 3TS baseline workload (rounds/sec, communicator-update events/sec,
+//!   and their speedup ratio);
+//! * `compute_srgs` on the 3TS (ns per full report);
+//! * greedy and exhaustive replication synthesis on a three-host pipeline
+//!   (ms per solve).
+//!
+//! Run with: `cargo run --release -p logrel-bench --bin bench_snapshot`
+
+use logrel_core::prelude::*;
+use logrel_reliability::{compute_srgs, exhaustive_synthesize, synthesize, SynthesisOptions};
+use logrel_sim::{
+    BehaviorMap, ConstantEnvironment, ProbabilisticFaults, SimConfig, SimOutput, Simulation,
+};
+use logrel_threetank::{Scenario, ThreeTankSystem};
+use std::time::Instant;
+
+const SIM_ROUNDS: u64 = 10_000;
+const REPS: usize = 7;
+
+/// Median wall-clock seconds of `REPS` runs of `f`.
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn run_sim(sim: &Simulation, arch: &Architecture, reference: bool) -> SimOutput {
+    let mut behaviors = BehaviorMap::new();
+    let mut env = ConstantEnvironment::new(Value::Float(0.2));
+    let mut inj = ProbabilisticFaults::from_architecture(arch);
+    let config = SimConfig {
+        rounds: SIM_ROUNDS,
+        seed: 5,
+    };
+    if reference {
+        sim.run_reference(&mut behaviors, &mut env, &mut inj, &config)
+    } else {
+        sim.run(&mut behaviors, &mut env, &mut inj, &config)
+    }
+}
+
+/// The synthesis workload: sensor -> reader -> ctrl pipeline, three hosts,
+/// an LRC only double replication of both tasks can meet.
+fn synthesis_system() -> (Specification, Architecture, Implementation) {
+    let mut sb = Specification::builder();
+    let s = sb
+        .communicator(
+            CommunicatorDecl::new("s", ValueType::Float, 500)
+                .expect("valid")
+                .from_sensor(),
+        )
+        .expect("unique");
+    let l = sb
+        .communicator(CommunicatorDecl::new("l", ValueType::Float, 100).expect("valid"))
+        .expect("unique");
+    let u = sb
+        .communicator(
+            CommunicatorDecl::new("u", ValueType::Float, 100)
+                .expect("valid")
+                .with_lrc(Reliability::new(0.9995).expect("valid")),
+        )
+        .expect("unique");
+    let reader = sb
+        .task(TaskDecl::new("reader").reads(s, 0).writes(l, 1))
+        .expect("valid");
+    let ctrl = sb
+        .task(TaskDecl::new("ctrl").reads(l, 1).writes(u, 3))
+        .expect("valid");
+    let spec = sb.build().expect("well-formed");
+    let mut ab = Architecture::builder();
+    let hosts: Vec<HostId> = ["h1", "h2", "h3"]
+        .iter()
+        .map(|n| {
+            ab.host(HostDecl::new(*n, Reliability::new(0.999).expect("valid")))
+                .expect("unique")
+        })
+        .collect();
+    let sen = ab
+        .sensor(SensorDecl::new("sen", Reliability::ONE))
+        .expect("unique");
+    for t in [reader, ctrl] {
+        ab.wcet_all(t, 1).expect("hosts");
+        ab.wctt_all(t, 1).expect("hosts");
+    }
+    let arch = ab.build();
+    let imp = Implementation::builder()
+        .assign(reader, [hosts[2]])
+        .assign(ctrl, [hosts[0]])
+        .bind_sensor(s, sen)
+        .build(&spec, &arch)
+        .expect("valid");
+    (spec, arch, imp)
+}
+
+fn main() {
+    let sys = ThreeTankSystem::with_options(Scenario::Baseline, 0.99, None).expect("valid");
+    let imp = TimeDependentImplementation::from(sys.imp.clone());
+    let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
+
+    // One untimed run to count the recorded communicator-update events.
+    let out = run_sim(&sim, &sys.arch, false);
+    let events: usize = sys
+        .spec
+        .communicator_ids()
+        .map(|c| out.trace.update_count(c))
+        .sum();
+
+    let kernel_secs = median_secs(|| {
+        std::hint::black_box(run_sim(&sim, &sys.arch, false));
+    });
+    let reference_secs = median_secs(|| {
+        std::hint::black_box(run_sim(&sim, &sys.arch, true));
+    });
+
+    let srg_secs = median_secs(|| {
+        std::hint::black_box(compute_srgs(&sys.spec, &sys.arch, &sys.imp).expect("memory-free"));
+    });
+
+    let (spec, arch, base) = synthesis_system();
+    let opts = SynthesisOptions::default();
+    let greedy_secs = median_secs(|| {
+        std::hint::black_box(synthesize(&spec, &arch, &base, &opts, |_| true).expect("solvable"));
+    });
+    let exhaustive_secs = median_secs(|| {
+        std::hint::black_box(
+            exhaustive_synthesize(&spec, &arch, &base, &opts, |_| true).expect("solvable"),
+        );
+    });
+
+    let json = format!(
+        "{{\n  \
+         \"workload\": \"3TS baseline, reliability 0.99, {SIM_ROUNDS} rounds, seed 5\",\n  \
+         \"simulator\": {{\n    \
+         \"rounds\": {SIM_ROUNDS},\n    \
+         \"events_per_run\": {events},\n    \
+         \"kernel_rounds_per_sec\": {:.0},\n    \
+         \"kernel_events_per_sec\": {:.0},\n    \
+         \"reference_rounds_per_sec\": {:.0},\n    \
+         \"reference_events_per_sec\": {:.0},\n    \
+         \"kernel_speedup_over_reference\": {:.2}\n  }},\n  \
+         \"srg\": {{ \"compute_srgs_3ts_ns\": {:.0} }},\n  \
+         \"synthesis\": {{\n    \
+         \"greedy_ms\": {:.3},\n    \
+         \"exhaustive_ms\": {:.3}\n  }}\n}}\n",
+        SIM_ROUNDS as f64 / kernel_secs,
+        events as f64 / kernel_secs,
+        SIM_ROUNDS as f64 / reference_secs,
+        events as f64 / reference_secs,
+        reference_secs / kernel_secs,
+        srg_secs * 1e9,
+        greedy_secs * 1e3,
+        exhaustive_secs * 1e3,
+    );
+    std::fs::write("BENCH_baseline.json", &json).expect("writable working directory");
+    print!("{json}");
+    println!("wrote BENCH_baseline.json");
+}

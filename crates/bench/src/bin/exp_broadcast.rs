@@ -4,13 +4,21 @@
 //! into every replication (`hrel · brel`) and sweep it, comparing the
 //! analytic SRG of `u1` against fault-injected simulation.
 //!
+//! Each sweep point runs as a deterministic parallel Monte-Carlo batch
+//! (`logrel_sim::montecarlo`) of four independently seeded replications
+//! whose means are pooled — same total sample count as the original
+//! single run, identical at any worker count.
+//!
 //! Run with: `cargo run -p logrel-bench --bin exp_broadcast`
 
 use logrel_core::{
     Architecture, HostDecl, Reliability, SensorDecl, TimeDependentImplementation, Value,
 };
 use logrel_reliability::compute_srgs;
-use logrel_sim::{BehaviorMap, ConstantEnvironment, ProbabilisticFaults, SimConfig, Simulation};
+use logrel_sim::{
+    montecarlo, BatchConfig, BehaviorMap, ConstantEnvironment, ProbabilisticFaults,
+    ReplicationContext, Simulation,
+};
 use logrel_threetank::{Scenario, ThreeTankSystem};
 
 /// Rebuilds the 3TS architecture with an explicit broadcast reliability.
@@ -62,23 +70,31 @@ fn main() {
             .get();
         let td = TimeDependentImplementation::from(sys.imp.clone());
         let sim = Simulation::new(&sys.spec, &arch, &td);
-        let mut inj = ProbabilisticFaults::from_architecture(&arch);
-        let out = sim.run(
-            &mut BehaviorMap::new(),
-            &mut ConstantEnvironment::new(Value::Float(0.3)),
-            &mut inj,
-            &SimConfig {
-                rounds: 30_000,
-                seed: 9,
+        let config = BatchConfig {
+            replications: 4,
+            rounds: 7_500,
+            base_seed: 9,
+            threads: 0,
+        };
+        let means = montecarlo::run_replications(
+            &sim,
+            &config,
+            |_rep| ReplicationContext {
+                behaviors: BehaviorMap::new(),
+                environment: Box::new(ConstantEnvironment::new(Value::Float(0.3))),
+                injector: Box::new(ProbabilisticFaults::from_architecture(&arch)),
+            },
+            |_rep, out| {
+                let bits: Vec<bool> = out
+                    .trace
+                    .abstraction(sys.ids.u1)
+                    .into_iter()
+                    .skip(5)
+                    .collect();
+                bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64
             },
         );
-        let bits: Vec<bool> = out
-            .trace
-            .abstraction(sys.ids.u1)
-            .into_iter()
-            .skip(5)
-            .collect();
-        let mean = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        let mean = montecarlo::mean(&means);
         println!(
             "{:>10} {:>14.6} {:>14.6} {:>10.6}",
             brel,

@@ -5,11 +5,18 @@
 //! closed-form mission analysis of `logrel-reliability::mission` against
 //! the crash-fault simulator for replication degrees 1–3.
 //!
+//! The trials run as a deterministic parallel Monte-Carlo batch
+//! (`logrel_sim::montecarlo`): per-trial seeds are derived from the base
+//! seed, so the reported numbers are independent of the worker count.
+//!
 //! Run with: `cargo run -p logrel-bench --bin exp_crash`
 
 use logrel_core::prelude::*;
 use logrel_reliability::mission::{expected_delivered_fraction, replication_for_mission};
-use logrel_sim::{BehaviorMap, ConstantEnvironment, PermanentFaults, SimConfig, Simulation};
+use logrel_sim::{
+    montecarlo, BatchConfig, BehaviorMap, ConstantEnvironment, PermanentFaults,
+    ReplicationContext, Simulation,
+};
 
 const HAZARD: f64 = 0.002; // per-round crash probability per host
 const HORIZON: u64 = 1000; // mission length in rounds
@@ -70,24 +77,28 @@ fn main() {
         let (spec, arch, imp) = build(k);
         let u = spec.find_communicator("u").expect("declared");
         let analytic = expected_delivered_fraction(k, HAZARD, HORIZON);
-        let mut total = 0.0;
-        for trial in 0..TRIALS {
-            let sim = Simulation::new(&spec, &arch, &imp);
-            let mut inj = PermanentFaults::new(vec![HAZARD; k]);
-            let out = sim.run(
-                &mut BehaviorMap::new(),
-                &mut ConstantEnvironment::new(Value::Float(1.0)),
-                &mut inj,
-                &SimConfig {
-                    rounds: HORIZON,
-                    seed: 1000 + trial,
-                },
-            );
-            // Skip the init update at t=0 of round 0.
-            let bits: Vec<bool> = out.trace.abstraction(u).into_iter().skip(1).collect();
-            total += bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
-        }
-        let simulated = total / TRIALS as f64;
+        let sim = Simulation::new(&spec, &arch, &imp);
+        let config = BatchConfig {
+            replications: TRIALS,
+            rounds: HORIZON,
+            base_seed: 1000,
+            threads: 0,
+        };
+        let fractions = montecarlo::run_replications(
+            &sim,
+            &config,
+            |_trial| ReplicationContext {
+                behaviors: BehaviorMap::new(),
+                environment: Box::new(ConstantEnvironment::new(Value::Float(1.0))),
+                injector: Box::new(PermanentFaults::new(vec![HAZARD; k])),
+            },
+            |_trial, out| {
+                // Skip the init update at t=0 of round 0.
+                let bits: Vec<bool> = out.trace.abstraction(u).into_iter().skip(1).collect();
+                bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64
+            },
+        );
+        let simulated = montecarlo::mean(&fractions);
         println!(
             "{:>9} {:>18.5} {:>18.5} {:>10.5}",
             k,

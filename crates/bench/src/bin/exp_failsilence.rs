@@ -7,14 +7,21 @@
 //! replica can poison the communicator); majority voting over 3 replicas
 //! recovers all but the multi-corruption rounds.
 //!
+//! Each sweep cell runs as a deterministic parallel Monte-Carlo batch
+//! (`logrel_sim::montecarlo`) of four independently seeded replications
+//! whose fractions are averaged — same total sample count as before,
+//! identical at any worker count.
+//!
 //! Run with: `cargo run -p logrel-bench --bin exp_failsilence`
 
 use logrel_core::prelude::*;
 use logrel_sim::{
-    BehaviorMap, ConstantEnvironment, CorruptingFaults, SimConfig, Simulation, VotingStrategy,
+    montecarlo, BatchConfig, BehaviorMap, ConstantEnvironment, CorruptingFaults,
+    ReplicationContext, Simulation, VotingStrategy,
 };
 
-const ROUNDS: u64 = 20_000;
+const ROUNDS: u64 = 5_000;
+const REPLICATIONS: u64 = 4;
 const GARBAGE: f64 = 9999.0;
 const TRUTH: f64 = 42.0;
 
@@ -69,31 +76,41 @@ fn correct_fraction(
     let u = spec.find_communicator("u").expect("declared");
     let mut sim = Simulation::new(spec, arch, imp);
     sim.set_voting(strategy);
-    let mut behaviors = BehaviorMap::new();
-    behaviors.register(t, |_: &[Value]| vec![Value::Float(TRUTH)]);
-    let mut inj = CorruptingFaults::new(corruption, GARBAGE);
-    let out = sim.run(
-        &mut behaviors,
-        &mut ConstantEnvironment::new(Value::Float(0.0)),
-        &mut inj,
-        &SimConfig {
-            rounds: ROUNDS,
-            seed: 31,
+    let config = BatchConfig {
+        replications: REPLICATIONS,
+        rounds: ROUNDS,
+        base_seed: 31,
+        threads: 0,
+    };
+    let fractions = montecarlo::run_replications(
+        &sim,
+        &config,
+        |_rep| {
+            let mut behaviors = BehaviorMap::new();
+            behaviors.register(t, |_: &[Value]| vec![Value::Float(TRUTH)]);
+            ReplicationContext {
+                behaviors,
+                environment: Box::new(ConstantEnvironment::new(Value::Float(0.0))),
+                injector: Box::new(CorruptingFaults::new(corruption, GARBAGE)),
+            }
+        },
+        |_rep, out| {
+            let values: Vec<_> = out.trace.values(u).iter().skip(1).collect();
+            values
+                .iter()
+                .filter(|(_, v)| *v == Value::Float(TRUTH))
+                .count() as f64
+                / values.len() as f64
         },
     );
-    let values: Vec<_> = out.trace.values(u).iter().skip(1).collect();
-    values
-        .iter()
-        .filter(|(_, v)| *v == Value::Float(TRUTH))
-        .count() as f64
-        / values.len() as f64
+    montecarlo::mean(&fractions)
 }
 
 fn main() {
     let (spec, arch, imp) = build();
     println!(
         "three replicas, per-replica corruption probability q (non-fail-silent hosts),\n\
-         {ROUNDS} rounds; fraction of CORRECT communicator values:\n"
+         {REPLICATIONS} × {ROUNDS} rounds; fraction of CORRECT communicator values:\n"
     );
     println!(
         "{:>8} {:>14} {:>14} {:>18}",

@@ -134,6 +134,14 @@ pub fn check_time_dependent(
         .iter()
         .map(|p| compute_srgs(spec, arch, p))
         .collect::<Result<Vec<_>, _>>()?;
+    Ok(verdict_from_phases(spec, phases))
+}
+
+/// Builds the verdict for already-computed per-phase SRG reports.
+pub(crate) fn verdict_from_phases(
+    spec: &Specification,
+    phases: Vec<SrgReport>,
+) -> ReliabilityVerdict {
     let n = phases.len() as f64;
     let long_run: Vec<f64> = spec
         .communicator_ids()
@@ -153,11 +161,11 @@ pub fn check_time_dependent(
             }
         }
     }
-    Ok(ReliabilityVerdict {
+    ReliabilityVerdict {
         phases,
         long_run,
         violations,
-    })
+    }
 }
 
 #[cfg(test)]

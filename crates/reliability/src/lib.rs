@@ -40,5 +40,5 @@ pub use longrun::{
 };
 pub use netrel::ReliabilityGraph;
 pub use rbd::Block;
-pub use srg::{communicator_block, compute_srgs, task_reliability, SrgReport};
+pub use srg::{communicator_block, compute_srgs, task_reliability, SrgComputation, SrgReport};
 pub use synthesis::{exhaustive_synthesize, synthesize, SynthesisOptions};

@@ -29,6 +29,7 @@ use logrel_core::graph::CommDependencyGraph;
 use logrel_core::{
     Architecture, CommunicatorId, FailureModel, Implementation, Reliability, Specification, TaskId,
 };
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The computed SRGs of every task and communicator of a system.
@@ -173,27 +174,46 @@ pub fn compute_srgs(
     for t in spec.task_ids() {
         task.push(task_reliability(arch, imp, t)?);
     }
+    let order = analysis_order(spec)?;
+    let comm = comm_induction(spec, &order, &task, |c| {
+        let sensors = imp.sensors_of(c);
+        if sensors.is_empty() {
+            return Err(ReliabilityError::UnboundInput {
+                communicator: spec.communicator(c).name().to_owned(),
+            });
+        }
+        Ok(Reliability::parallel(
+            sensors.iter().map(|&s| arch.sensor(s).reliability()),
+        )?)
+    })?;
+    Ok(SrgReport { task, comm })
+}
 
-    let graph = CommDependencyGraph::new(spec);
-    let order = graph
+/// The communicator analysis order, with cycles reported as errors.
+fn analysis_order(spec: &Specification) -> Result<Vec<CommunicatorId>, ReliabilityError> {
+    CommDependencyGraph::new(spec)
         .analysis_order()
         .map_err(|cyclic| ReliabilityError::CyclicDependencies {
             communicators: cyclic
                 .iter()
                 .map(|&c| spec.communicator(c).name().to_owned())
                 .collect(),
-        })?;
+        })
+}
 
+/// The §3 induction over communicators: given every task's reliability and
+/// a source of sensor-input reliabilities, computes every SRG along a
+/// topological `order`.
+fn comm_induction(
+    spec: &Specification,
+    order: &[CommunicatorId],
+    task: &[Reliability],
+    mut sensor_lambda: impl FnMut(CommunicatorId) -> Result<Reliability, ReliabilityError>,
+) -> Result<Vec<Reliability>, ReliabilityError> {
     let mut comm: Vec<Option<Reliability>> = vec![None; spec.communicator_count()];
-    for c in order {
+    for &c in order {
         let lambda = if spec.is_sensor_input(c) {
-            let sensors = imp.sensors_of(c);
-            if sensors.is_empty() {
-                return Err(ReliabilityError::UnboundInput {
-                    communicator: spec.communicator(c).name().to_owned(),
-                });
-            }
-            Reliability::parallel(sensors.iter().map(|&s| arch.sensor(s).reliability()))?
+            sensor_lambda(c)?
         } else if let Some(t) = spec.writer(c) {
             let lt = task[t.index()];
             match spec.task(t).failure_model() {
@@ -223,11 +243,128 @@ pub fn compute_srgs(
         };
         comm[c.index()] = Some(lambda);
     }
+    Ok(comm.into_iter().map(|r| r.expect("all computed")).collect())
+}
 
-    Ok(SrgReport {
-        task,
-        comm: comm.into_iter().map(|r| r.expect("all computed")).collect(),
-    })
+/// Incremental SRG evaluation for synthesis loops.
+///
+/// Synthesis explores many candidate implementations that differ from one
+/// another in a single task's host set; recomputing every task's parallel
+/// block and re-deriving the analysis order per candidate dominates the
+/// cost of [`crate::synthesis::exhaustive_synthesize`]. This helper hoists
+/// the per-system work (topological order, sensor-input reliabilities) out
+/// of the loop and memoizes each task's parallel block keyed by
+/// `(task, host bitmask)`, so a candidate reusing a previously seen host
+/// set costs one map lookup per task.
+///
+/// Every queried implementation must share the sensor bindings of the one
+/// given to [`SrgComputation::new`] (synthesis rewrites assignments, never
+/// bindings).
+pub struct SrgComputation<'a> {
+    spec: &'a Specification,
+    arch: &'a Architecture,
+    order: Vec<CommunicatorId>,
+    /// Parallel sensor reliability per sensor-input communicator.
+    sensor_lambda: Vec<Option<Reliability>>,
+    /// Memoized `λ_t` keyed by `(task, host bitmask)`.
+    task_cache: BTreeMap<(TaskId, u64), Reliability>,
+}
+
+impl<'a> SrgComputation<'a> {
+    /// Prepares the shared state: validates the dependency structure and
+    /// the sensor bindings of `base` once, up front.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`compute_srgs`].
+    pub fn new(
+        spec: &'a Specification,
+        arch: &'a Architecture,
+        base: &Implementation,
+    ) -> Result<Self, ReliabilityError> {
+        let order = analysis_order(spec)?;
+        let mut sensor_lambda = vec![None; spec.communicator_count()];
+        for c in spec.communicator_ids() {
+            if spec.is_sensor_input(c) {
+                let sensors = base.sensors_of(c);
+                if sensors.is_empty() {
+                    return Err(ReliabilityError::UnboundInput {
+                        communicator: spec.communicator(c).name().to_owned(),
+                    });
+                }
+                sensor_lambda[c.index()] = Some(Reliability::parallel(
+                    sensors.iter().map(|&s| arch.sensor(s).reliability()),
+                )?);
+            }
+        }
+        Ok(SrgComputation {
+            spec,
+            arch,
+            order,
+            sensor_lambda,
+            task_cache: BTreeMap::new(),
+        })
+    }
+
+    /// `λ_t` of `task` under `imp`, memoized by the host bitmask.
+    fn task_lambda(
+        &mut self,
+        imp: &Implementation,
+        task: TaskId,
+    ) -> Result<Reliability, ReliabilityError> {
+        let mut mask = 0u64;
+        for &h in imp.hosts_of(task) {
+            let Some(bit) = 1u64.checked_shl(h.index() as u32) else {
+                // > 64 hosts: fall back to the uncached computation.
+                return task_reliability(self.arch, imp, task);
+            };
+            mask |= bit;
+        }
+        if let Some(&cached) = self.task_cache.get(&(task, mask)) {
+            return Ok(cached);
+        }
+        let lambda = task_reliability(self.arch, imp, task)?;
+        self.task_cache.insert((task, mask), lambda);
+        Ok(lambda)
+    }
+
+    /// Computes the [`SrgReport`] of `imp`, reusing every memoized task
+    /// block. The result is identical to [`compute_srgs`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`compute_srgs`] (the structural ones were
+    /// already ruled out by [`SrgComputation::new`]).
+    pub fn report(&mut self, imp: &Implementation) -> Result<SrgReport, ReliabilityError> {
+        let mut task = Vec::with_capacity(self.spec.task_count());
+        for t in self.spec.task_ids() {
+            task.push(self.task_lambda(imp, t)?);
+        }
+        let sensor_lambda = &self.sensor_lambda;
+        let comm = comm_induction(self.spec, &self.order, &task, |c| {
+            Ok(sensor_lambda[c.index()].expect("validated in new()"))
+        })?;
+        Ok(SrgReport { task, comm })
+    }
+
+    /// [`crate::analysis::check`] with memoized SRGs: identical verdict,
+    /// but every repeated `(task, host set)` block is a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`compute_srgs`].
+    pub fn check(
+        &mut self,
+        imp: &Implementation,
+    ) -> Result<crate::analysis::ReliabilityVerdict, ReliabilityError> {
+        let report = self.report(imp)?;
+        Ok(crate::analysis::verdict_from_phases(self.spec, vec![report]))
+    }
+
+    /// Number of distinct `(task, host set)` blocks memoized so far.
+    pub fn cached_blocks(&self) -> usize {
+        self.task_cache.len()
+    }
 }
 
 /// Builds the reliability block diagram whose evaluation equals the SRG of
@@ -558,6 +695,41 @@ mod tests {
                 spec.communicator(c).name()
             );
         }
+    }
+
+    #[test]
+    fn memoized_computation_matches_compute_srgs() {
+        let (spec, arch, imp) = pipeline(0.97);
+        let reader = spec.find_task("reader").unwrap();
+        let ctrl = spec.find_task("ctrl").unwrap();
+        let mut cached = SrgComputation::new(&spec, &arch, &imp).unwrap();
+        // Enumerate every non-empty host subset for both tasks, twice —
+        // the second sweep must hit the cache and still agree exactly.
+        let hosts: Vec<HostId> = arch.host_ids().collect();
+        let mut distinct = 0usize;
+        for _ in 0..2 {
+            for rmask in 1u32..(1 << hosts.len()) {
+                for cmask in 1u32..(1 << hosts.len()) {
+                    let pick = |mask: u32| {
+                        hosts
+                            .iter()
+                            .enumerate()
+                            .filter(move |(i, _)| mask & (1 << i) != 0)
+                            .map(|(_, &h)| h)
+                    };
+                    let candidate = imp
+                        .with_assignment(reader, pick(rmask))
+                        .with_assignment(ctrl, pick(cmask));
+                    let fast = cached.report(&candidate).unwrap();
+                    let slow = compute_srgs(&spec, &arch, &candidate).unwrap();
+                    assert_eq!(fast, slow);
+                    distinct += 1;
+                }
+            }
+        }
+        assert!(distinct > cached.cached_blocks(), "the cache must be hit");
+        // 2 tasks × 3 non-empty subsets of 2 hosts.
+        assert_eq!(cached.cached_blocks(), 6);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::analysis::check;
 use crate::error::ReliabilityError;
+use crate::srg::SrgComputation;
 use logrel_core::{
     Architecture, CommunicatorId, FailureModel, HostId, Implementation, Specification, TaskId,
 };
@@ -87,9 +88,10 @@ pub fn synthesize(
     opts: &SynthesisOptions,
     mut feasible: impl FnMut(&Implementation) -> bool,
 ) -> Result<Implementation, ReliabilityError> {
+    let mut srg = SrgComputation::new(spec, arch, base)?;
     let mut current = base.clone();
     for _ in 0..opts.max_iterations {
-        let verdict = check(spec, arch, &current)?;
+        let verdict = srg.check(&current)?;
         let Some(worst) = verdict.violations.iter().max_by(|a, b| {
             (a.required - a.achieved)
                 .partial_cmp(&(b.required - b.achieved))
@@ -114,7 +116,7 @@ pub fn synthesize(
                 if !feasible(&candidate) {
                     continue;
                 }
-                let v = check(spec, arch, &candidate)?;
+                let v = srg.check(&candidate)?;
                 let achieved = v.long_run_srg(worst.comm);
                 if best.as_ref().is_none_or(|(_, b)| achieved > *b) {
                     best = Some((candidate, achieved));
@@ -191,6 +193,7 @@ pub fn exhaustive_synthesize(
         choices.push(subsets);
     }
 
+    let mut srg = SrgComputation::new(spec, arch, base)?;
     let mut best: Option<(Implementation, usize)> = None;
     let mut indices = vec![0usize; choices.len()];
     'outer: loop {
@@ -202,7 +205,7 @@ pub fn exhaustive_synthesize(
         let cost = candidate.replication_count();
         if best.as_ref().is_none_or(|(_, b)| cost < *b)
             && feasible(&candidate)
-            && check(spec, arch, &candidate)?.is_reliable()
+            && srg.check(&candidate)?.is_reliable()
         {
             best = Some((candidate, cost));
         }

@@ -65,19 +65,35 @@ impl BehaviorMap {
     /// type-zero if none is registered. The result is padded/truncated to
     /// exactly the declared output arity.
     pub fn invoke(&mut self, spec: &Specification, task: TaskId, inputs: &[Value]) -> Vec<Value> {
+        let mut values = Vec::new();
+        self.invoke_into(spec, task, inputs, &mut values);
+        values
+    }
+
+    /// [`BehaviorMap::invoke`] into a caller-provided buffer (cleared
+    /// first): the fallback and the padding allocate nothing, so the hot
+    /// simulation loop can reuse one buffer across all task reads.
+    pub fn invoke_into(
+        &mut self,
+        spec: &Specification,
+        task: TaskId,
+        inputs: &[Value],
+        out: &mut Vec<Value>,
+    ) {
         let outputs = spec.task(task).outputs();
-        let mut values = match self.map.get_mut(&task) {
-            Some(b) => b.invoke(inputs),
-            None => outputs
-                .iter()
-                .map(|a| spec.communicator(a.comm).value_type().zero())
-                .collect(),
-        };
-        values.resize(
+        out.clear();
+        match self.map.get_mut(&task) {
+            Some(b) => out.extend(b.invoke(inputs)),
+            None => out.extend(
+                outputs
+                    .iter()
+                    .map(|a| spec.communicator(a.comm).value_type().zero()),
+            ),
+        }
+        out.resize(
             outputs.len(),
             Value::Unreliable, // missing outputs are unreliable, loudly
         );
-        values
     }
 }
 

@@ -18,7 +18,7 @@ use crate::behavior::BehaviorMap;
 use crate::environment::Environment;
 use crate::fault::FaultInjector;
 use crate::trace::Trace;
-use crate::voting::{vote, VotingStrategy};
+use crate::voting::{vote_into, VotingStrategy};
 use logrel_core::{
     CommunicatorId, FailureModel, HostId, Implementation, Specification, TaskId, Tick, Value,
 };
@@ -26,9 +26,6 @@ use logrel_emachine::{generate, DriverOp, EMachine, Platform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
-
-/// Per-task `(voted outputs, delivered)` results of one round.
-type RoundResults = Vec<Option<(Vec<Value>, bool)>>;
 
 struct CoPlatform<'a> {
     spec: &'a Specification,
@@ -43,8 +40,17 @@ struct CoPlatform<'a> {
     landing: BTreeMap<(CommunicatorId, u64), (TaskId, usize, u64)>,
     comm_values: Vec<Value>,
     latched: Vec<Vec<Value>>,
-    /// Task results by round parity.
-    results: [RoundResults; 2],
+    /// Start of each task's slice in the flat result buffers.
+    out_base: Vec<usize>,
+    /// Voted task outputs by round parity, indexed `out_base[t] + out_idx`.
+    result_vals: [Vec<Value>; 2],
+    /// Whether at least one replica delivered, by round parity.
+    result_delivered: [Vec<bool>; 2],
+    /// Scratch: flat replica outputs (`replica × arity`) and delivery flags.
+    replica_vals: Vec<Value>,
+    replica_ok: Vec<bool>,
+    /// Scratch: task inputs after default substitution.
+    inputs_buf: Vec<Value>,
     /// Releases collected during the current instant: (task, host).
     pending_releases: Vec<(TaskId, HostId)>,
     /// Idempotence guards: the last instant each driver ran.
@@ -85,37 +91,44 @@ impl<'a> CoPlatform<'a> {
                 FailureModel::Parallel => raw.iter().any(Value::is_reliable),
                 FailureModel::Independent => true,
             };
+            let n_out = decl.outputs().len();
             let outputs = if executes {
-                let inputs: Vec<Value> = raw
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &v)| {
-                        if v.is_reliable() {
-                            v
-                        } else {
-                            decl.default_values()[i]
-                        }
-                    })
-                    .collect();
-                self.behaviors.invoke(self.spec, t, &inputs)
+                self.inputs_buf.clear();
+                self.inputs_buf.extend(raw.iter().enumerate().map(|(i, &v)| {
+                    if v.is_reliable() {
+                        v
+                    } else {
+                        decl.default_values()[i]
+                    }
+                }));
+                self.behaviors.invoke(self.spec, t, &self.inputs_buf)
             } else {
-                vec![Value::Unreliable; decl.outputs().len()]
+                Vec::new()
             };
-            let mut replica_outputs = Vec::with_capacity(hosts.len());
-            for h in hosts {
+            self.replica_vals.clear();
+            self.replica_vals.resize(hosts.len() * n_out, Value::Unreliable);
+            self.replica_ok.clear();
+            for (i, h) in hosts.into_iter().enumerate() {
                 let host_ok = self.injector.host_ok(h, now, &mut self.rng);
                 let bc_ok = self.injector.broadcast_ok(h, now, &mut self.rng);
-                if executes && host_ok && bc_ok {
-                    let mut o = outputs.clone();
-                    self.injector.corrupt(h, now, &mut o, &mut self.rng);
-                    replica_outputs.push(Some(o));
-                } else {
-                    replica_outputs.push(None);
+                let ok = executes && host_ok && bc_ok;
+                if ok {
+                    let slice = &mut self.replica_vals[i * n_out..(i + 1) * n_out];
+                    slice.copy_from_slice(&outputs);
+                    self.injector.corrupt(h, now, slice, &mut self.rng);
                 }
+                self.replica_ok.push(ok);
             }
-            let delivered = replica_outputs.iter().any(Option::is_some);
-            let voted = vote(&replica_outputs, decl.outputs().len(), self.voting);
-            self.results[(round_index % 2) as usize][t.index()] = Some((voted, delivered));
+            let parity = (round_index % 2) as usize;
+            let base = self.out_base[t.index()];
+            let delivered = vote_into(
+                &self.replica_vals,
+                &self.replica_ok,
+                n_out,
+                self.voting,
+                &mut self.result_vals[parity][base..base + n_out],
+            );
+            self.result_delivered[parity][t.index()] = delivered;
         }
     }
 }
@@ -157,9 +170,10 @@ impl Platform for CoPlatform<'_> {
                     if round_index >= rounds_back {
                         let parity = ((round_index - rounds_back) % 2) as usize;
                         self.comm_values[comm.index()] =
-                            match &self.results[parity][t.index()] {
-                                Some((outputs, true)) => outputs[out_idx],
-                                _ => Value::Unreliable,
+                            if self.result_delivered[parity][t.index()] {
+                                self.result_vals[parity][self.out_base[t.index()] + out_idx]
+                            } else {
+                                Value::Unreliable
                             };
                     }
                 }
@@ -216,6 +230,12 @@ pub fn run_cosim(
         voting,
     } = params;
     let round = spec.round_period().as_u64();
+    let mut out_base = Vec::with_capacity(spec.task_count());
+    let mut total_outputs = 0usize;
+    for t in spec.task_ids() {
+        out_base.push(total_outputs);
+        total_outputs += spec.task(t).outputs().len();
+    }
     let mut landing = BTreeMap::new();
     for t in spec.task_ids() {
         for (idx, &a) in spec.task(t).outputs().iter().enumerate() {
@@ -241,10 +261,18 @@ pub fn run_cosim(
             .task_ids()
             .map(|t| vec![Value::Unreliable; spec.task(t).inputs().len()])
             .collect(),
-        results: [
-            vec![None; spec.task_count()],
-            vec![None; spec.task_count()],
+        out_base,
+        result_vals: [
+            vec![Value::Unreliable; total_outputs],
+            vec![Value::Unreliable; total_outputs],
         ],
+        result_delivered: [
+            vec![false; spec.task_count()],
+            vec![false; spec.task_count()],
+        ],
+        replica_vals: Vec::new(),
+        replica_ok: Vec::new(),
+        inputs_buf: Vec::new(),
         pending_releases: Vec::new(),
         sensor_done: vec![None; spec.communicator_count()],
         update_done: vec![None; spec.communicator_count()],

@@ -59,7 +59,7 @@ pub struct TaskStats {
 }
 
 /// The result of a run.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutput {
     /// The recorded communicator trace.
     pub trace: Trace,
@@ -75,6 +75,90 @@ struct TaskResult {
     delivered: bool,
 }
 
+/// One communicator update in a slot's compiled instruction list.
+///
+/// Update order within a slot is ascending communicator id, exactly the
+/// iteration order of the reference interpreter.
+#[derive(Debug, Clone, Copy)]
+enum UpdateOp {
+    /// Sensor-fed communicator: sample every bound sensor of the current
+    /// phase, then sense or ⊥.
+    Sensor { comm: u32 },
+    /// Task-written instance: take the voted round result landing here.
+    /// `out_slot` is the flat index of the writing task's output value.
+    Landed {
+        comm: u32,
+        task: u32,
+        out_slot: u32,
+        rounds_back: u32,
+    },
+    /// Non-sensor instance nothing lands on: the value persists.
+    Persist { comm: u32 },
+}
+
+/// One input latch: `latched[dst] = comm_values[comm]`.
+#[derive(Debug, Clone, Copy)]
+struct LatchOp {
+    dst: u32,
+    comm: u32,
+}
+
+/// The compiled instruction lists of one event instant within a round.
+#[derive(Debug, Clone)]
+struct SlotProgram {
+    /// Offset of this instant within the round.
+    offset: u64,
+    updates: Vec<UpdateOp>,
+    latches: Vec<LatchOp>,
+    /// Tasks whose read time is this instant, in ascending id order.
+    reads: Vec<u32>,
+}
+
+/// Per-task constants, flattened out of the specification.
+#[derive(Debug, Clone)]
+struct TaskTable {
+    model: FailureModel,
+    /// Base of this task's inputs in the flat latch buffer.
+    in_base: usize,
+    n_in: usize,
+    /// Base of this task's outputs in the flat round-result buffers.
+    out_base: usize,
+    n_out: usize,
+    /// Default input values, padded to the input arity (the pad values are
+    /// unreachable: they would only be read for an unreliable input of a
+    /// task validated to declare defaults).
+    defaults: Vec<Value>,
+}
+
+/// Phase-resolved replication tables: who senses and who executes, with
+/// the `BTreeSet` host/sensor sets of the implementation flattened into
+/// dense, cache-friendly lists (ascending id order is preserved, which
+/// fixes the RNG draw order).
+#[derive(Debug, Clone)]
+struct PhaseTables {
+    /// Per communicator: the bound sensors (empty for non-sensor comms).
+    sensors: Vec<Vec<logrel_core::SensorId>>,
+    /// Per task: the replica hosts.
+    hosts: Vec<Vec<logrel_core::HostId>>,
+}
+
+/// The whole simulation, lowered to dense index-addressed form once in
+/// [`Simulation::new`] so the hot loop performs no map lookups and no
+/// per-replica allocation.
+#[derive(Debug, Clone)]
+struct RoundProgram {
+    slots: Vec<SlotProgram>,
+    phases: Vec<PhaseTables>,
+    tasks: Vec<TaskTable>,
+    /// Total input accesses across tasks (= flat latch buffer length).
+    total_inputs: usize,
+    /// Total outputs across tasks (= flat result buffer length).
+    total_outputs: usize,
+    max_inputs: usize,
+    max_outputs: usize,
+    max_replicas: usize,
+}
+
 /// A prepared simulation of one system.
 pub struct Simulation<'a> {
     spec: &'a Specification,
@@ -88,6 +172,9 @@ pub struct Simulation<'a> {
     latch_at: BTreeMap<u64, Vec<(TaskId, usize)>>,
     /// slot → tasks whose read time is this slot.
     reads_at: BTreeMap<u64, Vec<TaskId>>,
+    /// The compiled form of the four maps above, used by [`Simulation::run`];
+    /// the maps are retained for [`Simulation::run_reference`].
+    program: RoundProgram,
 }
 
 impl<'a> Simulation<'a> {
@@ -133,14 +220,17 @@ impl<'a> Simulation<'a> {
                 landing.insert((a.comm, slot), (t, idx, rounds_back));
             }
         }
+        let events: Vec<u64> = events.into_iter().collect();
+        let program = compile(spec, imp, &events, &landing, &latch_at, &reads_at);
         Simulation {
             spec,
             imp,
             voting: crate::voting::VotingStrategy::default(),
-            events: events.into_iter().collect(),
+            events,
             landing,
             latch_at,
             reads_at,
+            program,
         }
     }
 
@@ -153,8 +243,174 @@ impl<'a> Simulation<'a> {
         self
     }
 
-    /// Runs the simulation.
+    /// Runs the simulation by interpreting the compiled round program.
+    ///
+    /// Produces bit-identical output to [`Simulation::run_reference`] for
+    /// equal inputs and seed: the instruction lists replay the reference
+    /// interpreter's exact iteration orders, so every RNG draw, trace
+    /// record and environment call happens in the same sequence.
     pub fn run(
+        &self,
+        behaviors: &mut BehaviorMap,
+        env: &mut dyn Environment,
+        injector: &mut dyn FaultInjector,
+        config: &SimConfig,
+    ) -> SimOutput {
+        let spec = self.spec;
+        let prog = &self.program;
+        let round = spec.round_period().as_u64();
+        let phase_count = prog.phases.len() as u64;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut trace = Trace::new(spec);
+        let mut comm_values: Vec<Value> = spec
+            .communicator_ids()
+            .map(|c| spec.communicator(c).init())
+            .collect();
+        // Flat scratch state, allocated once per run. The two result
+        // buffers are indexed by round parity, as in the reference
+        // interpreter's `results` array; a `false` delivered flag covers
+        // both "no result yet" and "executed but silent" (both read as ⊥).
+        let mut latched = vec![Value::Unreliable; prog.total_inputs];
+        let mut result_vals =
+            [vec![Value::Unreliable; prog.total_outputs], vec![Value::Unreliable; prog.total_outputs]];
+        let mut result_delivered = [vec![false; spec.task_count()], vec![false; spec.task_count()]];
+        let mut task_stats = vec![TaskStats::default(); spec.task_count()];
+        let mut inputs_buf: Vec<Value> = Vec::with_capacity(prog.max_inputs);
+        let mut outputs_buf: Vec<Value> = Vec::with_capacity(prog.max_outputs);
+        let mut replica_vals = vec![Value::Unreliable; prog.max_replicas * prog.max_outputs];
+        let mut replica_ok = vec![false; prog.max_replicas];
+
+        for r in 0..config.rounds {
+            let phase = &prog.phases[(r % phase_count) as usize];
+            let base = r * round;
+            let parity = (r % 2) as usize;
+            for sp in &prog.slots {
+                let now = Tick::new(base + sp.offset);
+                env.advance(now);
+
+                // ---- 1. communicator updates due at this instant ----
+                for op in &sp.updates {
+                    match *op {
+                        UpdateOp::Sensor { comm } => {
+                            let c = CommunicatorId::new(comm);
+                            let mut any_ok = false;
+                            for &s in &phase.sensors[comm as usize] {
+                                // Sample every sensor (no short-circuit) so
+                                // the failure process is independent of
+                                // evaluation order.
+                                if injector.sensor_ok(s, now, &mut rng) {
+                                    any_ok = true;
+                                }
+                            }
+                            comm_values[comm as usize] = if any_ok {
+                                env.sense(c, now)
+                            } else {
+                                Value::Unreliable
+                            };
+                            trace.record(c, now, comm_values[comm as usize]);
+                        }
+                        UpdateOp::Landed {
+                            comm,
+                            task,
+                            out_slot,
+                            rounds_back,
+                        } => {
+                            let c = CommunicatorId::new(comm);
+                            let rb = u64::from(rounds_back);
+                            if r >= rb {
+                                let p = ((r - rb) % 2) as usize;
+                                comm_values[comm as usize] = if result_delivered[p][task as usize]
+                                {
+                                    result_vals[p][out_slot as usize]
+                                } else {
+                                    Value::Unreliable
+                                };
+                            }
+                            // else: nothing produced yet, init persists.
+                            trace.record(c, now, comm_values[comm as usize]);
+                            env.actuate(c, comm_values[comm as usize], now);
+                        }
+                        UpdateOp::Persist { comm } => {
+                            let c = CommunicatorId::new(comm);
+                            trace.record(c, now, comm_values[comm as usize]);
+                            env.actuate(c, comm_values[comm as usize], now);
+                        }
+                    }
+                }
+
+                // ---- 2. latch input accesses due at this instant ----
+                for l in &sp.latches {
+                    latched[l.dst as usize] = comm_values[l.comm as usize];
+                }
+
+                // ---- 3. task reads / logical execution ----
+                for &ti in &sp.reads {
+                    let t = ti as usize;
+                    let tt = &prog.tasks[t];
+                    let raw = &latched[tt.in_base..tt.in_base + tt.n_in];
+                    let any_reliable = raw.iter().any(Value::is_reliable);
+                    let all_reliable = raw.iter().all(Value::is_reliable);
+                    let executes = match tt.model {
+                        FailureModel::Series => all_reliable,
+                        FailureModel::Parallel => any_reliable,
+                        FailureModel::Independent => true,
+                    };
+                    if executes {
+                        inputs_buf.clear();
+                        inputs_buf.extend(raw.iter().enumerate().map(|(i, &v)| {
+                            if v.is_reliable() {
+                                v
+                            } else {
+                                tt.defaults[i]
+                            }
+                        }));
+                        behaviors.invoke_into(spec, TaskId::new(ti), &inputs_buf, &mut outputs_buf);
+                    }
+                    let hosts = &phase.hosts[t];
+                    let mut delivered = false;
+                    for (i, &h) in hosts.iter().enumerate() {
+                        // Sample both draws for every replica so the
+                        // process is order-independent.
+                        let host_ok = injector.host_ok(h, now, &mut rng);
+                        let bc_ok = injector.broadcast_ok(h, now, &mut rng);
+                        let ok = executes && host_ok && bc_ok;
+                        replica_ok[i] = ok;
+                        if ok {
+                            let dst = &mut replica_vals[i * tt.n_out..(i + 1) * tt.n_out];
+                            dst.copy_from_slice(&outputs_buf);
+                            injector.corrupt(h, now, dst, &mut rng);
+                            delivered = true;
+                        }
+                    }
+                    crate::voting::vote_into(
+                        &replica_vals[..hosts.len() * tt.n_out],
+                        &replica_ok[..hosts.len()],
+                        tt.n_out,
+                        self.voting,
+                        &mut result_vals[parity][tt.out_base..tt.out_base + tt.n_out],
+                    );
+                    task_stats[t].invocations += 1;
+                    if delivered {
+                        task_stats[t].delivered += 1;
+                    }
+                    result_delivered[parity][t] = delivered;
+                }
+            }
+        }
+        SimOutput {
+            trace,
+            task_stats,
+            final_values: comm_values,
+        }
+    }
+
+    /// Runs the simulation with the original map-driven interpreter.
+    ///
+    /// Retained as the differential oracle for the compiled round program
+    /// (`tests` assert bit-identical [`SimOutput`]s) and as the baseline
+    /// of the `simulator` benchmark. Semantically identical to
+    /// [`Simulation::run`], only slower.
+    pub fn run_reference(
         &self,
         behaviors: &mut BehaviorMap,
         env: &mut dyn Environment,
@@ -301,6 +557,125 @@ impl<'a> Simulation<'a> {
             task_stats,
             final_values: comm_values,
         }
+    }
+}
+
+/// Lowers the event calendar and access maps into the dense round
+/// program interpreted by [`Simulation::run`].
+fn compile(
+    spec: &Specification,
+    imp: &TimeDependentImplementation,
+    events: &[u64],
+    landing: &BTreeMap<(CommunicatorId, u64), (TaskId, usize, u64)>,
+    latch_at: &BTreeMap<u64, Vec<(TaskId, usize)>>,
+    reads_at: &BTreeMap<u64, Vec<TaskId>>,
+) -> RoundProgram {
+    let mut tasks = Vec::with_capacity(spec.task_count());
+    let (mut in_base, mut out_base) = (0usize, 0usize);
+    for t in spec.task_ids() {
+        let decl = spec.task(t);
+        let (n_in, n_out) = (decl.inputs().len(), decl.outputs().len());
+        let defaults = (0..n_in)
+            .map(|i| {
+                decl.default_values()
+                    .get(i)
+                    .copied()
+                    .unwrap_or(Value::Unreliable)
+            })
+            .collect();
+        tasks.push(TaskTable {
+            model: decl.failure_model(),
+            in_base,
+            n_in,
+            out_base,
+            n_out,
+            defaults,
+        });
+        in_base += n_in;
+        out_base += n_out;
+    }
+    let tasks: Vec<TaskTable> = tasks;
+
+    let phases = imp
+        .phases()
+        .iter()
+        .map(|phase| PhaseTables {
+            sensors: spec
+                .communicator_ids()
+                .map(|c| {
+                    if spec.is_sensor_input(c) {
+                        phase.sensors_of(c).iter().copied().collect()
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect(),
+            hosts: spec
+                .task_ids()
+                .map(|t| phase.hosts_of(t).iter().copied().collect())
+                .collect(),
+        })
+        .collect::<Vec<PhaseTables>>();
+
+    let slots = events
+        .iter()
+        .map(|&slot| {
+            let updates = spec
+                .communicator_ids()
+                .filter(|&c| slot % spec.communicator(c).period().as_u64() == 0)
+                .map(|c| {
+                    let comm = c.index() as u32;
+                    if spec.is_sensor_input(c) {
+                        UpdateOp::Sensor { comm }
+                    } else if let Some(&(t, out_idx, rounds_back)) = landing.get(&(c, slot)) {
+                        UpdateOp::Landed {
+                            comm,
+                            task: t.index() as u32,
+                            out_slot: (tasks[t.index()].out_base + out_idx) as u32,
+                            rounds_back: rounds_back as u32,
+                        }
+                    } else {
+                        UpdateOp::Persist { comm }
+                    }
+                })
+                .collect();
+            let latches = latch_at
+                .get(&slot)
+                .map(|l| {
+                    l.iter()
+                        .map(|&(t, idx)| LatchOp {
+                            dst: (tasks[t.index()].in_base + idx) as u32,
+                            comm: spec.task(t).inputs()[idx].comm.index() as u32,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let reads = reads_at
+                .get(&slot)
+                .map(|ts| ts.iter().map(|t| t.index() as u32).collect())
+                .unwrap_or_default();
+            SlotProgram {
+                offset: slot,
+                updates,
+                latches,
+                reads,
+            }
+        })
+        .collect();
+
+    RoundProgram {
+        slots,
+        max_replicas: phases
+            .iter()
+            .flat_map(|p| p.hosts.iter().map(Vec::len))
+            .max()
+            .unwrap_or(0),
+        phases,
+        total_inputs: in_base,
+        total_outputs: out_base,
+        max_inputs: tasks.iter().map(|t| t.n_in).max().unwrap_or(0),
+        max_outputs: tasks.iter().map(|t| t.n_out).max().unwrap_or(0),
+        tasks,
     }
 }
 
@@ -976,5 +1351,94 @@ mod tests {
         let bits = out.trace.abstraction(spec.find_communicator("u").unwrap());
         let mean = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    /// The compiled round program must be bit-identical to the reference
+    /// interpreter: same trace, same statistics, same final values.
+    #[test]
+    fn compiled_program_matches_reference_interpreter() {
+        for seed in [1u64, 7, 0xC0FFEE] {
+            let sys = pipeline(0.8, 0.9);
+            let sim = Simulation::new(&sys.spec, &sys.arch, &sys.imp);
+            let config = SimConfig { rounds: 500, seed };
+            let mut inj = ProbabilisticFaults::from_architecture(&sys.arch);
+            let fast = sim.run(
+                &mut doubling_behaviors(&sys.spec),
+                &mut ConstantEnvironment::new(Value::Float(21.0)),
+                &mut inj,
+                &config,
+            );
+            let mut inj = ProbabilisticFaults::from_architecture(&sys.arch);
+            let slow = sim.run_reference(
+                &mut doubling_behaviors(&sys.spec),
+                &mut ConstantEnvironment::new(Value::Float(21.0)),
+                &mut inj,
+                &config,
+            );
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    /// Differential check on the hard cases: replication with majority
+    /// voting and corruption, plus a phase-alternating implementation.
+    #[test]
+    fn compiled_program_matches_reference_on_replicated_phased_system() {
+        use crate::fault::CorruptingFaults;
+        use crate::voting::VotingStrategy;
+        let mut sb = Specification::builder();
+        let s = sb
+            .communicator(
+                CommunicatorDecl::new("s", ValueType::Float, 10)
+                    .unwrap()
+                    .from_sensor(),
+            )
+            .unwrap();
+        let u = sb
+            .communicator(CommunicatorDecl::new("u", ValueType::Float, 5).unwrap())
+            .unwrap();
+        let t = sb.task(TaskDecl::new("double").reads(s, 0).writes(u, 1)).unwrap();
+        let spec = sb.build().unwrap();
+        let mut ab = Architecture::builder();
+        let hs: Vec<HostId> = (0..3)
+            .map(|i| ab.host(HostDecl::new(format!("h{i}"), r(0.9))).unwrap())
+            .collect();
+        ab.sensor(SensorDecl::new("sn", r(0.95))).unwrap();
+        ab.wcet_all(t, 1).unwrap();
+        ab.wctt_all(t, 1).unwrap();
+        let arch = ab.build();
+        let p0 = Implementation::builder()
+            .assign(t, hs.clone())
+            .bind_sensor(s, SensorId::new(0))
+            .build(&spec, &arch)
+            .unwrap();
+        let p1 = p0.with_assignment(t, [hs[0], hs[2]]);
+        let imp = TimeDependentImplementation::new(vec![p0, p1]).unwrap();
+        let mut sim = Simulation::new(&spec, &arch, &imp);
+        sim.set_voting(VotingStrategy::Majority);
+        let behaviors = || {
+            let mut b = BehaviorMap::new();
+            b.register(t, |i: &[Value]| {
+                vec![Value::Float(2.0 * i[0].as_float().unwrap_or(0.0))]
+            });
+            b
+        };
+        let config = SimConfig { rounds: 400, seed: 42 };
+        let fast = sim.run(
+            &mut behaviors(),
+            &mut ConstantEnvironment::new(Value::Float(1.0)),
+            &mut CorruptingFaults::new(0.2, -7.0),
+            &config,
+        );
+        let slow = sim.run_reference(
+            &mut behaviors(),
+            &mut ConstantEnvironment::new(Value::Float(1.0)),
+            &mut CorruptingFaults::new(0.2, -7.0),
+            &config,
+        );
+        assert_eq!(fast, slow);
+        // Corruption actually bit somewhere (the run was not trivial).
+        let vals = fast.trace.values(u);
+        assert!(vals.iter().any(|&(_, v)| v == Value::Unreliable || v == Value::Float(-7.0)));
+        assert!(fast.task_stats[0].delivered > 0);
     }
 }

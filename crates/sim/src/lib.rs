@@ -15,6 +15,9 @@
 //! * [`fault`] — fault injectors: per-invocation transient faults from the
 //!   architecture's reliabilities, scheduled "unplug" events, and
 //!   compositions;
+//! * [`montecarlo`] — deterministic parallel Monte-Carlo batches: derived
+//!   per-replication seeds, scoped worker threads, replication-order
+//!   merging (bit-identical results at any thread count);
 //! * [`trace`] — recorded traces, their reliability abstraction ρ and
 //!   limit averages;
 //! * [`emrun`] — cross-validation of the E-machine code generator against
@@ -35,6 +38,7 @@ pub mod emrun;
 pub mod environment;
 pub mod fault;
 pub mod kernel;
+pub mod montecarlo;
 pub mod trace;
 pub mod voting;
 
@@ -44,5 +48,8 @@ pub use fault::{
     CorruptingFaults, FaultInjector, NoFaults, PermanentFaults, ProbabilisticFaults, UnplugAt,
 };
 pub use kernel::{SimConfig, SimOutput, Simulation};
+pub use montecarlo::{
+    derive_seed, run_batch, run_replications, BatchConfig, ReplicationContext,
+};
 pub use trace::Trace;
-pub use voting::{vote, VotingStrategy};
+pub use voting::{vote, vote_into, VotingStrategy};

@@ -61,6 +61,61 @@ pub fn vote(
     }
 }
 
+/// Index-addressed variant of [`vote`] used by the compiled kernel: the
+/// replica outputs live in one flat buffer (`replica_vals`, row `i` at
+/// `i*arity..(i+1)*arity`), with `replica_ok[i]` marking delivery. Writes
+/// the voted outputs into `out` and returns whether any replica delivered.
+///
+/// Produces bit-identical results to [`vote`] on the equivalent
+/// `&[Option<Vec<Value>>]` view, without allocating.
+///
+/// # Panics
+///
+/// Panics if `out.len() != arity` or the buffers are shorter than the
+/// replica count implies.
+pub fn vote_into(
+    replica_vals: &[Value],
+    replica_ok: &[bool],
+    arity: usize,
+    strategy: VotingStrategy,
+    out: &mut [Value],
+) -> bool {
+    assert_eq!(out.len(), arity, "output arity mismatch");
+    assert!(replica_vals.len() >= replica_ok.len() * arity);
+    let delivered = replica_ok.iter().filter(|&&ok| ok).count();
+    if delivered == 0 {
+        out.fill(Value::Unreliable);
+        return false;
+    }
+    match strategy {
+        VotingStrategy::AnyReliable => {
+            // First delivered replica wins, as in `vote`.
+            let first = replica_ok.iter().position(|&ok| ok).unwrap();
+            out.copy_from_slice(&replica_vals[first * arity..(first + 1) * arity]);
+        }
+        VotingStrategy::Majority => {
+            let need = delivered / 2 + 1;
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = Value::Unreliable;
+                // Candidates in delivery order; first strict majority wins.
+                for (c, _) in replica_ok.iter().enumerate().filter(|&(_, &ok)| ok) {
+                    let v = replica_vals[c * arity + k];
+                    let count = replica_ok
+                        .iter()
+                        .enumerate()
+                        .filter(|&(d, &ok)| ok && replica_vals[d * arity + k] == v)
+                        .count();
+                    if count >= need {
+                        *slot = v;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +187,47 @@ mod tests {
             VotingStrategy::Majority,
         );
         assert_eq!(out, vec![Value::Bool(true)]);
+    }
+
+    /// `vote_into` must agree with `vote` on every replica pattern.
+    #[test]
+    fn flat_voting_matches_reference_voting() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xB0BA);
+        for _ in 0..500 {
+            let n_rep = rng.gen_range(0..5usize);
+            let arity = rng.gen_range(0..4usize);
+            let replicas: Vec<Option<Vec<Value>>> = (0..n_rep)
+                .map(|_| {
+                    if rng.gen_bool(0.4) {
+                        None
+                    } else {
+                        Some(
+                            (0..arity)
+                                // A tiny value domain forces frequent ties
+                                // and splits.
+                                .map(|_| Value::Int(rng.gen_range(0..3i64)))
+                                .collect(),
+                        )
+                    }
+                })
+                .collect();
+            let mut flat = vec![Value::Unreliable; n_rep * arity];
+            let mut ok = vec![false; n_rep];
+            for (i, r) in replicas.iter().enumerate() {
+                if let Some(vals) = r {
+                    ok[i] = true;
+                    flat[i * arity..(i + 1) * arity].copy_from_slice(vals);
+                }
+            }
+            for strategy in [VotingStrategy::AnyReliable, VotingStrategy::Majority] {
+                let expected = vote(&replicas, arity, strategy);
+                let mut got = vec![Value::Unreliable; arity];
+                let delivered = vote_into(&flat, &ok, arity, strategy, &mut got);
+                assert_eq!(got, expected, "{replicas:?} under {strategy:?}");
+                assert_eq!(delivered, replicas.iter().any(Option::is_some));
+            }
+        }
     }
 }

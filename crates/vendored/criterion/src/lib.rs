@@ -1,0 +1,324 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset this workspace's benches use — benchmark
+//! groups, [`BenchmarkId`], [`Throughput`], `bench_with_input`,
+//! `bench_function` and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a simple but serviceable harness: per benchmark it warms up,
+//! auto-calibrates an iteration count to a target measurement time, then
+//! reports the median of several timed batches together with derived
+//! throughput.
+//!
+//! Statistical machinery (bootstrap CIs, HTML reports, baselines) is out
+//! of scope; the numbers are stable enough for the `≥ N×` comparisons the
+//! repo's perf work asserts, and `--bench` filtering is honoured so
+//! `cargo bench -p logrel-bench simulator` behaves as expected.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-amount annotation used to derive throughput rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter display value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to bench closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, calibration to ~`MEASURE_MS` per
+    /// batch, then the median over `BATCHES` timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const WARMUP_MS: u64 = 120;
+        const MEASURE_MS: u64 = 240;
+        const BATCHES: usize = 5;
+
+        // Warm-up and single-shot calibration.
+        let warmup = Duration::from_millis(WARMUP_MS);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch =
+            ((Duration::from_millis(MEASURE_MS).as_secs_f64() / BATCHES as f64) / per_iter)
+                .ceil()
+                .max(1.0) as u64;
+
+        let mut samples = [0f64; BATCHES];
+        for sample in &mut samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            *sample = t.elapsed().as_secs_f64() * 1e9 / batch as f64;
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = samples[BATCHES / 2];
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work amount used to derive rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        self.criterion.report(&full, b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Benchmarks a parameterless routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId2>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        self.criterion.report(&full, b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(&mut self) {}
+}
+
+/// Either a string or a [`BenchmarkId`] — argument sugar for
+/// [`BenchmarkGroup::bench_function`].
+pub struct BenchmarkId2(String);
+
+impl From<&str> for BenchmarkId2 {
+    fn from(s: &str) -> Self {
+        BenchmarkId2(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId2 {
+    fn from(s: String) -> Self {
+        BenchmarkId2(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkId2 {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkId2(id.id)
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Collected `(name, ns/iter, throughput)` rows.
+    results: Vec<(String, f64, Option<Throughput>)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` / `cargo bench <filter>`: take the
+        // first free argument as a substring filter, ignore flags.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            filter,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| name.contains(f))
+    }
+
+    fn report(&mut self, name: &str, ns: f64, throughput: Option<Throughput>) {
+        let mut line = format!("{name:<44} {:>12}/iter", human_time(ns));
+        if let Some(t) = throughput {
+            let (amount, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = amount as f64 / (ns / 1e9);
+            let _ = write!(line, "   {:>14}", human_rate(rate, unit));
+        }
+        println!("{line}");
+        self.results.push((name.to_owned(), ns, throughput));
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a parameterless routine at the top level.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(name) {
+            return self;
+        }
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        let name = name.to_owned();
+        self.report(&name, b.ns_per_iter, None);
+        self
+    }
+
+    /// Final configuration hook (kept for API compatibility).
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion {
+            filter: None,
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("work", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 > 0.0);
+        assert!(c.results[0].0.contains("g/work/100"));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".to_owned()),
+            results: Vec::new(),
+        };
+        c.bench_function("other", |b| b.iter(|| 1));
+        assert!(c.results.is_empty());
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,325 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest used by this workspace as plain
+//! random sampling: strategies are samplers, `proptest!` runs each test
+//! body for `ProptestConfig::cases` independently drawn inputs with a
+//! deterministic per-test seed (derived from the test's module path and
+//! name), and `prop_assert*` forwards to the std assertion macros.
+//!
+//! **No shrinking**: a failing case panics with the sampled inputs left to
+//! the panic message of the inner assertion. That trades minimal
+//! counterexamples for zero dependencies, which is the right trade in a
+//! build environment without crates.io access.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// The per-test RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Run-time knobs of a `proptest!` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of independently sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 128 keeps offline CI fast while still
+        // exercising every property broadly.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Derives the deterministic RNG for one test from its fully qualified
+/// name (stable across runs and platforms — FNV-1a over the name).
+#[must_use]
+pub fn rng_for_test(qualified_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in qualified_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::RangeBounds;
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl RangeBounds<usize>) -> VecStrategy<S> {
+        use std::ops::Bound;
+        let lo = match size.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match size.end_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v - 1,
+            Bound::Unbounded => lo + 16,
+        };
+        assert!(lo <= hi, "empty size range for collection::vec");
+        VecStrategy { element, lo, hi }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.lo..=self.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// `None` in ~25% of samples (upstream's default weighting is 1:4),
+    /// `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_range(0..4usize) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// The error type a `proptest!` body may early-return with `Ok(())` /
+/// `Err(..)` (upstream runs bodies inside a `Result`-returning closure;
+/// the shim does the same so `return Ok(())` keeps working).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed with a message.
+    Fail(String),
+    /// The case asked to be discarded (counted as a skip here).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy over the whole type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy over all of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub mod prelude {
+    //! The idiomatic import set: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Union of same-valued strategies, drawn with equal weight.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Random-sampling property tests.
+///
+/// Supports the upstream surface this workspace uses: an optional leading
+/// `#![proptest_config(expr)]`, then any number of `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal rules must precede the catch-all entry rule, or recursive
+    // `@cfg` calls would re-enter it and never terminate.
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&$strat, &mut rng);)+
+                // Bodies may `return Ok(())` early, as under upstream
+                // proptest, so they run inside a Result closure.
+                #[allow(unused_mut)]
+                let mut case =
+                    || -> ::std::result::Result<(), $crate::TestCaseError> { $body Ok(()) };
+                match case() {
+                    Ok(()) | Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(reason)) => {
+                        panic!("proptest case failed: {reason}")
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tag {
+        A(i64),
+        B(bool),
+    }
+
+    fn tag() -> impl Strategy<Value = Tag> {
+        prop_oneof![
+            (-5i64..5).prop_map(Tag::A),
+            any::<bool>().prop_map(Tag::B),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 1u64..20, y in -3i64..=3, f in 0.25f64..0.75) {
+            prop_assert!((1..20).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u64..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(t in tag(), o in crate::option::of(Just(7u64))) {
+            match t {
+                Tag::A(v) => prop_assert!((-5..5).contains(&v)),
+                Tag::B(_) => {}
+            }
+            if let Some(v) = o {
+                prop_assert_eq!(v, 7);
+            }
+        }
+
+        #[test]
+        fn regex_subset_generates_identifiers(s in "[a-z][a-z0-9_]{0,6}") {
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+            prop_assert!(s.len() <= 7);
+            prop_assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = crate::collection::vec(0u64..1000, 3..5);
+        let mut a = crate::rng_for_test("x::y");
+        let mut b = crate::rng_for_test("x::y");
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    #[test]
+    fn filter_rejects_until_predicate_holds() {
+        let strat = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = crate::rng_for_test("filter");
+        for _ in 0..200 {
+            assert_eq!(strat.sample(&mut rng) % 2, 0);
+        }
+    }
+}

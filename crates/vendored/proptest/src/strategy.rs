@@ -1,0 +1,309 @@
+//! Strategies: samplers of arbitrary values.
+
+use super::TestRng;
+use rand::Rng;
+
+/// A source of random values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// is exactly a sampler.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, resampling (up to an attempt cap).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`] to mix arms of
+    /// different concrete types).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe core of [`Strategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_sample(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_sample(rng)
+    }
+}
+
+/// Equal-weight union of boxed strategies; the engine behind
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// A union of the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let k = rng.gen_range(0..self.0.len());
+        self.0[k].sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 samples in a row", self.reason);
+    }
+}
+
+/// The constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- ranges -------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, f64);
+
+// --- any::<T>() ---------------------------------------------------------
+
+/// Strategy behind `any::<T>()` for primitives.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_primitive {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+        impl crate::Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_primitive!(bool, u32, u64, usize, i64, f64);
+
+// --- tuples -------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// --- string patterns ----------------------------------------------------
+
+/// `&str` patterns act as generators for the small regex subset used in
+/// this workspace: literals, character classes (`[a-z0-9_]`, ranges and
+/// plain members), and class repetition `{m,n}` / `?` / `*` / `+`
+/// (unbounded repeats capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a class or a literal char.
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+            let mut members = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    members.extend((lo..=hi).filter(|c| c.is_ascii()));
+                    j += 3;
+                } else {
+                    members.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+            members
+        } else {
+            let c = chars[i];
+            assert!(
+                !"(){}|.\\^$".contains(c),
+                "unsupported regex feature {c:?} in pattern {pattern:?} \
+                 (the vendored proptest shim generates classes/literals/repeats only)"
+            );
+            i += 1;
+            vec![c]
+        };
+        // Optional repetition suffix.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed repeat in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.parse().expect("repeat lower bound"),
+                    b.parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n: usize = body.parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && "?*+".contains(chars[i]) {
+            let op = chars[i];
+            i += 1;
+            match op {
+                '?' => (0, 1),
+                '*' => (0, 8),
+                _ => (1, 8),
+            }
+        } else {
+            (1, 1)
+        };
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            out.push(class[rng.gen_range(0..class.len())]);
+        }
+    }
+    out
+}

@@ -1,0 +1,334 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *exact* API subset it consumes: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`] and the [`Rng`] extension methods
+//! `gen::<f64>()`, `gen_range(Range)`, and `gen_bool(p)`.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna) seeded through
+//! splitmix64, the seeding procedure recommended by its authors. It is not
+//! the upstream `StdRng` stream (ChaCha12) — seeds therefore produce
+//! different (but still deterministic and statistically sound) sequences.
+//! Every consumer in this workspace only relies on determinism and i.i.d.
+//! uniformity, never on a specific upstream stream.
+
+#![forbid(unsafe_code)]
+
+/// Advances a splitmix64 state and returns the next output.
+///
+/// Public because the Monte-Carlo batch runner reuses the same mixer for
+/// per-replication seed derivation.
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seedable pseudo-random generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it to the full
+    /// state via splitmix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers over a raw `u64` source.
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64`/`f32`: uniform in `[0, 1)`; integers: uniform over the full
+    /// range; `bool`: fair coin).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: std::ops::RangeBounds<T>,
+        Self: Sized,
+    {
+        T::sample_range(self, &range)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types samplable from their "standard" distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Types with uniform range sampling.
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `range`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: &impl std::ops::RangeBounds<Self>)
+        -> Self;
+}
+
+/// Resolves integer range bounds to an inclusive `[lo, hi]` pair in u64
+/// offset space.
+fn int_bounds<T, R>(range: &R, min: i128, max: i128, to: impl Fn(&T) -> i128) -> (i128, i128)
+where
+    R: std::ops::RangeBounds<T>,
+{
+    use std::ops::Bound;
+    let lo = match range.start_bound() {
+        Bound::Included(v) => to(v),
+        Bound::Excluded(v) => to(v) + 1,
+        Bound::Unbounded => min,
+    };
+    let hi = match range.end_bound() {
+        Bound::Included(v) => to(v),
+        Bound::Excluded(v) => to(v) - 1,
+        Bound::Unbounded => max,
+    };
+    assert!(lo <= hi, "gen_range called with an empty range");
+    (lo, hi)
+}
+
+/// Uniform draw from `[0, n)` without modulo bias (Lemire-style widening
+/// rejection, simplified to plain rejection on the top bits).
+fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, n: u128) -> u128 {
+    debug_assert!(n > 0);
+    if n == 1 {
+        return 0;
+    }
+    // Rejection sampling over the smallest power-of-two envelope.
+    let bits = 128 - (n - 1).leading_zeros();
+    loop {
+        let raw = if bits <= 64 {
+            u128::from(rng.next_u64()) & ((1u128 << bits) - 1)
+        } else {
+            let hi = u128::from(rng.next_u64());
+            let lo = u128::from(rng.next_u64());
+            ((hi << 64) | lo) & (((1u128 << (bits - 1)) - 1 << 1) | 1)
+        };
+        if raw < n {
+            return raw;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(
+                rng: &mut R,
+                range: &impl std::ops::RangeBounds<Self>,
+            ) -> Self {
+                let (lo, hi) = int_bounds(
+                    range,
+                    i128::from(<$t>::MIN),
+                    i128::from(<$t>::MAX),
+                    |v| i128::from(*v),
+                );
+                let span = (hi - lo) as u128 + 1;
+                let off = uniform_u64(rng, span) as i128;
+                (lo + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl SampleUniform for usize {
+    fn sample_range<R: Rng + ?Sized>(
+        rng: &mut R,
+        range: &impl std::ops::RangeBounds<Self>,
+    ) -> Self {
+        let (lo, hi) = int_bounds(range, 0, usize::MAX as i128, |v| *v as i128);
+        let span = (hi - lo) as u128 + 1;
+        let off = uniform_u64(rng, span) as i128;
+        (lo + off) as usize
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(
+        rng: &mut R,
+        range: &impl std::ops::RangeBounds<Self>,
+    ) -> Self {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(v) | Bound::Excluded(v) => *v,
+            Bound::Unbounded => panic!("gen_range on f64 requires a lower bound"),
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(v) | Bound::Excluded(v) => *v,
+            Bound::Unbounded => panic!("gen_range on f64 requires an upper bound"),
+        };
+        assert!(lo < hi || (lo == hi && range.contains(&lo)), "empty f64 range");
+        let u: f64 = Standard::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    ///
+    /// All-zero states are unreachable through [`SeedableRng::seed_from_u64`]
+    /// (splitmix64 expansion never yields four zero words).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let draw = |seed| {
+            let mut r = StdRng::seed_from_u64(seed);
+            (0..16).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        let below: usize = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..n).filter(|_| r.gen::<f64>() < 0.25).count()
+        };
+        let frac = below as f64 / f64::from(n);
+        assert!((frac - 0.25).abs() < 0.005, "frac {frac}");
+    }
+
+    #[test]
+    fn ranges_hit_all_values_without_bias() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[r.gen_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 10_000.0 - 1.0).abs() < 0.08, "counts {counts:?}");
+        }
+        // Inclusive and signed ranges stay in bounds.
+        for _ in 0..1000 {
+            let v = r.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+            let f = r.gen_range(0.5f64..1.0);
+            assert!((0.5..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+}
