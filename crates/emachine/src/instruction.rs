@@ -150,6 +150,12 @@ impl ECode {
         self.instructions.len()
     }
 
+    /// The full instruction sequence (for disassembly and static
+    /// verification).
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
     /// `true` if the program has no instructions.
     pub fn is_empty(&self) -> bool {
         self.instructions.is_empty()

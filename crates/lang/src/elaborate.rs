@@ -101,17 +101,23 @@ pub fn elaborate_modes(program: &Program) -> Result<ElaboratedModes, LangError> 
             imp: sys.imp,
         });
     }
-    let mode_index = |name: &str| {
-        module
-            .modes
-            .iter()
-            .position(|m| m.name == name)
-            .expect("targets checked during elaboration")
-    };
     let mut switches = Vec::new();
     for (k, mode) in module.modes.iter().enumerate() {
         for sw in &mode.switches {
-            switches.push((k, sw.event.clone(), mode_index(&sw.target)));
+            let target = module
+                .modes
+                .iter()
+                .position(|m| m.name == sw.target)
+                .ok_or_else(|| {
+                    resolve_err(
+                        format!(
+                            "switch target `{}` is not a mode of module `{}`",
+                            sw.target, module.name
+                        ),
+                        sw.span,
+                    )
+                })?;
+            switches.push((k, sw.event.clone(), target));
         }
     }
     // The shared architecture comes from the start mode's elaboration; all
@@ -370,13 +376,20 @@ pub fn elaborate(program: &Program) -> Result<ElaboratedSystem, LangError> {
             .iter()
             .find(|m| m.start)
             .unwrap_or(&module.modes[0]);
+        // Accesses were resolved in the per-mode check loop above, but a
+        // lookup failure must stay a diagnostic, never a panic.
+        let resolved = |a: &Access| {
+            comm_ids.get(&a.comm).copied().ok_or_else(|| {
+                resolve_err(format!("unknown communicator `{}`", a.comm), a.span)
+            })
+        };
         for inv in &start_mode.invocations {
             let mut td = TaskDecl::new(inv.task.clone()).model(model_of(inv.model));
             for a in &inv.reads {
-                td = td.reads(comm_ids[&a.comm], a.instance);
+                td = td.reads(resolved(a)?, a.instance);
             }
             for a in &inv.writes {
-                td = td.writes(comm_ids[&a.comm], a.instance);
+                td = td.writes(resolved(a)?, a.instance);
             }
             for (k, &lit) in inv.defaults.iter().enumerate() {
                 let Some(access) = inv.reads.get(k) else {
@@ -385,7 +398,7 @@ pub fn elaborate(program: &Program) -> Result<ElaboratedSystem, LangError> {
                         inv.span,
                     ));
                 };
-                let cid = comm_ids[&access.comm];
+                let cid = resolved(access)?;
                 let ty = type_of(program.communicators[cid.index()].ty);
                 td = td.default_value(literal_to_value(lit, ty, inv.span)?);
             }

@@ -1,0 +1,707 @@
+//! Static verification of generated E-code (`E0xx`).
+//!
+//! The verifier abstractly interprets a per-host E-code program over its
+//! *reaction graph*: a reaction starts at the entry or at the target of an
+//! armed `future` trigger and runs in logical zero time through calls,
+//! releases, jumps and conditional jumps until `return`. Each reaction is
+//! assigned a *phase* — its logical offset within the round — and a
+//! must-latch dataflow fact (the set of task input slots latched since the
+//! last round boundary, intersected over all incoming paths). The
+//! traversal proves:
+//!
+//! | code | obligation |
+//! |------|------------|
+//! | E001 | the entry and every jump/future target are in bounds |
+//! | E002 | control never falls off the end of the program |
+//! | E003 | future offsets are consistent: every reaction has a unique phase, so each cycle's deltas sum to the round length |
+//! | E004 | mode switches (`jump_if_event`) are tested only at round boundaries (phase 0) |
+//! | E005 | every `release` happens at the releasing mode's read time for a task mapped to this host |
+//! | E006 | every `latch` addresses a real slot at its access instant, and every `release` finds all of its task's inputs latched on every path |
+//! | E007 | every reaction arms exactly one trigger before returning |
+//! | E008 | no same-instant control loop (the reaction terminates) |
+//! | E009 | each reaction updates exactly the communicator instances due at its phase, refreshes sensors first, and updates before dependent latches (the paper's semantics assumption 3) |
+//!
+//! Together these imply the co-simulation invariants checked at runtime:
+//! E003/E007/E008 make the program a productive round-periodic machine,
+//! E009 + E006 give the "all replications are first updated and then read"
+//! ordering, and E005 + the spec-level restriction *read < write* give
+//! release-before-result-read in logical time.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use logrel_core::{HostId, Implementation, Specification};
+use logrel_emachine::modal::ModalMode;
+use logrel_emachine::{Addr, DriverOp, ECode, Instruction};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One mode's specification and mapping, as seen by the verifier.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeCtx<'a> {
+    /// The mode's flattened specification.
+    pub spec: &'a Specification,
+    /// The mode's replication mapping.
+    pub imp: &'a Implementation,
+}
+
+/// What the verifier knows about the program under verification.
+#[derive(Debug, Clone)]
+pub struct VerifyCtx<'a> {
+    /// The host the program was generated for.
+    pub host: HostId,
+    /// The modes (one for single-mode programs). All modes share the
+    /// communicator declarations and the round period.
+    pub modes: Vec<ModeCtx<'a>>,
+}
+
+impl<'a> VerifyCtx<'a> {
+    /// Context for a single-mode program.
+    pub fn single(spec: &'a Specification, imp: &'a Implementation, host: HostId) -> Self {
+        VerifyCtx {
+            host,
+            modes: vec![ModeCtx { spec, imp }],
+        }
+    }
+
+    /// Context for a modal program.
+    pub fn modal(modes: &'a [ModalMode<'a>], host: HostId) -> Self {
+        VerifyCtx {
+            host,
+            modes: modes
+                .iter()
+                .map(|m| ModeCtx {
+                    spec: m.spec,
+                    imp: m.imp,
+                })
+                .collect(),
+        }
+    }
+
+    fn round(&self) -> u64 {
+        self.modes[0].spec.round_period().as_u64()
+    }
+}
+
+/// Verifies an assembled program.
+pub fn verify(code: &ECode, ctx: &VerifyCtx<'_>) -> Vec<Diagnostic> {
+    verify_instructions(code.instructions(), code.entry(), ctx)
+}
+
+/// A latched task input slot: `(task index, input index)`.
+type Slot = (u32, u32);
+
+/// Verifies a raw instruction sequence (also usable for programs that
+/// [`ECode::new`] would reject, e.g. with out-of-range targets).
+pub fn verify_instructions(
+    ins: &[Instruction],
+    entry: Addr,
+    ctx: &VerifyCtx<'_>,
+) -> Vec<Diagnostic> {
+    let mut v = Verifier {
+        ins,
+        ctx,
+        round: ctx.round(),
+        diags: Vec::new(),
+        phases: BTreeMap::new(),
+        latched_in: BTreeMap::new(),
+    };
+    if !v.check_bounds(entry) {
+        return v.diags;
+    }
+    v.traverse(entry);
+    v.diags
+}
+
+struct Verifier<'a, 'b> {
+    ins: &'a [Instruction],
+    ctx: &'a VerifyCtx<'b>,
+    round: u64,
+    diags: Vec<Diagnostic>,
+    /// The phase each reaction head was first reached at.
+    phases: BTreeMap<usize, u64>,
+    /// Must-latch fact at each reaction head (intersection over paths).
+    latched_in: BTreeMap<usize, BTreeSet<Slot>>,
+}
+
+impl Verifier<'_, '_> {
+    fn error(&mut self, code: &'static str, message: String) {
+        self.diags
+            .push(Diagnostic::new(code, Severity::Error, Default::default(), message));
+    }
+
+    /// E001: entry and all targets in bounds. Returns `false` when the
+    /// program cannot be traversed safely.
+    fn check_bounds(&mut self, entry: Addr) -> bool {
+        let len = self.ins.len();
+        let mut ok = true;
+        if entry.0 >= len {
+            self.error("E001", format!("entry {entry} is out of bounds (len {len})"));
+            ok = false;
+        }
+        for (i, instr) in self.ins.iter().enumerate() {
+            let target = match instr {
+                Instruction::Future { target, .. }
+                | Instruction::Jump(target)
+                | Instruction::JumpIfEvent { target, .. } => *target,
+                _ => continue,
+            };
+            if target.0 >= len {
+                self.error(
+                    "E001",
+                    format!("@{i}: target {target} is out of bounds (len {len})"),
+                );
+                ok = false;
+            }
+        }
+        ok
+    }
+
+    /// Expected communicator updates at `phase`: instance `phase / period`
+    /// of every communicator whose period divides the phase.
+    fn expected_updates(&self, phase: u64) -> BTreeSet<(u32, u64)> {
+        let spec = self.ctx.modes[0].spec;
+        spec.communicator_ids()
+            .filter_map(|c| {
+                let period = spec.communicator(c).period().as_u64();
+                phase
+                    .is_multiple_of(period)
+                    .then_some((c.index() as u32, phase / period))
+            })
+            .collect()
+    }
+
+    /// Worklist traversal of the reaction graph from `entry` at phase 0.
+    fn traverse(&mut self, entry: Addr) {
+        let mut work: Vec<(usize, u64, BTreeSet<Slot>)> =
+            vec![(entry.0, 0, BTreeSet::new())];
+        while let Some((head, phase, latched)) = work.pop() {
+            match self.phases.get(&head) {
+                None => {
+                    self.phases.insert(head, phase);
+                }
+                Some(&known) if known != phase => {
+                    self.error(
+                        "E003",
+                        format!(
+                            "reaction @{head} is reached at phase {phase} and at phase \
+                             {known}; future offsets do not sum to the round length \
+                             ({}) on every path",
+                            self.round
+                        ),
+                    );
+                    continue;
+                }
+                Some(_) => {}
+            }
+            // Must-latch meet: intersect with what is already known.
+            let state = match self.latched_in.get(&head) {
+                None => latched,
+                Some(known) => {
+                    let meet: BTreeSet<Slot> = known.intersection(&latched).copied().collect();
+                    if meet == *known {
+                        continue; // no new information
+                    }
+                    meet
+                }
+            };
+            self.latched_in.insert(head, state.clone());
+            for succ in self.walk_reaction(head, phase, state) {
+                work.push(succ);
+            }
+        }
+    }
+
+    /// Interprets one reaction (all intra-instant paths) starting at
+    /// `head`, returning the successor reactions.
+    fn walk_reaction(
+        &mut self,
+        head: usize,
+        phase: u64,
+        latched: BTreeSet<Slot>,
+    ) -> Vec<(usize, u64, BTreeSet<Slot>)> {
+        let expected = self.expected_updates(phase);
+        let mut successors = Vec::new();
+        // Each in-flight path: (pc, armed trigger, visited pcs, latched,
+        // sensors read, communicators updated).
+        struct Path {
+            pc: usize,
+            armed: Option<(u64, usize)>,
+            visited: BTreeSet<usize>,
+            latched: BTreeSet<Slot>,
+            sensors_read: BTreeSet<u32>,
+            updated: BTreeSet<(u32, u64)>,
+        }
+        let mut paths = vec![Path {
+            pc: head,
+            armed: None,
+            visited: BTreeSet::new(),
+            latched,
+            sensors_read: BTreeSet::new(),
+            updated: BTreeSet::new(),
+        }];
+        while let Some(mut p) = paths.pop() {
+            loop {
+                if p.pc >= self.ins.len() {
+                    self.error(
+                        "E002",
+                        format!(
+                            "control falls off the end of the program in the reaction \
+                             at phase {phase} (started @{head})"
+                        ),
+                    );
+                    break;
+                }
+                if !p.visited.insert(p.pc) {
+                    self.error(
+                        "E008",
+                        format!(
+                            "same-instant control loop through @{} in the reaction at \
+                             phase {phase}",
+                            p.pc
+                        ),
+                    );
+                    break;
+                }
+                match self.ins[p.pc] {
+                    Instruction::Call(op) => {
+                        self.check_call(p.pc, phase, op, &mut p.latched, &mut p.sensors_read, &mut p.updated);
+                        p.pc += 1;
+                    }
+                    Instruction::Release { task } => {
+                        self.check_release(p.pc, phase, task.index() as u32, &p.latched);
+                        p.pc += 1;
+                    }
+                    Instruction::Future { delta, target } => {
+                        if p.armed.is_some() {
+                            self.error(
+                                "E007",
+                                format!(
+                                    "@{}: reaction at phase {phase} arms more than one \
+                                     trigger",
+                                    p.pc
+                                ),
+                            );
+                        }
+                        p.armed = Some((delta, target.0));
+                        p.pc += 1;
+                    }
+                    Instruction::Jump(target) => {
+                        p.pc = target.0;
+                    }
+                    Instruction::JumpIfEvent { event, target } => {
+                        if phase != 0 {
+                            self.error(
+                                "E004",
+                                format!(
+                                    "@{}: mode-switch test for event e{event} at phase \
+                                     {phase}; switches may only be tested at round \
+                                     boundaries (phase 0)",
+                                    p.pc
+                                ),
+                            );
+                        }
+                        // Branch: event fired.
+                        paths.push(Path {
+                            pc: target.0,
+                            armed: p.armed,
+                            visited: p.visited.clone(),
+                            latched: p.latched.clone(),
+                            sensors_read: p.sensors_read.clone(),
+                            updated: p.updated.clone(),
+                        });
+                        p.pc += 1;
+                    }
+                    Instruction::Return => {
+                        for &(c, i) in expected.difference(&p.updated) {
+                            self.error(
+                                "E009",
+                                format!(
+                                    "reaction at phase {phase} (started @{head}) never \
+                                     updates communicator c{c} instance {i}, which is \
+                                     due at this instant"
+                                ),
+                            );
+                        }
+                        match p.armed {
+                            None => self.error(
+                                "E007",
+                                format!(
+                                    "@{}: reaction at phase {phase} returns without \
+                                     arming a trigger; the machine would halt",
+                                    p.pc
+                                ),
+                            ),
+                            Some((delta, target)) => {
+                                let raw = phase + delta;
+                                let next_phase = raw % self.round;
+                                let state = if raw >= self.round {
+                                    BTreeSet::new() // round boundary: new round
+                                } else {
+                                    p.latched.clone()
+                                };
+                                successors.push((target, next_phase, state));
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        successors
+    }
+
+    /// Checks one driver call and records its effect on the path state.
+    fn check_call(
+        &mut self,
+        pc: usize,
+        phase: u64,
+        op: DriverOp,
+        latched: &mut BTreeSet<Slot>,
+        sensors_read: &mut BTreeSet<u32>,
+        updated: &mut BTreeSet<(u32, u64)>,
+    ) {
+        let spec = self.ctx.modes[0].spec;
+        match op {
+            DriverOp::ReadSensors { comm } => {
+                let c = comm.index() as u32;
+                let valid = (comm.index() < spec.communicator_count())
+                    && spec.is_sensor_input(comm)
+                    && phase.is_multiple_of(spec.communicator(comm).period().as_u64());
+                if !valid {
+                    self.error(
+                        "E009",
+                        format!(
+                            "@{pc}: read_sensors({comm}) at phase {phase}: the \
+                             communicator is not a sensor input due at this instant"
+                        ),
+                    );
+                }
+                sensors_read.insert(c);
+            }
+            DriverOp::UpdateCommunicator { comm, instance } => {
+                if comm.index() >= spec.communicator_count() {
+                    self.error("E009", format!("@{pc}: update of unknown communicator {comm}"));
+                    return;
+                }
+                let period = spec.communicator(comm).period().as_u64();
+                if !phase.is_multiple_of(period) || instance != phase / period {
+                    self.error(
+                        "E009",
+                        format!(
+                            "@{pc}: update({comm}, {instance}) at phase {phase}: \
+                             instance {instance} is not due at this instant"
+                        ),
+                    );
+                }
+                if spec.is_sensor_input(comm) && !sensors_read.contains(&(comm.index() as u32)) {
+                    self.error(
+                        "E009",
+                        format!(
+                            "@{pc}: update({comm}, {instance}) without a preceding \
+                             read_sensors in the same reaction"
+                        ),
+                    );
+                }
+                updated.insert((comm.index() as u32, instance));
+            }
+            DriverOp::LatchInput { task, index } => {
+                // A latch is well-placed if *some* mode has this slot, maps
+                // the task to this host and accesses it at this instant.
+                let mut known_slot = false;
+                let mut placed = false;
+                let mut source = None;
+                for mode in &self.ctx.modes {
+                    if task.index() >= mode.spec.task_count() {
+                        continue;
+                    }
+                    let inputs = mode.spec.task(task).inputs();
+                    let Some(&access) = inputs.get(index as usize) else {
+                        continue;
+                    };
+                    known_slot = true;
+                    source = Some(access.comm);
+                    let at = mode.spec.access_instant(access).as_u64() % self.round;
+                    if mode.imp.hosts_of(task).contains(&self.ctx.host) && at == phase {
+                        placed = true;
+                        break;
+                    }
+                }
+                if !known_slot {
+                    self.error(
+                        "E006",
+                        format!(
+                            "@{pc}: latch({task}, {index}) addresses a slot no mode \
+                             declares"
+                        ),
+                    );
+                } else if !placed {
+                    self.error(
+                        "E006",
+                        format!(
+                            "@{pc}: latch({task}, {index}) at phase {phase} does not \
+                             match the slot's access instant on this host in any mode"
+                        ),
+                    );
+                }
+                // Assumption 3: if the source communicator is due at this
+                // phase it must have been updated earlier in the reaction.
+                if let Some(c) = source {
+                    let period = spec.communicator(c).period().as_u64();
+                    let due = phase.is_multiple_of(period);
+                    let instance = phase / period;
+                    if due && !updated.contains(&(c.index() as u32, instance)) {
+                        self.error(
+                            "E009",
+                            format!(
+                                "@{pc}: latch({task}, {index}) reads {c} before its \
+                                 instance {instance} is updated in this reaction \
+                                 (assumption 3: update before read)"
+                            ),
+                        );
+                    }
+                }
+                latched.insert((task.index() as u32, index));
+            }
+        }
+    }
+
+    /// Checks a task release: right instant, mapped host, inputs latched.
+    fn check_release(&mut self, pc: usize, phase: u64, task: u32, latched: &BTreeSet<Slot>) {
+        let mut known = false;
+        let mut placed_mode = None;
+        for mode in &self.ctx.modes {
+            let Some(tid) = mode
+                .spec
+                .task_ids()
+                .find(|t| t.index() as u32 == task)
+            else {
+                continue;
+            };
+            known = true;
+            let at = mode.spec.read_time(tid).as_u64() % self.round;
+            if mode.imp.hosts_of(tid).contains(&self.ctx.host) && at == phase {
+                placed_mode = Some((mode, tid));
+                break;
+            }
+        }
+        if !known {
+            self.error("E005", format!("@{pc}: release of unknown task t{task}"));
+            return;
+        }
+        let Some((mode, tid)) = placed_mode else {
+            self.error(
+                "E005",
+                format!(
+                    "@{pc}: release of t{task} at phase {phase} does not match the \
+                     task's read time on this host in any mode"
+                ),
+            );
+            return;
+        };
+        for (index, _) in mode.spec.task(tid).inputs().iter().enumerate() {
+            if !latched.contains(&(task, index as u32)) {
+                self.error(
+                    "E006",
+                    format!(
+                        "@{pc}: release of t{task} at phase {phase} but input slot \
+                         {index} is not latched on every path since the round start"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logrel_emachine::generate;
+    use logrel_lang::{elaborate, parse, ElaboratedSystem};
+
+    const TINY: &str = "
+        program tiny {
+            communicator s : float period 5 sensor;
+            communicator u : float period 10;
+            module m {
+                start mode main period 10 {
+                    invoke ctrl reads s[1] writes u[1] defaults 0.0;
+                }
+            }
+            architecture {
+                host h reliability 0.99;
+                sensor sn reliability 0.999;
+                wcet ctrl on h 1;
+                wctt ctrl on h 1;
+            }
+            map {
+                ctrl -> h;
+                bind s -> sn;
+            }
+        }
+    ";
+
+    /// The tiny system and its single host's generated program: two
+    /// reactions (phase 0 and phase 5) linked by `future +5` triggers.
+    fn tiny() -> (ElaboratedSystem, ECode) {
+        let sys = elaborate(&parse(TINY).unwrap()).unwrap();
+        let host = sys.arch.host_ids().next().unwrap();
+        let code = generate(&sys.spec, &sys.imp, host);
+        (sys, code)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn check(sys: &ElaboratedSystem, ins: &[Instruction], entry: Addr) -> Vec<&'static str> {
+        let host = sys.arch.host_ids().next().unwrap();
+        let ctx = VerifyCtx::single(&sys.spec, &sys.imp, host);
+        codes(&verify_instructions(ins, entry, &ctx))
+    }
+
+    /// Replaces the first instruction matching `pick` with the result of
+    /// `make(index)`; panics if none matches.
+    fn mutate(
+        code: &ECode,
+        pick: impl Fn(&Instruction) -> bool,
+        make: impl Fn(usize) -> Instruction,
+    ) -> (Vec<Instruction>, Addr) {
+        let mut ins = code.instructions().to_vec();
+        let i = ins.iter().position(pick).expect("no matching instruction");
+        ins[i] = make(i);
+        (ins, code.entry())
+    }
+
+    #[test]
+    fn clean_generated_program_verifies() {
+        let (sys, code) = tiny();
+        let host = sys.arch.host_ids().next().unwrap();
+        let diags = verify(&code, &VerifyCtx::single(&sys.spec, &sys.imp, host));
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+    }
+
+    #[test]
+    fn dropped_latch_is_rejected() {
+        let (sys, code) = tiny();
+        // Overwrite the latch with a harmless jump-to-next: the release
+        // then finds its input slot unlatched.
+        let (ins, entry) = mutate(
+            &code,
+            |i| matches!(i, Instruction::Call(DriverOp::LatchInput { .. })),
+            |i| Instruction::Jump(Addr(i + 1)),
+        );
+        let codes = check(&sys, &ins, entry);
+        assert!(codes.contains(&"E006"), "got {codes:?}");
+    }
+
+    #[test]
+    fn mid_round_mode_switch_is_rejected() {
+        let (sys, code) = tiny();
+        // A switch test in the phase-5 reaction (where the release lives)
+        // violates the round-boundary rule.
+        let (ins, entry) = mutate(
+            &code,
+            |i| matches!(i, Instruction::Release { .. }),
+            |i| Instruction::JumpIfEvent {
+                event: 0,
+                target: Addr(i + 1),
+            },
+        );
+        let codes = check(&sys, &ins, entry);
+        assert!(codes.contains(&"E004"), "got {codes:?}");
+    }
+
+    #[test]
+    fn short_future_is_rejected() {
+        let (sys, code) = tiny();
+        // Shrink the entry reaction's trigger: the next reaction is then
+        // reached at phase 4 and the cycle no longer sums to the round.
+        let (ins, entry) = mutate(
+            &code,
+            |i| matches!(i, Instruction::Future { .. }),
+            |i| match code.instruction(Addr(i)) {
+                Instruction::Future { delta, target } => Instruction::Future {
+                    delta: delta - 1,
+                    target,
+                },
+                _ => unreachable!(),
+            },
+        );
+        let codes = check(&sys, &ins, entry);
+        assert!(codes.contains(&"E003"), "got {codes:?}");
+    }
+
+    #[test]
+    fn dropped_future_is_rejected() {
+        let (sys, code) = tiny();
+        let (ins, entry) = mutate(
+            &code,
+            |i| matches!(i, Instruction::Future { .. }),
+            |i| Instruction::Jump(Addr(i + 1)),
+        );
+        let codes = check(&sys, &ins, entry);
+        assert!(codes.contains(&"E007"), "got {codes:?}");
+    }
+
+    #[test]
+    fn out_of_bounds_entry_and_target_are_rejected() {
+        let (sys, code) = tiny();
+        let ins = code.instructions().to_vec();
+        let codes = check(&sys, &ins, Addr(ins.len()));
+        assert_eq!(codes, ["E001"]);
+        let (ins, entry) = mutate(
+            &code,
+            |i| matches!(i, Instruction::Future { .. }),
+            |_| Instruction::Future {
+                delta: 5,
+                target: Addr(9999),
+            },
+        );
+        let codes = check(&sys, &ins, entry);
+        assert!(codes.contains(&"E001"), "got {codes:?}");
+    }
+
+    #[test]
+    fn wrong_update_instance_is_rejected() {
+        let (sys, code) = tiny();
+        let (ins, entry) = mutate(
+            &code,
+            |i| matches!(i, Instruction::Call(DriverOp::UpdateCommunicator { .. })),
+            |i| match code.instruction(Addr(i)) {
+                Instruction::Call(DriverOp::UpdateCommunicator { comm, instance }) => {
+                    Instruction::Call(DriverOp::UpdateCommunicator {
+                        comm,
+                        instance: instance + 7,
+                    })
+                }
+                _ => unreachable!(),
+            },
+        );
+        let codes = check(&sys, &ins, entry);
+        assert!(codes.contains(&"E009"), "got {codes:?}");
+    }
+
+    #[test]
+    fn control_falling_off_the_end_is_rejected() {
+        let (sys, code) = tiny();
+        // Turn the last Return into a jump past itself... not possible
+        // in-bounds; instead overwrite a Return with a no-op jump to the
+        // next pc, so the following reaction head is executed inline and
+        // the final Return is replaced where the sequence ends.
+        let mut ins = code.instructions().to_vec();
+        let last_ret = ins
+            .iter()
+            .rposition(|i| matches!(i, Instruction::Return))
+            .unwrap();
+        // Removing the final Return makes that path run off the end when
+        // it is the last instruction.
+        if last_ret == ins.len() - 1 {
+            ins.pop();
+        } else {
+            ins[last_ret] = Instruction::Jump(Addr(last_ret + 1));
+        }
+        let codes = check(&sys, &ins, code.entry());
+        assert!(
+            codes.contains(&"E002") || codes.contains(&"E008"),
+            "got {codes:?}"
+        );
+    }
+}

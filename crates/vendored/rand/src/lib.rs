@@ -169,7 +169,7 @@ fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, n: u128) -> u128 {
         } else {
             let hi = u128::from(rng.next_u64());
             let lo = u128::from(rng.next_u64());
-            ((hi << 64) | lo) & (((1u128 << (bits - 1)) - 1 << 1) | 1)
+            ((hi << 64) | lo) & ((((1u128 << (bits - 1)) - 1) << 1) | 1)
         };
         if raw < n {
             return raw;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full verification: build, tests, lints (rustc + clippy + htlc lint).
+#
+# Usage: scripts/verify.sh
+# Run from anywhere; operates on the repository containing this script.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> cargo clippy"
+cargo clippy --workspace -- -D warnings
+
+HTLC=target/release/htlc
+
+echo "==> htlc lint --deny examples/htl"
+"$HTLC" lint --deny examples/htl/*.htl
+
+# The shipped assets carry intentional warnings (unbound backup sensors),
+# so they are linted without --deny; error-severity findings still fail.
+echo "==> htlc lint assets"
+"$HTLC" lint assets/*.htl
+
+echo "==> htlc check examples/htl + assets"
+for f in examples/htl/*.htl assets/*.htl; do
+    "$HTLC" check "$f" > /dev/null
+done
+
+echo "verify: OK"

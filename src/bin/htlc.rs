@@ -1,8 +1,10 @@
 //! `htlc` — the logrel command-line compiler and analysis driver.
 //!
 //! ```text
-//! htlc check <file>                  parse, elaborate and run the joint
+//! htlc check <file>                  parse, elaborate, statically verify the
+//!                                    generated E-code and run the joint
 //!                                    schedulability/reliability analysis
+//! htlc lint [--deny] <file>...       specification lints + E-code verification
 //! htlc fmt <file>                    pretty-print the program
 //! htlc graph <file>                  emit the specification graph as DOT
 //! htlc ecode <file> <host>           disassemble one host's E-code
@@ -11,29 +13,72 @@
 //! htlc refine <refining> <refined>   check the refinement relation (κ by
 //!                                    task name)
 //! ```
+//!
+//! Exit codes: `0` clean (warnings may have been printed), `1` usage or
+//! I/O error, `2` diagnostics of error severity emitted (`--deny`
+//! promotes warnings). Diagnostics go to stderr in the stable greppable
+//! form `code:severity:file:line:col: message`.
 
 use logrel::lang::{compile, elaborate_file, parse, parse_file, print_program};
+use logrel::lint::{self, Diagnostic, Severity};
 use logrel::refine::{check_refinement, validate, Kappa, SystemRef};
 use logrel::reliability::architecture_importance;
 use std::process::ExitCode;
+
+/// A failed run: usage/I-O trouble (exit 1) or emitted diagnostics
+/// (exit 2). Diagnostics are printed where they occur; `Diagnostics`
+/// only carries the count for the closing summary line.
+enum Failure {
+    Usage(String),
+    Io(String),
+    Diagnostics(usize),
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Self {
+        Failure::Usage(msg)
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(msg: &str) -> Self {
+        Failure::Usage(msg.to_owned())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(Failure::Usage(msg)) | Err(Failure::Io(msg)) => {
             eprintln!("htlc: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(Failure::Diagnostics(n)) => {
+            eprintln!("htlc: {n} error(s) emitted");
+            ExitCode::from(2)
         }
     }
 }
 
-fn read(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+fn read(path: &str) -> Result<String, Failure> {
+    std::fs::read_to_string(path).map_err(|e| Failure::Io(format!("cannot read `{path}`: {e}")))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: htlc <check|fmt|graph|ecode|importance|simulate|refine> <args>\n\
+/// Prints a front-end error in the stable diagnostic format and returns
+/// the exit-2 failure.
+fn lang_failure(file: &str, err: &logrel::lang::LangError) -> Failure {
+    eprintln!("{}", Diagnostic::from_lang_error(err).render(file));
+    Failure::Diagnostics(1)
+}
+
+/// Compiles `path`, reporting failures as diagnostics.
+fn compile_path(path: &str) -> Result<logrel::lang::ElaboratedSystem, Failure> {
+    compile(&read(path)?).map_err(|e| lang_failure(path, &e))
+}
+
+fn run(args: &[String]) -> Result<(), Failure> {
+    let usage = "usage: htlc <check|lint|fmt|graph|ecode|importance|simulate|refine> <args>\n\
                  run `htlc help` for details";
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
@@ -42,19 +87,50 @@ fn run(args: &[String]) -> Result<(), String> {
                 "htlc — logical-reliability compiler\n\n\
                  htlc check <file>                 joint analysis with SRG table\n\
                  htlc check-file <file>            multi-program file with declared refinements\n\
+                 htlc lint [--deny] <file>...      specification lints + E-code verification\n\
                  htlc fmt <file>                   pretty-print\n\
                  htlc graph <file>                 specification graph (DOT)\n\
                  htlc ecode <file> <host>          E-code disassembly\n\
                  htlc latency <file>               worst-case data ages\n\
                  htlc importance <file> <comm>     component importance ranking\n\
                  htlc simulate <file> [rounds [seed]]  fault-injected run\n\
-                 htlc refine <refining> <refined>  refinement check"
+                 htlc refine <refining> <refined>  refinement check\n\n\
+                 exit codes: 0 clean, 1 usage/IO error, 2 diagnostics emitted\n\
+                 diagnostics: code:severity:file:line:col: message (stderr)"
             );
             Ok(())
         }
+        "lint" => {
+            let deny = args.iter().any(|a| a == "--deny");
+            let files: Vec<&String> = args[1..].iter().filter(|a| *a != "--deny").collect();
+            if files.is_empty() {
+                return Err(usage.into());
+            }
+            let mut errors = 0usize;
+            for path in files {
+                let mut diags = lint::lint_source(&read(path)?);
+                if deny {
+                    lint::deny_warnings(&mut diags);
+                }
+                for d in &diags {
+                    eprintln!("{}", d.render(path));
+                }
+                errors += diags
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count();
+            }
+            if errors > 0 {
+                Err(Failure::Diagnostics(errors))
+            } else {
+                Ok(())
+            }
+        }
         "check" => {
             let path = args.get(1).ok_or(usage)?;
-            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let source = read(path)?;
+            let program = parse(&source).map_err(|e| lang_failure(path, &e))?;
+            let sys = logrel::lang::elaborate(&program).map_err(|e| lang_failure(path, &e))?;
             println!(
                 "program `{}`: {} communicators, {} tasks, round {}",
                 sys.name,
@@ -62,6 +138,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 sys.spec.task_count(),
                 sys.spec.round_period()
             );
+            // Statically verify the generated E-code of every host before
+            // trusting it to the analysis and the runtime.
+            let ecode_diags = lint::verify_generated(&program, &sys);
+            if !ecode_diags.is_empty() {
+                for d in &ecode_diags {
+                    eprintln!("{}", d.render(path));
+                }
+                return Err(Failure::Diagnostics(ecode_diags.len()));
+            }
+            println!("E-code: statically verified for all {} host(s)", sys.arch.host_count());
             match validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp)) {
                 Ok(cert) => {
                     println!("VALID: schedulable and reliable\n");
@@ -75,15 +161,18 @@ fn run(args: &[String]) -> Result<(), String> {
                     );
                     Ok(())
                 }
-                Err(e) => Err(format!("INVALID: {e}")),
+                Err(e) => {
+                    eprintln!("htlc: INVALID: {e}");
+                    Err(Failure::Diagnostics(1))
+                }
             }
         }
         "check-file" => {
             // Multi-program file: validate the refinement roots fully, then
             // check each declared refinement and inherit validity (Prop 2).
             let path = args.get(1).ok_or(usage)?;
-            let file = parse_file(&read(path)?).map_err(|e| e.to_string())?;
-            let elaborated = elaborate_file(&file).map_err(|e| e.to_string())?;
+            let file = parse_file(&read(path)?).map_err(|e| lang_failure(path, &e))?;
+            let elaborated = elaborate_file(&file).map_err(|e| lang_failure(path, &e))?;
             println!(
                 "{} program(s), {} refinement declaration(s)",
                 elaborated.systems.len(),
@@ -99,7 +188,10 @@ fn run(args: &[String]) -> Result<(), String> {
             for (i, sys) in elaborated.systems.iter().enumerate() {
                 if !refining_set.contains(&i) {
                     let cert = validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp))
-                        .map_err(|e| format!("program `{}` is INVALID: {e}", sys.name))?;
+                        .map_err(|e| {
+                            eprintln!("htlc: program `{}` is INVALID: {e}", sys.name);
+                            Failure::Diagnostics(1)
+                        })?;
                     println!("program `{}`: VALID (analysed directly)", sys.name);
                     certs.insert(i, cert);
                 }
@@ -112,13 +204,16 @@ fn run(args: &[String]) -> Result<(), String> {
                     &refined.spec,
                     r.pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())),
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| Failure::Usage(e.to_string()))?;
                 check_refinement(
                     SystemRef::new(&refining.spec, &refining.arch, &refining.imp),
                     SystemRef::new(&refined.spec, &refined.arch, &refined.imp),
                     &kappa,
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| {
+                    eprintln!("htlc: refinement failed: {e}");
+                    Failure::Diagnostics(1)
+                })?;
                 println!(
                     "program `{}`: VALID by refinement of `{}` (Proposition 2)",
                     refining.name, refined.name
@@ -128,13 +223,13 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "fmt" => {
             let path = args.get(1).ok_or(usage)?;
-            let program = parse(&read(path)?).map_err(|e| e.to_string())?;
+            let program = parse(&read(path)?).map_err(|e| lang_failure(path, &e))?;
             print!("{}", print_program(&program));
             Ok(())
         }
         "latency" => {
             let path = args.get(1).ok_or(usage)?;
-            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let sys = compile_path(path)?;
             let ages = logrel::sched::data_ages(&sys.spec);
             println!("{:<16} {:>16}", "communicator", "worst data age");
             for c in sys.spec.communicator_ids() {
@@ -147,7 +242,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "graph" => {
             let path = args.get(1).ok_or(usage)?;
-            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let sys = compile_path(path)?;
             let graph = logrel::core::graph::SpecGraph::new(&sys.spec);
             print!("{}", graph.to_dot(&sys.spec));
             let cycles = graph.communicator_cycles();
@@ -159,11 +254,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "ecode" => {
             let path = args.get(1).ok_or(usage)?;
             let host_name = args.get(2).ok_or(usage)?;
-            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let sys = compile_path(path)?;
             let host = sys
                 .arch
                 .find_host(host_name)
-                .ok_or_else(|| format!("unknown host `{host_name}`"))?;
+                .ok_or_else(|| Failure::Usage(format!("unknown host `{host_name}`")))?;
             let code = logrel::emachine::generate(&sys.spec, &sys.imp, host);
             print!("{}", code.disassemble());
             Ok(())
@@ -171,13 +266,13 @@ fn run(args: &[String]) -> Result<(), String> {
         "importance" => {
             let path = args.get(1).ok_or(usage)?;
             let comm_name = args.get(2).ok_or(usage)?;
-            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let sys = compile_path(path)?;
             let comm = sys
                 .spec
                 .find_communicator(comm_name)
-                .ok_or_else(|| format!("unknown communicator `{comm_name}`"))?;
+                .ok_or_else(|| Failure::Usage(format!("unknown communicator `{comm_name}`")))?;
             let ranking = architecture_importance(&sys.spec, &sys.arch, &sys.imp, comm)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| Failure::Usage(e.to_string()))?;
             println!(
                 "{:<24} {:>10} {:>12}",
                 "component", "birnbaum", "improvement"
@@ -199,9 +294,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
                 .transpose()?
                 .unwrap_or(0xC0FFEE);
-            let sys = compile(&read(path)?).map_err(|e| e.to_string())?;
+            let sys = compile_path(path)?;
             let analytic = logrel::reliability::compute_srgs(&sys.spec, &sys.arch, &sys.imp)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| Failure::Usage(e.to_string()))?;
             let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
             let sim = logrel::sim::Simulation::new(&sys.spec, &sys.arch, &td);
             let mut inj = logrel::sim::ProbabilisticFaults::from_architecture(&sys.arch);
@@ -232,8 +327,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "refine" => {
             let refining_path = args.get(1).ok_or(usage)?;
             let refined_path = args.get(2).ok_or(usage)?;
-            let refining = compile(&read(refining_path)?).map_err(|e| e.to_string())?;
-            let refined = compile(&read(refined_path)?).map_err(|e| e.to_string())?;
+            let refining = compile_path(refining_path)?;
+            let refined = compile_path(refined_path)?;
             let kappa = Kappa::by_name(&refining.spec, &refined.spec);
             match check_refinement(
                 SystemRef::new(&refining.spec, &refining.arch, &refining.imp),
@@ -244,9 +339,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!("`{refining_path}` refines `{refined_path}`");
                     Ok(())
                 }
-                Err(e) => Err(e.to_string()),
+                Err(e) => {
+                    eprintln!("htlc: refinement failed: {e}");
+                    Err(Failure::Diagnostics(1))
+                }
             }
         }
-        other => Err(format!("unknown command `{other}`\n{usage}")),
+        other => Err(Failure::Usage(format!("unknown command `{other}`\n{usage}"))),
     }
 }

@@ -1,0 +1,99 @@
+//! Negative elaboration tests: one defective program per race-freedom
+//! restriction of §2 (plus the environment-write rule), asserting both the
+//! span-less core rejection and the spanned lint diagnostic the CLI shows
+//! instead.
+
+use logrel::core::CoreError;
+use logrel::lang::{elaborate, parse, LangError};
+use logrel::lint::{lint_program, lint_source, Severity};
+use std::fs;
+use std::path::Path;
+
+fn corpus(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/assets")
+        .join(name);
+    fs::read_to_string(path).unwrap()
+}
+
+/// The single diagnostic with `code`, or a panic listing what was found.
+fn only_diag(source: &str, code: &str) -> logrel::lint::Diagnostic {
+    let diags = lint_source(source);
+    let matching: Vec<_> = diags.iter().filter(|d| d.code == code).cloned().collect();
+    assert_eq!(matching.len(), 1, "expected one {code}, got {diags:?}");
+    matching.into_iter().next().unwrap()
+}
+
+#[test]
+fn restriction_1_task_without_access() {
+    // The grammar requires both access lists, so restriction 1 can only be
+    // violated through the AST: strip the reads of a valid invocation.
+    let mut program = parse(&corpus("lint_dead_comm.htl")).unwrap();
+    let invocation = &mut program.modules[0].modes[0].invocations[0];
+    invocation.reads.clear();
+    invocation.defaults.clear();
+    let span = invocation.span;
+    assert!(matches!(
+        elaborate(&program),
+        Err(LangError::Core(CoreError::TaskWithoutAccess { .. }))
+    ));
+    let diags = lint_program(&program);
+    let d = diags.iter().find(|d| d.code == "L011").expect("L011");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!((d.span.line, d.span.col), (span.line, span.col));
+}
+
+#[test]
+fn restriction_2_read_not_before_write() {
+    let source = corpus("restriction_read_after_write.htl");
+    assert!(matches!(
+        elaborate(&parse(&source).unwrap()),
+        Err(LangError::Core(CoreError::ReadNotBeforeWrite { .. }))
+    ));
+    let d = only_diag(&source, "L012");
+    assert_eq!(d.severity, Severity::Error);
+    // The invocation sits on line 6; labels point at the offending
+    // accesses within it.
+    assert_eq!(d.span.line, 6);
+    assert_eq!(d.labels.len(), 2);
+    assert!(d.labels.iter().all(|l| l.span.line == 6));
+}
+
+#[test]
+fn restriction_3_two_writers() {
+    let source = corpus("restriction_two_writers.htl");
+    assert!(matches!(
+        elaborate(&parse(&source).unwrap()),
+        Err(LangError::Core(CoreError::MultipleWriters { .. }))
+    ));
+    let d = only_diag(&source, "L013");
+    assert_eq!(d.severity, Severity::Error);
+    // Reported on the second writer (line 7), labelled at the first
+    // (line 6).
+    assert_eq!(d.span.line, 7);
+    assert_eq!(d.labels[0].span.line, 6);
+}
+
+#[test]
+fn restriction_4_duplicate_instance_write() {
+    let source = corpus("restriction_dup_write.htl");
+    assert!(matches!(
+        elaborate(&parse(&source).unwrap()),
+        Err(LangError::Core(CoreError::DuplicateInstanceWrite { .. }))
+    ));
+    let d = only_diag(&source, "L014");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.line, 6);
+}
+
+#[test]
+fn environment_write_is_rejected_with_span() {
+    let source = corpus("restriction_env_write.htl");
+    assert!(matches!(
+        elaborate(&parse(&source).unwrap()),
+        Err(LangError::Core(CoreError::WriteToEnvironment { .. }))
+    ));
+    let d = only_diag(&source, "L015");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.line, 6);
+}
