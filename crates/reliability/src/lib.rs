@@ -37,6 +37,7 @@ pub use fault_tree::Gate;
 pub use importance::{architecture_importance, block_importance, ComponentImportance};
 pub use longrun::{
     empirical_check, hoeffding_epsilon, limit_average, running_average, LongRunVerdict,
+    SlidingMean,
 };
 pub use netrel::ReliabilityGraph;
 pub use rbd::Block;

@@ -59,6 +59,71 @@ pub fn hoeffding_epsilon(n: usize, confidence: f64) -> f64 {
     ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
 }
 
+/// A fixed-capacity sliding window over a 0/1 sample stream with O(1)
+/// mean queries — the statistic behind the online LRC monitor: the
+/// windowed average of recent update outcomes estimates the *current*
+/// per-update success probability, while [`hoeffding_epsilon`] over the
+/// window length bounds how far that estimate may stray.
+#[derive(Debug, Clone)]
+pub struct SlidingMean {
+    ring: Vec<bool>,
+    next: usize,
+    filled: usize,
+    ones: usize,
+}
+
+impl SlidingMean {
+    /// An empty window of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingMean {
+            ring: vec![false; capacity],
+            next: 0,
+            filled: 0,
+            ones: 0,
+        }
+    }
+
+    /// Pushes one sample, evicting the oldest once the window is full.
+    pub fn push(&mut self, bit: bool) {
+        if self.filled == self.ring.len() {
+            self.ones -= usize::from(self.ring[self.next]);
+        } else {
+            self.filled += 1;
+        }
+        self.ring[self.next] = bit;
+        self.ones += usize::from(bit);
+        self.next = (self.next + 1) % self.ring.len();
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// `true` before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// `true` once the window holds `capacity` samples.
+    pub fn is_full(&self) -> bool {
+        self.filled == self.ring.len()
+    }
+
+    /// The mean of the samples currently in the window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.filled == 0 {
+            return 0.0;
+        }
+        self.ones as f64 / self.filled as f64
+    }
+}
+
 /// Verdict of an empirical long-run reliability check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LongRunVerdict {
@@ -179,7 +244,48 @@ mod tests {
         );
     }
 
+    #[test]
+    fn sliding_mean_tracks_window() {
+        let mut w = SlidingMean::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        w.push(true);
+        assert_eq!((w.len(), w.mean()), (1, 1.0));
+        w.push(false);
+        w.push(true);
+        assert!(w.is_full());
+        assert!((w.mean() - 2.0 / 3.0).abs() < 1e-12);
+        // Evicts the oldest (true): window is now [false, true, true].
+        w.push(true);
+        assert!((w.mean() - 2.0 / 3.0).abs() < 1e-12);
+        // Evicts false: [true, true, true].
+        w.push(true);
+        assert_eq!(w.mean(), 1.0);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn sliding_mean_rejects_zero_capacity() {
+        SlidingMean::new(0);
+    }
+
     proptest! {
+        #[test]
+        fn sliding_mean_matches_naive_window(
+            bits in proptest::collection::vec(any::<bool>(), 1..300),
+            cap in 1usize..32
+        ) {
+            let mut w = SlidingMean::new(cap);
+            for (i, &b) in bits.iter().enumerate() {
+                w.push(b);
+                let lo = (i + 1).saturating_sub(cap);
+                let naive = limit_average(&bits[lo..=i]);
+                prop_assert!((w.mean() - naive).abs() < 1e-12);
+                prop_assert_eq!(w.len(), i + 1 - lo);
+            }
+        }
+
         #[test]
         fn running_average_stays_in_unit_interval(
             bits in proptest::collection::vec(any::<bool>(), 1..200)

@@ -1,0 +1,198 @@
+//! Scenario campaigns over the deterministic Monte-Carlo harness.
+//!
+//! A campaign runs a [`Scenario`] for a batch of seeded replications
+//! (via [`run_supervised_replications`]) with an online [`LrcMonitor`]
+//! attached to every replication, and aggregates per communicator: the
+//! empirical long-run reliability λ̂ against a caller-supplied analytic
+//! SRG (with the Hoeffding radius over the pooled sample count), the
+//! time to the first LRC violation, and alarm counts. Scripted host
+//! availability comes from the scenario timeline itself. Everything is
+//! bit-deterministic in the batch configuration — rerunning a report, at
+//! any thread count, reproduces it exactly.
+
+use crate::environment::Environment;
+use crate::kernel::Simulation;
+use crate::monitor::{AlarmKind, LrcMonitor, MonitorConfig};
+use crate::montecarlo::{run_supervised_replications, BatchConfig, ReplicationContext};
+use crate::scenario::{Scenario, ScenarioEnvironment, ScenarioError, ScenarioInjector};
+use logrel_core::{CommunicatorId, Specification, Tick};
+use logrel_reliability::hoeffding_epsilon;
+
+/// Configuration of one scenario campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CampaignConfig {
+    /// The Monte-Carlo batch (replications, rounds, base seed, threads).
+    pub batch: BatchConfig,
+    /// The online monitor attached to each replication.
+    pub monitor: MonitorConfig,
+}
+
+/// Aggregated per-communicator campaign statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunicatorReport {
+    /// The communicator.
+    pub comm: CommunicatorId,
+    /// Total updates observed across all replications.
+    pub updates: u64,
+    /// Reliable (non-⊥) updates across all replications.
+    pub reliable: u64,
+    /// Empirical long-run reliability λ̂ = reliable / updates.
+    pub empirical: f64,
+    /// The analytic SRG λ, if the caller supplied one.
+    pub analytic: Option<f64>,
+    /// Hoeffding radius at the monitor's confidence over `updates`.
+    pub epsilon: f64,
+    /// `|λ̂ − λ| ≤ ε`, when an analytic value is present.
+    pub within_epsilon: Option<bool>,
+    /// The declared LRC µ, if any.
+    pub lrc: Option<f64>,
+    /// Earliest monitor-raised violation instant across replications.
+    pub first_violation: Option<Tick>,
+    /// Replications in which the monitor raised at least one alarm.
+    pub violated_reps: u64,
+    /// Total raised alarms across replications.
+    pub alarms_raised: u64,
+    /// Total cleared alarms across replications.
+    pub alarms_cleared: u64,
+}
+
+/// The full campaign report for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// The scenario's canonical serialized form (replayable verbatim).
+    pub scenario: String,
+    /// Scripted per-host availability over the simulated horizon.
+    pub host_availability: Vec<f64>,
+    /// Per-communicator statistics, in communicator order.
+    pub comms: Vec<CommunicatorReport>,
+}
+
+struct RepStats {
+    updates: Vec<u64>,
+    reliable: Vec<u64>,
+    first_violation: Vec<Option<u64>>,
+    raised: Vec<u64>,
+    cleared: Vec<u64>,
+}
+
+/// Runs `scenario` for a batch of replications over `sim` and aggregates
+/// the report.
+///
+/// `setup(rep)` builds each replication's *base* context — behaviors,
+/// environment, inner fault injector — which the campaign wraps in the
+/// scenario layers ([`ScenarioInjector`], [`ScenarioEnvironment`]) and
+/// an [`LrcMonitor`]. `analytic` carries the per-communicator SRGs to
+/// compare λ̂ against (`None` entries skip the comparison); pass `&[]`
+/// to skip it entirely.
+pub fn run_campaign<'a, S>(
+    sim: &Simulation<'_>,
+    spec: &Specification,
+    scenario: &Scenario,
+    host_count: usize,
+    config: &CampaignConfig,
+    setup: S,
+    analytic: &[Option<f64>],
+) -> Result<ScenarioReport, ScenarioError>
+where
+    S: Fn(u64) -> ReplicationContext<'a> + Sync,
+{
+    let comm_count = spec.communicator_count();
+    // Validate once up front so per-replication wrapping cannot fail.
+    scenario.check_bounds(host_count, comm_count)?;
+
+    let per_rep: Vec<RepStats> = run_supervised_replications(
+        sim,
+        &config.batch,
+        |rep| {
+            let base = setup(rep);
+            let injector = ScenarioInjector::new(base.injector, scenario, host_count, comm_count)
+                .expect("scenario bounds checked above");
+            let environment: Box<dyn Environment + 'a> = Box::new(ScenarioEnvironment::new(
+                base.environment,
+                scenario,
+                comm_count,
+            ));
+            (
+                ReplicationContext {
+                    behaviors: base.behaviors,
+                    environment,
+                    injector: Box::new(injector),
+                },
+                LrcMonitor::new(spec, config.monitor),
+            )
+        },
+        |_rep, out, monitor: LrcMonitor| {
+            let mut stats = RepStats {
+                updates: vec![0; comm_count],
+                reliable: vec![0; comm_count],
+                first_violation: vec![None; comm_count],
+                raised: vec![0; comm_count],
+                cleared: vec![0; comm_count],
+            };
+            for c in spec.communicator_ids() {
+                let bits = out.trace.abstraction(c);
+                stats.updates[c.index()] = bits.len() as u64;
+                stats.reliable[c.index()] = bits.iter().filter(|&&b| b).count() as u64;
+                stats.first_violation[c.index()] =
+                    monitor.first_violation(c).map(Tick::as_u64);
+            }
+            for alarm in monitor.alarms() {
+                match alarm.kind {
+                    AlarmKind::Raised => stats.raised[alarm.comm.index()] += 1,
+                    AlarmKind::Cleared => stats.cleared[alarm.comm.index()] += 1,
+                }
+            }
+            stats
+        },
+    );
+
+    let horizon = Tick::new(config.batch.rounds * spec.round_period().as_u64());
+    let comms = spec
+        .communicator_ids()
+        .map(|c| {
+            let i = c.index();
+            let updates: u64 = per_rep.iter().map(|s| s.updates[i]).sum();
+            let reliable: u64 = per_rep.iter().map(|s| s.reliable[i]).sum();
+            let empirical = if updates == 0 {
+                0.0
+            } else {
+                reliable as f64 / updates as f64
+            };
+            let epsilon = if updates == 0 {
+                1.0
+            } else {
+                hoeffding_epsilon(updates as usize, config.monitor.confidence)
+            };
+            let analytic = analytic.get(i).copied().flatten();
+            CommunicatorReport {
+                comm: c,
+                updates,
+                reliable,
+                empirical,
+                analytic,
+                epsilon,
+                within_epsilon: analytic.map(|a| (empirical - a).abs() <= epsilon),
+                lrc: spec.communicator(c).lrc().map(|l| l.get()),
+                first_violation: per_rep
+                    .iter()
+                    .filter_map(|s| s.first_violation[i])
+                    .min()
+                    .map(Tick::new),
+                violated_reps: per_rep
+                    .iter()
+                    .filter(|s| s.first_violation[i].is_some())
+                    .count() as u64,
+                alarms_raised: per_rep.iter().map(|s| s.raised[i]).sum(),
+                alarms_cleared: per_rep.iter().map(|s| s.cleared[i]).sum(),
+            }
+        })
+        .collect();
+
+    Ok(ScenarioReport {
+        scenario: scenario.to_string(),
+        host_availability: (0..host_count)
+            .map(|h| scenario.host_availability(logrel_core::HostId::new(h as u32), horizon))
+            .collect(),
+        comms,
+    })
+}

@@ -108,10 +108,20 @@ impl<'a> CoPlatform<'a> {
             self.replica_vals.clear();
             self.replica_vals.resize(hosts.len() * n_out, Value::Unreliable);
             self.replica_ok.clear();
+            let stateful = decl
+                .inputs()
+                .iter()
+                .any(|a| !self.spec.is_sensor_input(a.comm));
             for (i, h) in hosts.into_iter().enumerate() {
                 let host_ok = self.injector.host_ok(h, now, &mut self.rng);
                 let bc_ok = self.injector.broadcast_ok(h, now, &mut self.rng);
-                let ok = executes && host_ok && bc_ok;
+                let warm = !stateful
+                    || crate::kernel::warm_after_rejoin(
+                        self.injector.rejoined_at(h, now),
+                        now,
+                        self.round,
+                    );
+                let ok = executes && host_ok && bc_ok && warm;
                 if ok {
                     let slice = &mut self.replica_vals[i * n_out..(i + 1) * n_out];
                     slice.copy_from_slice(&outputs);

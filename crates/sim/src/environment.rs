@@ -24,6 +24,20 @@ pub trait Environment {
     fn actuate(&mut self, comm: CommunicatorId, value: Value, now: Tick);
 }
 
+/// Forwarding so wrappers (e.g. the scenario layer) can hold type-erased
+/// inner environments.
+impl Environment for Box<dyn Environment + '_> {
+    fn advance(&mut self, now: Tick) {
+        (**self).advance(now);
+    }
+    fn sense(&mut self, comm: CommunicatorId, now: Tick) -> Value {
+        (**self).sense(comm, now)
+    }
+    fn actuate(&mut self, comm: CommunicatorId, value: Value, now: Tick) {
+        (**self).actuate(comm, value, now);
+    }
+}
+
 /// An environment returning each sensor communicator's configured constant
 /// and ignoring actuations — the default for reliability-only experiments.
 #[derive(Debug, Clone)]

@@ -7,6 +7,15 @@
 //! [`UnplugAt`] reproduces the paper's §4 experiment ("we unplugged one of
 //! the two hosts from the network"): from a given instant on, one host
 //! stays silent forever.
+//!
+//! Every wrapper injector composes over any inner [`FaultInjector`], so
+//! scripted outages, crash processes and value corruption stack freely:
+//! `PermanentFaults::wrapping(CorruptingFaults::new(0.1, -1.0), hazards)`
+//! models crashing hosts that emit garbage while alive. The shared "dead
+//! host stays dead" rule lives once in [`HostSilencer`]: a silenced host
+//! neither executes, nor broadcasts, nor corrupts — fail-silence covers
+//! every channel, including a host that crashed earlier in the same
+//! instant.
 
 use logrel_core::{Architecture, HostId, SensorId, Tick};
 use rand::rngs::StdRng;
@@ -32,6 +41,108 @@ pub trait FaultInjector {
         rng: &mut StdRng,
     ) {
         let _ = (host, now, outputs, rng);
+    }
+    /// The most recent instant at or before `now` at which `host` returned
+    /// to service after a *scripted* outage, if any. The kernel gates a
+    /// rejoined host's vote on the warm-up rule (memory-free tasks rejoin
+    /// immediately; tasks with state wait one full round after the next
+    /// round boundary). Injectors without rejoin semantics — including
+    /// purely transient fault processes — report `None`.
+    fn rejoined_at(&self, host: HostId, now: Tick) -> Option<Tick> {
+        let _ = (host, now);
+        None
+    }
+}
+
+/// Forwarding so wrappers can hold type-erased inner injectors (the
+/// campaign runner composes scenarios over caller-supplied boxes).
+impl FaultInjector for Box<dyn FaultInjector + '_> {
+    fn host_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
+        (**self).host_ok(host, now, rng)
+    }
+    fn sensor_ok(&mut self, sensor: SensorId, now: Tick, rng: &mut StdRng) -> bool {
+        (**self).sensor_ok(sensor, now, rng)
+    }
+    fn broadcast_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
+        (**self).broadcast_ok(host, now, rng)
+    }
+    fn corrupt(
+        &mut self,
+        host: HostId,
+        now: Tick,
+        outputs: &mut [logrel_core::Value],
+        rng: &mut StdRng,
+    ) {
+        (**self).corrupt(host, now, outputs, rng);
+    }
+    fn rejoined_at(&self, host: HostId, now: Tick) -> Option<Tick> {
+        (**self).rejoined_at(host, now)
+    }
+}
+
+/// The shared core of the silencing wrappers ([`UnplugAt`],
+/// [`PermanentFaults`]): a policy that decides per `(host, now)` whether
+/// the host is silenced, over an inner injector handling everything else.
+///
+/// The blanket [`FaultInjector`] impl encodes the "dead host stays dead"
+/// rule exactly once: a silenced host fails its invocation, loses its
+/// broadcast and never corrupts delivered outputs — even when the host
+/// was marked down earlier within the same instant.
+pub trait HostSilencer {
+    /// The inner injector everything else delegates to.
+    type Inner: FaultInjector;
+    /// The inner injector.
+    fn inner(&mut self) -> &mut Self::Inner;
+    /// Shared view of the inner injector.
+    fn inner_ref(&self) -> &Self::Inner;
+    /// Invocation-time silencing decision. May consume randomness and
+    /// mutate state (crash hazards are drawn here). Called exactly once
+    /// per replica invocation, from `host_ok`.
+    fn invocation_down(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool;
+    /// Pure silencing query used for broadcast and corruption suppression
+    /// within the same instant; must not consume randomness.
+    fn is_down(&self, host: HostId, now: Tick) -> bool;
+    /// Rejoin instant of `host` at `now`, if the policy scripts one.
+    fn silencer_rejoined_at(&self, host: HostId, now: Tick) -> Option<Tick> {
+        let _ = (host, now);
+        None
+    }
+}
+
+impl<S: HostSilencer> FaultInjector for S {
+    fn host_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
+        if self.invocation_down(host, now, rng) {
+            return false;
+        }
+        self.inner().host_ok(host, now, rng)
+    }
+    fn sensor_ok(&mut self, sensor: SensorId, now: Tick, rng: &mut StdRng) -> bool {
+        self.inner().sensor_ok(sensor, now, rng)
+    }
+    fn broadcast_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
+        if self.is_down(host, now) {
+            return false;
+        }
+        self.inner().broadcast_ok(host, now, rng)
+    }
+    fn corrupt(
+        &mut self,
+        host: HostId,
+        now: Tick,
+        outputs: &mut [logrel_core::Value],
+        rng: &mut StdRng,
+    ) {
+        // A silenced host delivers nothing, so it cannot corrupt — this
+        // covers hosts marked fail-silent earlier in the same instant.
+        if !self.is_down(host, now) {
+            self.inner().corrupt(host, now, outputs, rng);
+        }
+    }
+    fn rejoined_at(&self, host: HostId, now: Tick) -> Option<Tick> {
+        if let Some(rj) = self.silencer_rejoined_at(host, now) {
+            return Some(rj);
+        }
+        self.inner_ref().rejoined_at(host, now)
     }
 }
 
@@ -95,8 +206,13 @@ impl FaultInjector for ProbabilisticFaults {
 /// test the paper's fail-silence assumption: under `AnyReliable` voting a
 /// single corrupted replica poisons the communicator; `Majority` voting
 /// over ≥3 replicas recovers.
+///
+/// Composable: `CorruptingFaults::wrapping(inner, corruption, garbage)`
+/// layers corruption over any inner fault process (the corruption draw
+/// happens first, then the inner injector's own `corrupt`).
 #[derive(Debug, Clone)]
-pub struct CorruptingFaults {
+pub struct CorruptingFaults<I = NoFaults> {
+    inner: I,
     corruption: f64,
     garbage: f64,
 }
@@ -105,27 +221,35 @@ impl CorruptingFaults {
     /// Corrupts each delivered replica independently with probability
     /// `corruption`, replacing float outputs by `garbage`.
     pub fn new(corruption: f64, garbage: f64) -> Self {
+        Self::wrapping(NoFaults, corruption, garbage)
+    }
+}
+
+impl<I> CorruptingFaults<I> {
+    /// Layers corruption over `inner`.
+    pub fn wrapping(inner: I, corruption: f64, garbage: f64) -> Self {
         CorruptingFaults {
+            inner,
             corruption: corruption.clamp(0.0, 1.0),
             garbage,
         }
     }
 }
 
-impl FaultInjector for CorruptingFaults {
-    fn host_ok(&mut self, _host: HostId, _now: Tick, _rng: &mut StdRng) -> bool {
-        true
+impl<I: FaultInjector> FaultInjector for CorruptingFaults<I> {
+    fn host_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
+        self.inner.host_ok(host, now, rng)
     }
-    fn sensor_ok(&mut self, _sensor: SensorId, _now: Tick, _rng: &mut StdRng) -> bool {
-        true
+    fn sensor_ok(&mut self, sensor: SensorId, now: Tick, rng: &mut StdRng) -> bool {
+        self.inner.sensor_ok(sensor, now, rng)
     }
-    fn broadcast_ok(&mut self, _host: HostId, _now: Tick, _rng: &mut StdRng) -> bool {
-        true
+    fn broadcast_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
+        self.inner.broadcast_ok(host, now, rng)
     }
     fn corrupt(
         &mut self,
-        _host: HostId,
-        _now: Tick,
+        host: HostId,
+        now: Tick,
         outputs: &mut [logrel_core::Value],
         rng: &mut StdRng,
     ) {
@@ -136,6 +260,10 @@ impl FaultInjector for CorruptingFaults {
                 }
             }
         }
+        self.inner.corrupt(host, now, outputs, rng);
+    }
+    fn rejoined_at(&self, host: HostId, now: Tick) -> Option<Tick> {
+        self.inner.rejoined_at(host, now)
     }
 }
 
@@ -155,34 +283,19 @@ impl<I> UnplugAt<I> {
     }
 }
 
-impl<I: FaultInjector> FaultInjector for UnplugAt<I> {
-    fn host_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
-        if host == self.host && now >= self.at {
-            return false;
-        }
-        self.inner.host_ok(host, now, rng)
+impl<I: FaultInjector> HostSilencer for UnplugAt<I> {
+    type Inner = I;
+    fn inner(&mut self) -> &mut I {
+        &mut self.inner
     }
-    fn sensor_ok(&mut self, sensor: SensorId, now: Tick, rng: &mut StdRng) -> bool {
-        self.inner.sensor_ok(sensor, now, rng)
+    fn inner_ref(&self) -> &I {
+        &self.inner
     }
-    fn broadcast_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
-        if host == self.host && now >= self.at {
-            return false;
-        }
-        self.inner.broadcast_ok(host, now, rng)
+    fn invocation_down(&mut self, host: HostId, now: Tick, _rng: &mut StdRng) -> bool {
+        self.is_down(host, now)
     }
-    fn corrupt(
-        &mut self,
-        host: HostId,
-        now: Tick,
-        outputs: &mut [logrel_core::Value],
-        rng: &mut StdRng,
-    ) {
-        // An unplugged host delivers nothing, so corruption is moot for
-        // it; everything else delegates.
-        if !(host == self.host && now >= self.at) {
-            self.inner.corrupt(host, now, outputs, rng);
-        }
+    fn is_down(&self, host: HostId, now: Tick) -> bool {
+        host == self.host && now >= self.at
     }
 }
 
@@ -191,8 +304,14 @@ impl<I: FaultInjector> FaultInjector for UnplugAt<I> {
 /// fail-silent *crash* regime, in contrast to the paper's per-invocation
 /// transient model. Useful for studying how long a replication degree
 /// survives (experiment binaries sweep this).
+///
+/// Composable: `PermanentFaults::wrapping(inner, hazards)` runs the crash
+/// process over any inner injector — e.g. corrupting hosts that
+/// eventually crash. A crashed host is silenced on every channel,
+/// including `corrupt`, from the instant it dies.
 #[derive(Debug, Clone)]
-pub struct PermanentFaults {
+pub struct PermanentFaults<I = NoFaults> {
+    inner: I,
     hazard: Vec<f64>,
     dead: Vec<bool>,
 }
@@ -200,11 +319,7 @@ pub struct PermanentFaults {
 impl PermanentFaults {
     /// Per-invocation crash hazards, one per host (index = host id).
     pub fn new(hazard: Vec<f64>) -> Self {
-        let n = hazard.len();
-        PermanentFaults {
-            hazard,
-            dead: vec![false; n],
-        }
+        Self::wrapping(NoFaults, hazard)
     }
 
     /// Uses `1 − hrel(h)` as the per-invocation crash hazard of each host.
@@ -214,6 +329,18 @@ impl PermanentFaults {
                 .map(|h| 1.0 - arch.host(h).reliability().get())
                 .collect(),
         )
+    }
+}
+
+impl<I> PermanentFaults<I> {
+    /// Runs the crash process over `inner`.
+    pub fn wrapping(inner: I, hazard: Vec<f64>) -> Self {
+        let n = hazard.len();
+        PermanentFaults {
+            inner,
+            hazard,
+            dead: vec![false; n],
+        }
     }
 
     /// `true` if `host` has crashed so far.
@@ -227,30 +354,34 @@ impl PermanentFaults {
     }
 }
 
-impl FaultInjector for PermanentFaults {
-    fn host_ok(&mut self, host: HostId, _now: Tick, rng: &mut StdRng) -> bool {
+impl<I: FaultInjector> HostSilencer for PermanentFaults<I> {
+    type Inner = I;
+    fn inner(&mut self) -> &mut I {
+        &mut self.inner
+    }
+    fn inner_ref(&self) -> &I {
+        &self.inner
+    }
+    fn invocation_down(&mut self, host: HostId, _now: Tick, rng: &mut StdRng) -> bool {
         let i = host.index();
         if self.dead[i] {
-            return false;
+            return true;
         }
         if rng.gen::<f64>() < self.hazard[i] {
             self.dead[i] = true;
-            return false;
+            return true;
         }
-        true
+        false
     }
-    fn sensor_ok(&mut self, _sensor: SensorId, _now: Tick, _rng: &mut StdRng) -> bool {
-        true
-    }
-    fn broadcast_ok(&mut self, _host: HostId, _now: Tick, _rng: &mut StdRng) -> bool {
-        true
+    fn is_down(&self, host: HostId, _now: Tick) -> bool {
+        self.dead[host.index()]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use logrel_core::{HostDecl, Reliability, SensorDecl};
+    use logrel_core::{HostDecl, Reliability, SensorDecl, Value};
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
@@ -264,6 +395,7 @@ mod tests {
         assert!(f.host_ok(HostId::new(0), Tick::ZERO, &mut r));
         assert!(f.sensor_ok(SensorId::new(0), Tick::ZERO, &mut r));
         assert!(f.broadcast_ok(HostId::new(0), Tick::ZERO, &mut r));
+        assert_eq!(f.rejoined_at(HostId::new(0), Tick::ZERO), None);
     }
 
     #[test]
@@ -318,17 +450,18 @@ mod tests {
         let died_at = died_at.expect("host 0 must crash with hazard 0.5");
         assert!(f.is_dead(HostId::new(0)));
         assert_eq!(f.alive_count(), 1);
-        // Dead forever.
+        // Dead forever — and its broadcast is silenced with it.
         for k in died_at..died_at + 10 {
             assert!(!f.host_ok(HostId::new(0), Tick::new(k), &mut r));
+            assert!(!f.broadcast_ok(HostId::new(0), Tick::new(k), &mut r));
         }
         // Host 1 (hazard 0) never dies.
         for k in 0..100 {
             assert!(f.host_ok(HostId::new(1), Tick::new(k), &mut r));
         }
-        // Sensors and broadcast are untouched by this injector.
+        // Sensors are untouched by this injector; a live host broadcasts.
         assert!(f.sensor_ok(SensorId::new(0), Tick::ZERO, &mut r));
-        assert!(f.broadcast_ok(HostId::new(0), Tick::ZERO, &mut r));
+        assert!(f.broadcast_ok(HostId::new(1), Tick::ZERO, &mut r));
     }
 
     #[test]
@@ -355,5 +488,63 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(draw(), draw());
+    }
+
+    /// Regression: a host marked fail-silent earlier in the same instant
+    /// must not corrupt outputs. Before the silencing rework, composing a
+    /// corruption model under a crash process would still mutate the
+    /// buffer (and burn a random draw) for a host that had already died.
+    #[test]
+    fn dead_hosts_never_corrupt() {
+        let mut f = PermanentFaults::wrapping(CorruptingFaults::new(1.0, -1.0), vec![1.0]);
+        let mut r = rng();
+        // First invocation kills the host (hazard 1.0)...
+        assert!(!f.host_ok(HostId::new(0), Tick::ZERO, &mut r));
+        // ...so its corrupt hook must leave delivered outputs untouched,
+        // even within the same instant.
+        let mut outputs = [Value::Float(42.0)];
+        f.corrupt(HostId::new(0), Tick::ZERO, &mut outputs, &mut r);
+        assert_eq!(outputs, [Value::Float(42.0)]);
+
+        // An unplugged host is equally barred from corrupting.
+        let mut u = UnplugAt::new(CorruptingFaults::new(1.0, -1.0), HostId::new(0), Tick::ZERO);
+        u.corrupt(HostId::new(0), Tick::ZERO, &mut outputs, &mut r);
+        assert_eq!(outputs, [Value::Float(42.0)]);
+        // But a different, live host still corrupts.
+        u.corrupt(HostId::new(1), Tick::ZERO, &mut outputs, &mut r);
+        assert_eq!(outputs, [Value::Float(-1.0)]);
+    }
+
+    /// The wrappers compose over arbitrary inner injectors in any order.
+    #[test]
+    fn wrappers_compose_in_both_orders() {
+        let mut ab = logrel_core::Architecture::builder();
+        ab.host(HostDecl::new("a", Reliability::new(0.9).unwrap()))
+            .unwrap();
+        ab.host(HostDecl::new("b", Reliability::new(0.9).unwrap()))
+            .unwrap();
+        let arch = ab.build();
+        let mut r = rng();
+
+        // Crash process over corruption over transient faults.
+        let mut f = PermanentFaults::wrapping(
+            CorruptingFaults::wrapping(ProbabilisticFaults::from_architecture(&arch), 1.0, -7.0),
+            vec![0.0, 0.0],
+        );
+        let mut outputs = [Value::Float(1.0)];
+        assert!(f.host_ok(HostId::new(0), Tick::ZERO, &mut r), "zero hazard keeps the host up");
+        f.corrupt(HostId::new(0), Tick::ZERO, &mut outputs, &mut r);
+        assert_eq!(outputs, [Value::Float(-7.0)], "live host corrupts through the stack");
+
+        // Unplug over a crash process: the unplugged host is down even
+        // though its hazard is zero.
+        let mut g = UnplugAt::new(
+            PermanentFaults::new(vec![0.0, 0.0]),
+            HostId::new(1),
+            Tick::new(10),
+        );
+        assert!(g.host_ok(HostId::new(1), Tick::new(9), &mut r));
+        assert!(!g.host_ok(HostId::new(1), Tick::new(10), &mut r));
+        assert!(g.host_ok(HostId::new(0), Tick::new(10), &mut r));
     }
 }

@@ -18,6 +18,20 @@
 //!    instants, possibly in the next round.
 //!
 //! With a seeded RNG the whole run is bit-reproducible.
+//!
+//! # Host rejoin and warm-up
+//!
+//! When a scenario brings a crashed host back
+//! ([`FaultInjector::rejoined_at`]), the host re-latches communicator
+//! state from the next broadcast round. A replica of a *memory-free*
+//! task — one whose inputs are all sensor-fed, so its output depends only
+//! on the current round's fresh readings (Proposition 1's precondition) —
+//! resumes voting immediately. A replica of a task *with state* (reading
+//! at least one task-written communicator) stays out of the vote until
+//! one full round after the first round boundary following the rejoin:
+//! only then has it observed a complete round of broadcasts. Warm-up is
+//! pure bookkeeping — every fault draw is still sampled, so the RNG
+//! stream is unchanged.
 
 use crate::behavior::BehaviorMap;
 use crate::environment::Environment;
@@ -128,6 +142,9 @@ struct TaskTable {
     /// unreachable: they would only be read for an unreliable input of a
     /// task validated to declare defaults).
     defaults: Vec<Value>,
+    /// Reads at least one task-written communicator: a rejoining replica
+    /// must warm up for one full round before voting again.
+    stateful: bool,
 }
 
 /// Phase-resolved replication tables: who senses and who executes, with
@@ -256,6 +273,35 @@ impl<'a> Simulation<'a> {
         injector: &mut dyn FaultInjector,
         config: &SimConfig,
     ) -> SimOutput {
+        self.run_supervised(
+            behaviors,
+            env,
+            injector,
+            &mut crate::monitor::NoSupervisor,
+            config,
+        )
+    }
+
+    /// Runs the simulation with a runtime [`Supervisor`]: the supervisor
+    /// observes every communicator update as it is recorded and may drop
+    /// replicas from the vote ([`Supervisor::exclude_replica`]).
+    ///
+    /// With [`NoSupervisor`] this is exactly [`Simulation::run`] — the
+    /// hooks never change the RNG stream (fault draws are sampled
+    /// unconditionally), so supervised and plain runs of the same seed
+    /// only diverge where a supervisor actively excludes a replica.
+    ///
+    /// [`Supervisor`]: crate::monitor::Supervisor
+    /// [`Supervisor::exclude_replica`]: crate::monitor::Supervisor::exclude_replica
+    /// [`NoSupervisor`]: crate::monitor::NoSupervisor
+    pub fn run_supervised(
+        &self,
+        behaviors: &mut BehaviorMap,
+        env: &mut dyn Environment,
+        injector: &mut dyn FaultInjector,
+        supervisor: &mut dyn crate::monitor::Supervisor,
+        config: &SimConfig,
+    ) -> SimOutput {
         let spec = self.spec;
         let prog = &self.program;
         let round = spec.round_period().as_u64();
@@ -308,6 +354,7 @@ impl<'a> Simulation<'a> {
                                 Value::Unreliable
                             };
                             trace.record(c, now, comm_values[comm as usize]);
+                            supervisor.observe(c, now, comm_values[comm as usize]);
                         }
                         UpdateOp::Landed {
                             comm,
@@ -328,11 +375,13 @@ impl<'a> Simulation<'a> {
                             }
                             // else: nothing produced yet, init persists.
                             trace.record(c, now, comm_values[comm as usize]);
+                            supervisor.observe(c, now, comm_values[comm as usize]);
                             env.actuate(c, comm_values[comm as usize], now);
                         }
                         UpdateOp::Persist { comm } => {
                             let c = CommunicatorId::new(comm);
                             trace.record(c, now, comm_values[comm as usize]);
+                            supervisor.observe(c, now, comm_values[comm as usize]);
                             env.actuate(c, comm_values[comm as usize], now);
                         }
                     }
@@ -373,7 +422,10 @@ impl<'a> Simulation<'a> {
                         // process is order-independent.
                         let host_ok = injector.host_ok(h, now, &mut rng);
                         let bc_ok = injector.broadcast_ok(h, now, &mut rng);
-                        let ok = executes && host_ok && bc_ok;
+                        let warm = !tt.stateful
+                            || warm_after_rejoin(injector.rejoined_at(h, now), now, round);
+                        let excluded = supervisor.exclude_replica(TaskId::new(ti), h, now);
+                        let ok = executes && host_ok && bc_ok && warm && !excluded;
                         replica_ok[i] = ok;
                         if ok {
                             let dst = &mut replica_vals[i * tt.n_out..(i + 1) * tt.n_out];
@@ -519,6 +571,8 @@ impl<'a> Simulation<'a> {
                         } else {
                             vec![Value::Unreliable; decl.outputs().len()]
                         };
+                        let stateful =
+                            decl.inputs().iter().any(|a| !spec.is_sensor_input(a.comm));
                         let mut replica_outputs: Vec<Option<Vec<Value>>> =
                             Vec::with_capacity(phase.hosts_of(t).len());
                         for &h in phase.hosts_of(t) {
@@ -526,7 +580,9 @@ impl<'a> Simulation<'a> {
                             // process is order-independent.
                             let host_ok = injector.host_ok(h, now, &mut rng);
                             let bc_ok = injector.broadcast_ok(h, now, &mut rng);
-                            if executes && host_ok && bc_ok {
+                            let warm = !stateful
+                                || warm_after_rejoin(injector.rejoined_at(h, now), now, round);
+                            if executes && host_ok && bc_ok && warm {
                                 let mut o = outputs.clone();
                                 injector.corrupt(h, now, &mut o, &mut rng);
                                 replica_outputs.push(Some(o));
@@ -560,6 +616,16 @@ impl<'a> Simulation<'a> {
     }
 }
 
+/// The warm-up rule for a stateful task's replica (see the module docs):
+/// after a scripted rejoin at `rj`, the replica rejoins the vote one full
+/// round after the first round boundary at or following `rj`.
+pub(crate) fn warm_after_rejoin(rejoined: Option<Tick>, now: Tick, round: u64) -> bool {
+    match rejoined {
+        None => true,
+        Some(rj) => now.as_u64() >= rj.as_u64().div_ceil(round) * round + round,
+    }
+}
+
 /// Lowers the event calendar and access maps into the dense round
 /// program interpreted by [`Simulation::run`].
 fn compile(
@@ -590,6 +656,7 @@ fn compile(
             out_base,
             n_out,
             defaults,
+            stateful: decl.inputs().iter().any(|a| !spec.is_sensor_input(a.comm)),
         });
         in_base += n_in;
         out_base += n_out;

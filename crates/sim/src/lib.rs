@@ -15,9 +15,15 @@
 //! * [`fault`] — fault injectors: per-invocation transient faults from the
 //!   architecture's reliabilities, scheduled "unplug" events, and
 //!   compositions;
+//! * [`scenario`] — scripted fault timelines (crash/rejoin, flaky hosts,
+//!   burst broadcast loss, stuck sensors) with a replayable text format;
+//! * [`monitor`] — online LRC monitoring with Hoeffding bands and
+//!   graceful-degradation supervisors;
 //! * [`montecarlo`] — deterministic parallel Monte-Carlo batches: derived
 //!   per-replication seeds, scoped worker threads, replication-order
 //!   merging (bit-identical results at any thread count);
+//! * [`campaign`] — scenario sweeps over the Monte-Carlo harness with
+//!   per-communicator reliability/availability/alarm reports;
 //! * [`trace`] — recorded traces, their reliability abstraction ρ and
 //!   limit averages;
 //! * [`emrun`] — cross-validation of the E-machine code generator against
@@ -33,23 +39,37 @@
 //! [`TaskBehavior`]: behavior::TaskBehavior
 
 pub mod behavior;
+pub mod campaign;
 pub mod cosim;
 pub mod emrun;
 pub mod environment;
 pub mod fault;
 pub mod kernel;
+pub mod monitor;
 pub mod montecarlo;
+pub mod scenario;
 pub mod trace;
 pub mod voting;
 
 pub use behavior::{BehaviorMap, TaskBehavior};
+pub use campaign::{run_campaign, CampaignConfig, CommunicatorReport, ScenarioReport};
 pub use environment::{ConstantEnvironment, Environment};
 pub use fault::{
-    CorruptingFaults, FaultInjector, NoFaults, PermanentFaults, ProbabilisticFaults, UnplugAt,
+    CorruptingFaults, FaultInjector, HostSilencer, NoFaults, PermanentFaults,
+    ProbabilisticFaults, UnplugAt,
 };
 pub use kernel::{SimConfig, SimOutput, Simulation};
+pub use monitor::{
+    Alarm, AlarmKind, DegradationRule, Degrader, LrcMonitor, MonitorConfig, NoSupervisor,
+    Response, Supervisor,
+};
 pub use montecarlo::{
-    derive_seed, run_batch, run_replications, BatchConfig, ReplicationContext,
+    derive_seed, run_batch, run_replications, run_supervised_replications, BatchConfig,
+    ReplicationContext,
+};
+pub use scenario::{
+    Scenario, ScenarioEnvironment, ScenarioError, ScenarioEvent, ScenarioInjector,
+    ScenarioSymbols,
 };
 pub use trace::Trace;
 pub use voting::{vote, vote_into, VotingStrategy};

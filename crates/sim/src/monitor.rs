@@ -1,0 +1,434 @@
+//! Online LRC monitoring and graceful degradation.
+//!
+//! The static analysis of §3 certifies `λ_c ≥ µ_c` *a priori*; this
+//! module provides the runtime counterpart argued for by probabilistic
+//! assume/guarantee contracts: a [`Supervisor`] observes every
+//! communicator update as the kernel records it, the [`LrcMonitor`]
+//! maintains a per-communicator sliding window of the 0/1 reliability
+//! abstraction and raises a structured [`Alarm`] when the windowed mean
+//! is *statistically confidently* below the declared LRC (Hoeffding band
+//! entirely under µ_c), clearing it once the mean itself recovers to
+//! µ_c — a natural hysteresis, since clearing needs the plain mean while
+//! raising needs mean + ε to fall short.
+//!
+//! A [`Degrader`] turns alarms into scripted responses: drop a flaky
+//! replica from the vote (the kernel consults
+//! [`Supervisor::exclude_replica`] per invocation), or emit an HTL mode
+//! switch event for a degraded-rate mode (consumed by an E-machine
+//! [`Platform::event`] feed).
+//!
+//! [`Platform::event`]: logrel_emachine::Platform
+
+use logrel_core::{CommunicatorId, HostId, Specification, TaskId, Tick, Value};
+use logrel_reliability::{hoeffding_epsilon, SlidingMean};
+
+/// Runtime hook invoked by the simulation kernel.
+///
+/// `observe` fires for *every* communicator update, in trace-record
+/// order; `exclude_replica` is consulted once per replica invocation and
+/// removes the replica from execution and voting when `true` (the host
+/// is treated as fail-silent for that invocation, without consuming its
+/// fault draws any differently — draws are sampled unconditionally).
+pub trait Supervisor {
+    /// A communicator update was recorded at `now` with `value`.
+    fn observe(&mut self, comm: CommunicatorId, now: Tick, value: Value);
+    /// Should `host`'s replica of `task` be dropped from the vote at
+    /// `now`?
+    fn exclude_replica(&mut self, task: TaskId, host: HostId, now: Tick) -> bool {
+        let _ = (task, host, now);
+        false
+    }
+}
+
+/// The do-nothing supervisor used by plain [`Simulation::run`].
+///
+/// [`Simulation::run`]: crate::Simulation::run
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSupervisor;
+
+impl Supervisor for NoSupervisor {
+    fn observe(&mut self, _comm: CommunicatorId, _now: Tick, _value: Value) {}
+}
+
+/// Configuration of the online monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// Sliding-window length, in communicator updates.
+    pub window: usize,
+    /// Confidence level of the Hoeffding band (in `(0, 1)`).
+    pub confidence: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window: 200,
+            confidence: 0.99,
+        }
+    }
+}
+
+/// Whether an alarm was raised or cleared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlarmKind {
+    /// The windowed mean fell confidently below the LRC.
+    Raised,
+    /// The windowed mean recovered to the LRC.
+    Cleared,
+}
+
+/// One monitor alarm transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alarm {
+    /// The communicator whose LRC is concerned.
+    pub comm: CommunicatorId,
+    /// Update instant at which the transition fired.
+    pub at: Tick,
+    /// Raised or cleared.
+    pub kind: AlarmKind,
+    /// Windowed mean at the transition.
+    pub mean: f64,
+    /// Hoeffding deviation for the window length at the transition.
+    pub epsilon: f64,
+    /// The declared LRC µ_c.
+    pub lrc: f64,
+}
+
+/// Per-communicator window state.
+#[derive(Debug, Clone)]
+struct CommWindow {
+    lrc: f64,
+    window: SlidingMean,
+    active: bool,
+    first_violation: Option<Tick>,
+}
+
+/// The online LRC monitor: one sliding window per communicator carrying
+/// a long-run constraint.
+#[derive(Debug, Clone)]
+pub struct LrcMonitor {
+    config: MonitorConfig,
+    /// Indexed by communicator; `None` for communicators without an LRC.
+    windows: Vec<Option<CommWindow>>,
+    alarms: Vec<Alarm>,
+}
+
+impl LrcMonitor {
+    /// A monitor over every communicator of `spec` that declares an LRC.
+    pub fn new(spec: &Specification, config: MonitorConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        assert!(
+            config.confidence > 0.0 && config.confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
+        LrcMonitor {
+            config,
+            windows: spec
+                .communicator_ids()
+                .map(|c| {
+                    spec.communicator(c).lrc().map(|lrc| CommWindow {
+                        lrc: lrc.get(),
+                        window: SlidingMean::new(config.window),
+                        active: false,
+                        first_violation: None,
+                    })
+                })
+                .collect(),
+            alarms: Vec::new(),
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> MonitorConfig {
+        self.config
+    }
+
+    /// All alarm transitions so far, in firing order.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// Is an alarm currently active for `comm`?
+    pub fn active(&self, comm: CommunicatorId) -> bool {
+        self.windows[comm.index()]
+            .as_ref()
+            .is_some_and(|w| w.active)
+    }
+
+    /// The instant of the first raised alarm for `comm`, if any — the
+    /// "time to first LRC violation" statistic of the campaign report.
+    pub fn first_violation(&self, comm: CommunicatorId) -> Option<Tick> {
+        self.windows[comm.index()]
+            .as_ref()
+            .and_then(|w| w.first_violation)
+    }
+}
+
+impl Supervisor for LrcMonitor {
+    fn observe(&mut self, comm: CommunicatorId, now: Tick, value: Value) {
+        let Some(w) = &mut self.windows[comm.index()] else {
+            return;
+        };
+        w.window.push(value.is_reliable());
+        let mean = w.window.mean();
+        let epsilon = hoeffding_epsilon(w.window.len(), self.config.confidence);
+        if !w.active && mean + epsilon < w.lrc {
+            // Even the optimistic end of the confidence band is below
+            // µ_c: the violation is statistically confident.
+            w.active = true;
+            w.first_violation.get_or_insert(now);
+            self.alarms.push(Alarm {
+                comm,
+                at: now,
+                kind: AlarmKind::Raised,
+                mean,
+                epsilon,
+                lrc: w.lrc,
+            });
+        } else if w.active && mean >= w.lrc {
+            w.active = false;
+            self.alarms.push(Alarm {
+                comm,
+                at: now,
+                kind: AlarmKind::Cleared,
+                mean,
+                epsilon,
+                lrc: w.lrc,
+            });
+        }
+    }
+}
+
+/// A scripted response to an LRC alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// Drop `host`'s replica of `task` from execution and voting.
+    DropReplica {
+        /// The replicated task.
+        task: TaskId,
+        /// The replica host to drop.
+        host: HostId,
+    },
+    /// Emit an E-machine mode-switch event (consumed by a modal program's
+    /// `Platform::event` feed; switches take effect at round boundaries).
+    ModeSwitch {
+        /// The event number passed to the E-machine.
+        event: u32,
+    },
+}
+
+/// Binds an alarm source to its response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationRule {
+    /// Respond when this communicator's alarm is first raised.
+    pub comm: CommunicatorId,
+    /// The scripted response.
+    pub response: Response,
+}
+
+/// Graceful-degradation supervisor: an [`LrcMonitor`] plus scripted
+/// rules. A rule *engages* at its communicator's first raised alarm and
+/// stays engaged (latched) — degraded configurations are not
+/// automatically re-upgraded, matching the operational practice of
+/// requiring explicit re-admission of a flaky replica.
+#[derive(Debug, Clone)]
+pub struct Degrader {
+    monitor: LrcMonitor,
+    rules: Vec<DegradationRule>,
+    engaged: Vec<Option<Tick>>,
+    mode_events: Vec<(Tick, u32)>,
+}
+
+impl Degrader {
+    /// Wraps `monitor` with degradation `rules`.
+    pub fn new(monitor: LrcMonitor, rules: Vec<DegradationRule>) -> Self {
+        let n = rules.len();
+        Degrader {
+            monitor,
+            rules,
+            engaged: vec![None; n],
+            mode_events: Vec::new(),
+        }
+    }
+
+    /// The wrapped monitor (alarms, active flags, first violations).
+    pub fn monitor(&self) -> &LrcMonitor {
+        &self.monitor
+    }
+
+    /// The engagement instant of rule `i`, if it fired.
+    pub fn engaged_at(&self, i: usize) -> Option<Tick> {
+        self.engaged[i]
+    }
+
+    /// Mode-switch events emitted so far, as `(instant, event)` pairs —
+    /// feed these to a modal E-machine's `Platform::event`.
+    pub fn mode_events(&self) -> &[(Tick, u32)] {
+        &self.mode_events
+    }
+}
+
+impl Supervisor for Degrader {
+    fn observe(&mut self, comm: CommunicatorId, now: Tick, value: Value) {
+        self.monitor.observe(comm, now, value);
+        for (i, rule) in self.rules.iter().enumerate() {
+            if self.engaged[i].is_none() && rule.comm == comm && self.monitor.active(comm) {
+                self.engaged[i] = Some(now);
+                if let Response::ModeSwitch { event } = rule.response {
+                    self.mode_events.push((now, event));
+                }
+            }
+        }
+    }
+
+    fn exclude_replica(&mut self, task: TaskId, host: HostId, _now: Tick) -> bool {
+        self.rules.iter().zip(&self.engaged).any(|(rule, engaged)| {
+            engaged.is_some()
+                && matches!(rule.response,
+                    Response::DropReplica { task: t, host: h } if t == task && h == host)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logrel_core::{CommunicatorDecl, Reliability, TaskDecl, ValueType};
+
+    fn spec_with_lrc(lrc: f64) -> (Specification, CommunicatorId) {
+        let mut sb = Specification::builder();
+        let s = sb
+            .communicator(
+                CommunicatorDecl::new("s", ValueType::Float, 10)
+                    .unwrap()
+                    .from_sensor(),
+            )
+            .unwrap();
+        let u = sb
+            .communicator(
+                CommunicatorDecl::new("u", ValueType::Float, 10)
+                    .unwrap()
+                    .with_lrc(Reliability::new(lrc).unwrap()),
+            )
+            .unwrap();
+        sb.task(TaskDecl::new("t").reads(s, 0).writes(u, 1)).unwrap();
+        (sb.build().unwrap(), u)
+    }
+
+    #[test]
+    fn monitor_raises_and_clears() {
+        let (spec, u) = spec_with_lrc(0.9);
+        let mut m = LrcMonitor::new(
+            &spec,
+            MonitorConfig {
+                window: 50,
+                confidence: 0.99,
+            },
+        );
+        // Healthy stream: no alarm.
+        for i in 0..100u64 {
+            m.observe(u, Tick::new(i * 10), Value::Float(1.0));
+        }
+        assert!(!m.active(u));
+        assert!(m.alarms().is_empty());
+        // Outage: the window drains to 0, confidently below 0.9.
+        for i in 100..150u64 {
+            m.observe(u, Tick::new(i * 10), Value::Unreliable);
+        }
+        assert!(m.active(u));
+        assert_eq!(m.alarms().len(), 1);
+        assert_eq!(m.alarms()[0].kind, AlarmKind::Raised);
+        assert!(m.alarms()[0].mean + m.alarms()[0].epsilon < 0.9);
+        let first = m.first_violation(u).unwrap();
+        // Recovery: mean climbs back to µ.
+        for i in 150..260u64 {
+            m.observe(u, Tick::new(i * 10), Value::Float(1.0));
+        }
+        assert!(!m.active(u));
+        assert_eq!(m.alarms().len(), 2);
+        assert_eq!(m.alarms()[1].kind, AlarmKind::Cleared);
+        // first_violation is sticky across the clear.
+        assert_eq!(m.first_violation(u), Some(first));
+    }
+
+    #[test]
+    fn monitor_ignores_unconstrained_communicators() {
+        let (spec, _u) = spec_with_lrc(0.9);
+        let s = spec.find_communicator("s").unwrap();
+        let mut m = LrcMonitor::new(&spec, MonitorConfig::default());
+        for i in 0..1000u64 {
+            m.observe(s, Tick::new(i), Value::Unreliable);
+        }
+        assert!(!m.active(s));
+        assert!(m.alarms().is_empty());
+        assert_eq!(m.first_violation(s), None);
+    }
+
+    #[test]
+    fn short_window_stays_inconclusive() {
+        // With only a handful of samples ε is huge, so even an all-zero
+        // prefix cannot be a *confident* violation of a small µ.
+        let (spec, u) = spec_with_lrc(0.5);
+        let mut m = LrcMonitor::new(
+            &spec,
+            MonitorConfig {
+                window: 400,
+                confidence: 0.99,
+            },
+        );
+        for i in 0..5u64 {
+            m.observe(u, Tick::new(i * 10), Value::Unreliable);
+        }
+        // ε(5, 0.99) ≈ 0.73 > 0.5: not confident yet.
+        assert!(!m.active(u));
+        // Plenty more zeros: ε(n) shrinks below 0.5 and the alarm fires.
+        for i in 5..200u64 {
+            m.observe(u, Tick::new(i * 10), Value::Unreliable);
+        }
+        assert!(m.active(u));
+    }
+
+    #[test]
+    fn degrader_latches_and_excludes() {
+        let (spec, u) = spec_with_lrc(0.9);
+        let t = spec.find_task("t").unwrap();
+        let h = HostId::new(1);
+        let mut d = Degrader::new(
+            LrcMonitor::new(
+                &spec,
+                MonitorConfig {
+                    window: 50,
+                    confidence: 0.99,
+                },
+            ),
+            vec![
+                DegradationRule {
+                    comm: u,
+                    response: Response::DropReplica { task: t, host: h },
+                },
+                DegradationRule {
+                    comm: u,
+                    response: Response::ModeSwitch { event: 3 },
+                },
+            ],
+        );
+        assert!(!d.exclude_replica(t, h, Tick::ZERO));
+        for i in 0..60u64 {
+            d.observe(u, Tick::new(i * 10), Value::Unreliable);
+        }
+        assert!(d.monitor().active(u));
+        assert!(d.exclude_replica(t, h, Tick::new(600)));
+        assert!(!d.exclude_replica(t, HostId::new(0), Tick::new(600)));
+        assert_eq!(d.mode_events().len(), 1);
+        assert_eq!(d.mode_events()[0].1, 3);
+        let engaged = d.engaged_at(0).unwrap();
+        // Recovery clears the alarm but the rule stays engaged (latched).
+        for i in 60..200u64 {
+            d.observe(u, Tick::new(i * 10), Value::Float(1.0));
+        }
+        assert!(!d.monitor().active(u));
+        assert!(d.exclude_replica(t, h, Tick::new(2000)));
+        assert_eq!(d.engaged_at(0), Some(engaged));
+        assert_eq!(d.mode_events().len(), 1, "mode switch fires once");
+    }
+}

@@ -158,6 +158,42 @@ where
     })
 }
 
+/// Like [`run_replications`], but each replication also carries a
+/// [`Supervisor`] built by `setup` (an online monitor, a degrader, …)
+/// which `extract` receives back alongside the [`SimOutput`] — so
+/// per-replication alarm logs and first-violation instants survive into
+/// the merged results. Determinism is unchanged: supervisors never touch
+/// the RNG stream.
+///
+/// [`Supervisor`]: crate::monitor::Supervisor
+pub fn run_supervised_replications<'a, T, M, S, E>(
+    sim: &Simulation<'_>,
+    config: &BatchConfig,
+    setup: S,
+    extract: E,
+) -> Vec<T>
+where
+    T: Send,
+    M: crate::monitor::Supervisor,
+    S: Fn(u64) -> (ReplicationContext<'a>, M) + Sync,
+    E: Fn(u64, SimOutput, M) -> T + Sync,
+{
+    run_batch(config, |rep, seed| {
+        let (mut ctx, mut supervisor) = setup(rep);
+        let out = sim.run_supervised(
+            &mut ctx.behaviors,
+            &mut *ctx.environment,
+            &mut *ctx.injector,
+            &mut supervisor,
+            &SimConfig {
+                rounds: config.rounds,
+                seed,
+            },
+        );
+        extract(rep, out, supervisor)
+    })
+}
+
 /// The arithmetic mean of a slice (0 for an empty slice).
 #[must_use]
 pub fn mean(xs: &[f64]) -> f64 {

@@ -1,0 +1,1044 @@
+//! Scripted fault scenarios with deterministic, replayable timelines.
+//!
+//! A [`Scenario`] is a list of [`ScenarioEvent`]s — host crashes and
+//! rejoins, intermittent ("flaky") host windows, stuck-at sensor windows
+//! and correlated broadcast burst loss via a Gilbert–Elliott two-state
+//! channel — that layers over any inner [`FaultInjector`] through
+//! [`ScenarioInjector`] and over any [`Environment`] through
+//! [`ScenarioEnvironment`]. Scenarios serialize to a small line-oriented
+//! text format (see [`Scenario::parse`]); the canonical rendering
+//! round-trips exactly, so a replay from the serialized form is
+//! bit-identical to the original run.
+//!
+//! # Text format
+//!
+//! One event per line, `#` starts a comment, blank lines are ignored:
+//!
+//! ```text
+//! # crash host 1 at instant 125000, bring it back at 200000
+//! crash host=1 at=125000
+//! rejoin host=1 at=200000
+//! # host 2 only answers 80% of invocations during the window
+//! flaky host=2 from=0 until=50000 up=0.8
+//! # sensor-fed communicator 0 freezes its last value in the window
+//! stuck comm=0 from=1000 until=2000
+//! # Gilbert–Elliott burst loss on the broadcast channel
+//! burst from=0 until=100000 enter=0.01 exit=0.2 loss=0.9
+//! ```
+//!
+//! Instants are ticks; windows are half-open `[from, until)`. Crashed
+//! hosts are fail-silent on every channel (no execution, no broadcast,
+//! no corruption) until their `rejoin`; the kernel then applies the
+//! warm-up rule via [`FaultInjector::rejoined_at`]. Flaky windows are
+//! transient — they never trigger warm-up. All scenario randomness is
+//! drawn from the simulation's seeded RNG in a fixed order (one flaky
+//! draw per host and instant, one chain-advance plus one loss draw per
+//! burst window and broadcast instant), so runs remain bit-reproducible
+//! and the inner injector's draw sequence is unperturbed.
+
+use crate::environment::Environment;
+use crate::fault::FaultInjector;
+use logrel_core::{CommunicatorId, HostId, SensorId, Tick, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// One scripted fault event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioEvent {
+    /// `host` goes fail-silent at `at` (and stays down until a `Rejoin`).
+    Crash {
+        /// The crashing host.
+        host: HostId,
+        /// Crash instant.
+        at: Tick,
+    },
+    /// `host` returns to service at `at`.
+    Rejoin {
+        /// The rejoining host.
+        host: HostId,
+        /// Rejoin instant.
+        at: Tick,
+    },
+    /// During `[from, until)`, `host` answers each instant only with
+    /// probability `up` (applies to execution and broadcast alike).
+    Flaky {
+        /// The intermittent host.
+        host: HostId,
+        /// Window start (inclusive).
+        from: Tick,
+        /// Window end (exclusive).
+        until: Tick,
+        /// Per-instant availability in `[0, 1]`.
+        up: f64,
+    },
+    /// During `[from, until)`, the sensor-fed communicator `comm` keeps
+    /// re-delivering the last value sensed before the window (a stuck-at
+    /// sensor: reliable but stale).
+    StuckSensor {
+        /// The frozen sensor-fed communicator.
+        comm: CommunicatorId,
+        /// Window start (inclusive).
+        from: Tick,
+        /// Window end (exclusive).
+        until: Tick,
+    },
+    /// During `[from, until)`, the broadcast channel runs a
+    /// Gilbert–Elliott chain: Good→Bad with probability `p_enter` and
+    /// Bad→Good with `p_exit` per broadcast instant; in the Bad state
+    /// each broadcast is lost with probability `loss`.
+    Burst {
+        /// Window start (inclusive).
+        from: Tick,
+        /// Window end (exclusive).
+        until: Tick,
+        /// Per-instant Good→Bad transition probability.
+        p_enter: f64,
+        /// Per-instant Bad→Good transition probability.
+        p_exit: f64,
+        /// Loss probability per broadcast while in the Bad state.
+        loss: f64,
+    },
+}
+
+impl fmt::Display for ScenarioEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScenarioEvent::Crash { host, at } => {
+                write!(f, "crash host={} at={}", host.index(), at.as_u64())
+            }
+            ScenarioEvent::Rejoin { host, at } => {
+                write!(f, "rejoin host={} at={}", host.index(), at.as_u64())
+            }
+            ScenarioEvent::Flaky {
+                host,
+                from,
+                until,
+                up,
+            } => write!(
+                f,
+                "flaky host={} from={} until={} up={}",
+                host.index(),
+                from.as_u64(),
+                until.as_u64(),
+                up
+            ),
+            ScenarioEvent::StuckSensor { comm, from, until } => write!(
+                f,
+                "stuck comm={} from={} until={}",
+                comm.index(),
+                from.as_u64(),
+                until.as_u64()
+            ),
+            ScenarioEvent::Burst {
+                from,
+                until,
+                p_enter,
+                p_exit,
+                loss,
+            } => write!(
+                f,
+                "burst from={} until={} enter={} exit={} loss={}",
+                from.as_u64(),
+                until.as_u64(),
+                p_enter,
+                p_exit,
+                loss
+            ),
+        }
+    }
+}
+
+/// A scripted fault timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scenario {
+    events: Vec<ScenarioEvent>,
+}
+
+/// A parse or validation failure, with the offending 1-based line (0 for
+/// whole-scenario validation errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line number; 0 for validation errors without a line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "scenario line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "scenario: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Resolves names in scenario text to model ids, so scenario files may
+/// say `crash host=main_a` against a compiled HTL program. Numeric
+/// indices are always accepted.
+pub trait ScenarioSymbols {
+    /// The host named `name`, if any.
+    fn host(&self, name: &str) -> Option<HostId>;
+    /// The communicator named `name`, if any.
+    fn communicator(&self, name: &str) -> Option<CommunicatorId>;
+}
+
+/// The no-symbols resolver: only numeric indices parse.
+struct NoSymbols;
+
+impl ScenarioSymbols for NoSymbols {
+    fn host(&self, _name: &str) -> Option<HostId> {
+        None
+    }
+    fn communicator(&self, _name: &str) -> Option<CommunicatorId> {
+        None
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// `key=value` fields of one line, in order.
+fn fields(rest: &str, line: usize) -> Result<Vec<(&str, &str)>, ScenarioError> {
+    rest.split_whitespace()
+        .map(|kv| {
+            kv.split_once('=')
+                .ok_or_else(|| err(line, format!("expected key=value, got `{kv}`")))
+        })
+        .collect()
+}
+
+struct LineParser<'a> {
+    fields: Vec<(&'a str, &'a str)>,
+    line: usize,
+    symbols: &'a dyn ScenarioSymbols,
+}
+
+impl<'a> LineParser<'a> {
+    fn get(&self, key: &str) -> Result<&'a str, ScenarioError> {
+        self.fields
+            .iter()
+            .find(|&&(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| err(self.line, format!("missing field `{key}`")))
+    }
+
+    fn tick(&self, key: &str) -> Result<Tick, ScenarioError> {
+        let v = self.get(key)?;
+        v.parse::<u64>()
+            .map(Tick::new)
+            .map_err(|_| err(self.line, format!("field `{key}`: `{v}` is not an instant")))
+    }
+
+    fn prob(&self, key: &str) -> Result<f64, ScenarioError> {
+        let v = self.get(key)?;
+        let p: f64 = v
+            .parse()
+            .map_err(|_| err(self.line, format!("field `{key}`: `{v}` is not a number")))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(err(
+                self.line,
+                format!("field `{key}`: {p} is not a probability in [0, 1]"),
+            ));
+        }
+        Ok(p)
+    }
+
+    fn host(&self, key: &str) -> Result<HostId, ScenarioError> {
+        let v = self.get(key)?;
+        if let Ok(i) = v.parse::<u32>() {
+            return Ok(HostId::new(i));
+        }
+        self.symbols
+            .host(v)
+            .ok_or_else(|| err(self.line, format!("unknown host `{v}`")))
+    }
+
+    fn comm(&self, key: &str) -> Result<CommunicatorId, ScenarioError> {
+        let v = self.get(key)?;
+        if let Ok(i) = v.parse::<u32>() {
+            return Ok(CommunicatorId::new(i));
+        }
+        self.symbols
+            .communicator(v)
+            .ok_or_else(|| err(self.line, format!("unknown communicator `{v}`")))
+    }
+
+    fn known_keys(&self, keys: &[&str]) -> Result<(), ScenarioError> {
+        for &(k, _) in &self.fields {
+            if !keys.contains(&k) {
+                return Err(err(self.line, format!("unknown field `{k}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Scenario {
+    /// An empty scenario (pure pass-through).
+    pub fn new() -> Self {
+        Scenario::default()
+    }
+
+    /// Builds a scenario from events, validating the timeline.
+    pub fn from_events(events: Vec<ScenarioEvent>) -> Result<Self, ScenarioError> {
+        let s = Scenario { events };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// The scripted events, in declaration order.
+    pub fn events(&self) -> &[ScenarioEvent] {
+        &self.events
+    }
+
+    /// Parses the text format with numeric indices only.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        Self::parse_with(text, &NoSymbols)
+    }
+
+    /// Parses the text format, resolving non-numeric host/communicator
+    /// fields through `symbols`.
+    pub fn parse_with(
+        text: &str,
+        symbols: &dyn ScenarioSymbols,
+    ) -> Result<Self, ScenarioError> {
+        let mut events = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let trimmed = match raw.split_once('#') {
+                Some((before, _)) => before.trim(),
+                None => raw.trim(),
+            };
+            if trimmed.is_empty() {
+                continue;
+            }
+            let (verb, rest) = trimmed.split_once(char::is_whitespace).unwrap_or((trimmed, ""));
+            let p = LineParser {
+                fields: fields(rest, line)?,
+                line,
+                symbols,
+            };
+            let event = match verb {
+                "crash" => {
+                    p.known_keys(&["host", "at"])?;
+                    ScenarioEvent::Crash {
+                        host: p.host("host")?,
+                        at: p.tick("at")?,
+                    }
+                }
+                "rejoin" => {
+                    p.known_keys(&["host", "at"])?;
+                    ScenarioEvent::Rejoin {
+                        host: p.host("host")?,
+                        at: p.tick("at")?,
+                    }
+                }
+                "flaky" => {
+                    p.known_keys(&["host", "from", "until", "up"])?;
+                    ScenarioEvent::Flaky {
+                        host: p.host("host")?,
+                        from: p.tick("from")?,
+                        until: p.tick("until")?,
+                        up: p.prob("up")?,
+                    }
+                }
+                "stuck" => {
+                    p.known_keys(&["comm", "from", "until"])?;
+                    ScenarioEvent::StuckSensor {
+                        comm: p.comm("comm")?,
+                        from: p.tick("from")?,
+                        until: p.tick("until")?,
+                    }
+                }
+                "burst" => {
+                    p.known_keys(&["from", "until", "enter", "exit", "loss"])?;
+                    ScenarioEvent::Burst {
+                        from: p.tick("from")?,
+                        until: p.tick("until")?,
+                        p_enter: p.prob("enter")?,
+                        p_exit: p.prob("exit")?,
+                        loss: p.prob("loss")?,
+                    }
+                }
+                other => return Err(err(line, format!("unknown event `{other}`"))),
+            };
+            events.push(event);
+        }
+        Self::from_events(events)
+    }
+
+    /// Timeline validation: windows must be non-empty, and each host's
+    /// crash/rejoin events must strictly alternate in increasing time
+    /// order starting with a crash.
+    fn validate(&self) -> Result<(), ScenarioError> {
+        let mut max_host = 0usize;
+        for e in &self.events {
+            match *e {
+                ScenarioEvent::Crash { host, .. }
+                | ScenarioEvent::Rejoin { host, .. }
+                | ScenarioEvent::Flaky { host, .. } => max_host = max_host.max(host.index() + 1),
+                _ => {}
+            }
+            match *e {
+                ScenarioEvent::Flaky { from, until, .. }
+                | ScenarioEvent::StuckSensor { from, until, .. }
+                | ScenarioEvent::Burst { from, until, .. }
+                    if from >= until =>
+                {
+                    return Err(err(0, format!("empty window in `{e}`")));
+                }
+                _ => {}
+            }
+        }
+        for h in 0..max_host {
+            let host = HostId::new(h as u32);
+            let mut last: Option<(Tick, bool)> = None; // (at, was_crash)
+            for e in &self.events {
+                let (at, is_crash) = match *e {
+                    ScenarioEvent::Crash { host: eh, at } if eh == host => (at, true),
+                    ScenarioEvent::Rejoin { host: eh, at } if eh == host => (at, false),
+                    _ => continue,
+                };
+                match last {
+                    None if !is_crash => {
+                        return Err(err(0, format!("host {h}: rejoin before any crash")))
+                    }
+                    Some((prev, was_crash)) => {
+                        if at <= prev {
+                            return Err(err(
+                                0,
+                                format!("host {h}: crash/rejoin instants must increase"),
+                            ));
+                        }
+                        if was_crash == is_crash {
+                            let what = if is_crash { "crash" } else { "rejoin" };
+                            return Err(err(0, format!("host {h}: repeated {what}")));
+                        }
+                    }
+                    None => {}
+                }
+                last = Some((at, is_crash));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks every host/communicator index against the model sizes.
+    pub fn check_bounds(
+        &self,
+        host_count: usize,
+        comm_count: usize,
+    ) -> Result<(), ScenarioError> {
+        for e in &self.events {
+            match *e {
+                ScenarioEvent::Crash { host, .. }
+                | ScenarioEvent::Rejoin { host, .. }
+                | ScenarioEvent::Flaky { host, .. } => {
+                    if host.index() >= host_count {
+                        return Err(err(
+                            0,
+                            format!("host {} out of range (have {host_count})", host.index()),
+                        ));
+                    }
+                }
+                ScenarioEvent::StuckSensor { comm, .. } => {
+                    if comm.index() >= comm_count {
+                        return Err(err(
+                            0,
+                            format!(
+                                "communicator {} out of range (have {comm_count})",
+                                comm.index()
+                            ),
+                        ));
+                    }
+                }
+                ScenarioEvent::Burst { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The scripted availability of `host` over `[0, horizon)`: the
+    /// fraction of time it is not crash-down (flaky windows, being
+    /// probabilistic, are not counted here).
+    pub fn host_availability(&self, host: HostId, horizon: Tick) -> f64 {
+        let horizon = horizon.as_u64();
+        if horizon == 0 {
+            return 1.0;
+        }
+        let mut down = 0u64;
+        let mut down_since: Option<u64> = None;
+        for e in &self.events {
+            match *e {
+                ScenarioEvent::Crash { host: h, at } if h == host => {
+                    down_since.get_or_insert(at.as_u64().min(horizon));
+                }
+                ScenarioEvent::Rejoin { host: h, at } if h == host => {
+                    if let Some(since) = down_since.take() {
+                        down += at.as_u64().min(horizon).saturating_sub(since);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(since) = down_since {
+            down += horizon - since;
+        }
+        (horizon - down) as f64 / horizon as f64
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-burst Gilbert–Elliott chain state.
+#[derive(Debug, Clone, Copy)]
+struct GeState {
+    bad: bool,
+    /// Last instant the chain advanced at (`u64::MAX` = never).
+    last: u64,
+    /// Loss decision for the current instant.
+    lose_now: bool,
+}
+
+/// Runs a [`Scenario`] over an inner injector.
+///
+/// Crash/rejoin windows silence the host on every channel and surface
+/// through [`FaultInjector::rejoined_at`] for the kernel's warm-up rule.
+/// The inner injector's draws are sampled unconditionally and first, so
+/// outside scripted outages the composite behaves bit-identically to the
+/// inner injector alone.
+#[derive(Debug, Clone)]
+pub struct ScenarioInjector<I> {
+    inner: I,
+    /// Per host: crash/rejoin transitions as (instant, is_rejoin), sorted.
+    transitions: Vec<Vec<(u64, bool)>>,
+    /// Per host: flaky windows (from, until, up).
+    flaky: Vec<Vec<(u64, u64, f64)>>,
+    /// Cached flaky decision per host: (instant + 1, up) — 0 = no cache.
+    flaky_cache: Vec<(u64, bool)>,
+    bursts: Vec<(u64, u64, f64, f64, f64)>,
+    ge: Vec<GeState>,
+}
+
+impl<I: FaultInjector> ScenarioInjector<I> {
+    /// Compiles `scenario` over `inner` for a model with `host_count`
+    /// hosts and `comm_count` communicators.
+    pub fn new(
+        inner: I,
+        scenario: &Scenario,
+        host_count: usize,
+        comm_count: usize,
+    ) -> Result<Self, ScenarioError> {
+        scenario.check_bounds(host_count, comm_count)?;
+        let mut transitions = vec![Vec::new(); host_count];
+        let mut flaky = vec![Vec::new(); host_count];
+        let mut bursts = Vec::new();
+        for e in scenario.events() {
+            match *e {
+                ScenarioEvent::Crash { host, at } => {
+                    transitions[host.index()].push((at.as_u64(), false));
+                }
+                ScenarioEvent::Rejoin { host, at } => {
+                    transitions[host.index()].push((at.as_u64(), true));
+                }
+                ScenarioEvent::Flaky {
+                    host,
+                    from,
+                    until,
+                    up,
+                } => flaky[host.index()].push((from.as_u64(), until.as_u64(), up)),
+                ScenarioEvent::Burst {
+                    from,
+                    until,
+                    p_enter,
+                    p_exit,
+                    loss,
+                } => bursts.push((from.as_u64(), until.as_u64(), p_enter, p_exit, loss)),
+                ScenarioEvent::StuckSensor { .. } => {} // environment-side
+            }
+        }
+        for t in &mut transitions {
+            t.sort_unstable();
+        }
+        Ok(ScenarioInjector {
+            inner,
+            transitions,
+            flaky,
+            flaky_cache: vec![(0, true); host_count],
+            ge: vec![
+                GeState {
+                    bad: false,
+                    last: u64::MAX,
+                    lose_now: false,
+                };
+                bursts.len()
+            ],
+            bursts,
+        })
+    }
+
+    /// The inner injector.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// Latest crash/rejoin transition of `host` at or before `now`:
+    /// `Some(true)` = rejoined, `Some(false)` = crashed, `None` = no
+    /// transition yet.
+    fn last_transition(&self, host: HostId, now: u64) -> Option<(u64, bool)> {
+        let ts = &self.transitions[host.index()];
+        match ts.partition_point(|&(at, _)| at <= now) {
+            0 => None,
+            i => Some(ts[i - 1]),
+        }
+    }
+
+    fn crash_down(&self, host: HostId, now: u64) -> bool {
+        matches!(self.last_transition(host, now), Some((_, false)))
+    }
+
+    /// The flaky decision for `(host, now)`, drawn once per instant and
+    /// cached so execution and broadcast of the same instant agree. One
+    /// draw per window containing `now`.
+    fn flaky_up(&mut self, host: HostId, now: u64, rng: &mut StdRng) -> bool {
+        let h = host.index();
+        if self.flaky_cache[h].0 == now + 1 {
+            return self.flaky_cache[h].1;
+        }
+        let mut up = true;
+        for &(from, until, p) in &self.flaky[h] {
+            if (from..until).contains(&now) && !rng.gen_bool(p) {
+                up = false;
+            }
+        }
+        self.flaky_cache[h] = (now + 1, up);
+        up
+    }
+
+    /// Pure variant of [`Self::flaky_up`] for corruption suppression:
+    /// uses the cached decision if present, else reports "up" (a host
+    /// whose broadcast was never sampled this instant delivers nothing
+    /// anyway).
+    fn flaky_up_cached(&self, host: HostId, now: u64) -> bool {
+        let h = host.index();
+        if self.flaky_cache[h].0 == now + 1 {
+            self.flaky_cache[h].1
+        } else {
+            true
+        }
+    }
+
+    /// Advances every burst chain whose window contains `now` (once per
+    /// instant) and reports whether the broadcast at `now` survives all
+    /// of them. Exactly two draws per active window per new instant
+    /// (transition + loss) and zero outside windows, independent of the
+    /// chain state.
+    fn burst_ok(&mut self, now: u64, rng: &mut StdRng) -> bool {
+        let mut ok = true;
+        for (i, &(from, until, p_enter, p_exit, loss)) in self.bursts.iter().enumerate() {
+            if !(from..until).contains(&now) {
+                continue;
+            }
+            let st = &mut self.ge[i];
+            if st.last != now {
+                st.last = now;
+                let flip = rng.gen::<f64>();
+                if st.bad {
+                    if flip < p_exit {
+                        st.bad = false;
+                    }
+                } else if flip < p_enter {
+                    st.bad = true;
+                }
+                // Draw the loss unconditionally so the stream does not
+                // depend on the chain state.
+                st.lose_now = rng.gen::<f64>() < loss;
+            }
+            if st.bad && st.lose_now {
+                ok = false;
+            }
+        }
+        ok
+    }
+}
+
+impl<I: FaultInjector> FaultInjector for ScenarioInjector<I> {
+    fn host_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
+        let inner_ok = self.inner.host_ok(host, now, rng);
+        let t = now.as_u64();
+        let flaky_up = self.flaky_up(host, t, rng);
+        inner_ok && flaky_up && !self.crash_down(host, t)
+    }
+
+    fn sensor_ok(&mut self, sensor: SensorId, now: Tick, rng: &mut StdRng) -> bool {
+        self.inner.sensor_ok(sensor, now, rng)
+    }
+
+    fn broadcast_ok(&mut self, host: HostId, now: Tick, rng: &mut StdRng) -> bool {
+        let inner_ok = self.inner.broadcast_ok(host, now, rng);
+        let t = now.as_u64();
+        let burst_ok = self.burst_ok(t, rng);
+        let flaky_up = self.flaky_up(host, t, rng);
+        inner_ok && burst_ok && flaky_up && !self.crash_down(host, t)
+    }
+
+    fn corrupt(
+        &mut self,
+        host: HostId,
+        now: Tick,
+        outputs: &mut [Value],
+        rng: &mut StdRng,
+    ) {
+        let t = now.as_u64();
+        // A crashed or flaked-out host is fail-silent: no corruption.
+        if !self.crash_down(host, t) && self.flaky_up_cached(host, t) {
+            self.inner.corrupt(host, now, outputs, rng);
+        }
+    }
+
+    fn rejoined_at(&self, host: HostId, now: Tick) -> Option<Tick> {
+        match self.last_transition(host, now.as_u64()) {
+            Some((at, true)) => Some(Tick::new(at)),
+            Some((_, false)) => None,
+            None => self.inner.rejoined_at(host, now),
+        }
+    }
+}
+
+/// Applies a scenario's stuck-at sensor windows over an inner
+/// environment: during a window, [`Environment::sense`] keeps returning
+/// the last value sensed before the window (the communicator's most
+/// recent reading, or the environment's current value if the window
+/// begins before the first reading).
+pub struct ScenarioEnvironment<E> {
+    inner: E,
+    /// Per communicator: stuck windows (from, until), and the frozen value.
+    windows: Vec<Vec<(u64, u64)>>,
+    frozen: Vec<Option<Value>>,
+}
+
+impl<E: Environment> ScenarioEnvironment<E> {
+    /// Layers `scenario`'s stuck-sensor windows over `inner`.
+    pub fn new(inner: E, scenario: &Scenario, comm_count: usize) -> Self {
+        let mut windows = vec![Vec::new(); comm_count];
+        for e in scenario.events() {
+            if let ScenarioEvent::StuckSensor { comm, from, until } = *e {
+                windows[comm.index()].push((from.as_u64(), until.as_u64()));
+            }
+        }
+        ScenarioEnvironment {
+            inner,
+            windows,
+            frozen: vec![None; comm_count],
+        }
+    }
+
+    /// The inner environment.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The inner environment, mutably.
+    pub fn inner_mut(&mut self) -> &mut E {
+        &mut self.inner
+    }
+
+    fn stuck(&self, comm: CommunicatorId, now: u64) -> bool {
+        self.windows[comm.index()]
+            .iter()
+            .any(|&(from, until)| (from..until).contains(&now))
+    }
+}
+
+impl<E: Environment> Environment for ScenarioEnvironment<E> {
+    fn advance(&mut self, now: Tick) {
+        self.inner.advance(now);
+    }
+
+    fn sense(&mut self, comm: CommunicatorId, now: Tick) -> Value {
+        // Sample the inner environment unconditionally so plant models
+        // with sensing side effects stay in step across scenarios.
+        let fresh = self.inner.sense(comm, now);
+        if self.stuck(comm, now.as_u64()) {
+            *self.frozen[comm.index()].get_or_insert(fresh)
+        } else {
+            self.frozen[comm.index()] = Some(fresh);
+            fresh
+        }
+    }
+
+    fn actuate(&mut self, comm: CommunicatorId, value: Value, now: Tick) {
+        self.inner.actuate(comm, value, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::ConstantEnvironment;
+    use crate::fault::NoFaults;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    const EXAMPLE: &str = "\
+# outage of host 1
+crash host=1 at=125000
+rejoin host=1 at=200000
+flaky host=2 from=0 until=50000 up=0.8
+stuck comm=0 from=1000 until=2000
+burst from=0 until=100000 enter=0.01 exit=0.2 loss=0.9
+";
+
+    #[test]
+    fn parse_display_roundtrip_is_canonical() {
+        let s = Scenario::parse(EXAMPLE).unwrap();
+        assert_eq!(s.events().len(), 5);
+        let canon = s.to_string();
+        let s2 = Scenario::parse(&canon).unwrap();
+        assert_eq!(s, s2);
+        assert_eq!(canon, s2.to_string());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for (text, needle) in [
+            ("boom host=1 at=5", "unknown event"),
+            ("crash host=1", "missing field `at`"),
+            ("crash host=1 at=x", "not an instant"),
+            ("crash host=1 at=5 extra=1", "unknown field"),
+            ("flaky host=0 from=0 until=10 up=1.5", "probability"),
+            ("crash host 1 at 5", "key=value"),
+            ("rejoin host=0 at=5", "rejoin before any crash"),
+            ("crash host=0 at=9\nrejoin host=0 at=9", "must increase"),
+            ("crash host=0 at=1\ncrash host=0 at=2", "repeated crash"),
+            ("flaky host=0 from=10 until=10 up=0.5", "empty window"),
+        ] {
+            let e = Scenario::parse(text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "`{text}` → `{e}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let s = Scenario::parse("crash host=9 at=5").unwrap();
+        assert!(s.check_bounds(3, 1).is_err());
+        assert!(s.check_bounds(10, 1).is_ok());
+        let s = Scenario::parse("stuck comm=4 from=0 until=5").unwrap();
+        assert!(s.check_bounds(1, 4).is_err());
+        assert!(ScenarioInjector::new(NoFaults, &s, 1, 4).is_err());
+    }
+
+    #[test]
+    fn crash_and_rejoin_silence_the_window() {
+        let s = Scenario::parse("crash host=0 at=10\nrejoin host=0 at=20").unwrap();
+        let mut inj = ScenarioInjector::new(NoFaults, &s, 2, 0).unwrap();
+        let mut r = rng();
+        let h = HostId::new(0);
+        assert!(inj.host_ok(h, Tick::new(9), &mut r));
+        for t in 10..20 {
+            assert!(!inj.host_ok(h, Tick::new(t), &mut r), "t={t}");
+            assert!(!inj.broadcast_ok(h, Tick::new(t), &mut r));
+            assert_eq!(inj.rejoined_at(h, Tick::new(t)), None);
+        }
+        assert!(inj.host_ok(h, Tick::new(20), &mut r));
+        assert_eq!(inj.rejoined_at(h, Tick::new(20)), Some(Tick::new(20)));
+        assert_eq!(inj.rejoined_at(h, Tick::new(999)), Some(Tick::new(20)));
+        // The other host is untouched and has no rejoin.
+        let other = HostId::new(1);
+        assert!(inj.host_ok(other, Tick::new(15), &mut r));
+        assert_eq!(inj.rejoined_at(other, Tick::new(15)), None);
+    }
+
+    #[test]
+    fn scenario_draws_nothing_outside_windows() {
+        // With NoFaults inside and no flaky/burst window at `now`, the
+        // injector must not consume randomness: two RNG clones stay in
+        // lockstep.
+        let s = Scenario::parse("crash host=0 at=10\nrejoin host=0 at=20").unwrap();
+        let mut inj = ScenarioInjector::new(NoFaults, &s, 1, 0).unwrap();
+        let mut r = rng();
+        for t in 0..40 {
+            inj.host_ok(HostId::new(0), Tick::new(t), &mut r);
+            inj.broadcast_ok(HostId::new(0), Tick::new(t), &mut r);
+        }
+        let mut fresh = rng();
+        assert_eq!(r.gen::<f64>(), fresh.gen::<f64>());
+    }
+
+    #[test]
+    fn flaky_rate_matches_up_probability() {
+        let s = Scenario::parse("flaky host=0 from=0 until=1000000 up=0.8").unwrap();
+        let mut inj = ScenarioInjector::new(NoFaults, &s, 1, 0).unwrap();
+        let mut r = rng();
+        let n = 100_000u64;
+        let mut up = 0u64;
+        for t in 0..n {
+            let a = inj.host_ok(HostId::new(0), Tick::new(t), &mut r);
+            // Broadcast agrees with execution within the same instant.
+            let b = inj.broadcast_ok(HostId::new(0), Tick::new(t), &mut r);
+            assert_eq!(a, b, "t={t}");
+            up += u64::from(a);
+        }
+        let rate = up as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.01, "rate {rate}");
+        // Flaky windows are transient: never a rejoin.
+        assert_eq!(inj.rejoined_at(HostId::new(0), Tick::new(n)), None);
+    }
+
+    #[test]
+    fn burst_loss_only_in_bad_state() {
+        // enter=1 forces Bad at the first instant; loss=1 kills every
+        // broadcast in the window; exit=0 keeps it Bad.
+        let s = Scenario::parse("burst from=10 until=20 enter=1 exit=0 loss=1").unwrap();
+        let mut inj = ScenarioInjector::new(NoFaults, &s, 1, 0).unwrap();
+        let mut r = rng();
+        let h = HostId::new(0);
+        assert!(inj.broadcast_ok(h, Tick::new(9), &mut r));
+        for t in 10..20 {
+            assert!(!inj.broadcast_ok(h, Tick::new(t), &mut r), "t={t}");
+            // Host execution is unaffected by broadcast bursts.
+            assert!(inj.host_ok(h, Tick::new(t), &mut r));
+        }
+        assert!(inj.broadcast_ok(h, Tick::new(20), &mut r));
+    }
+
+    #[test]
+    fn stuck_sensor_freezes_the_last_value() {
+        struct Ramp;
+        impl Environment for Ramp {
+            fn advance(&mut self, _now: Tick) {}
+            fn sense(&mut self, _comm: CommunicatorId, now: Tick) -> Value {
+                Value::Float(now.as_u64() as f64)
+            }
+            fn actuate(&mut self, _comm: CommunicatorId, _value: Value, _now: Tick) {}
+        }
+        let s = Scenario::parse("stuck comm=0 from=10 until=30").unwrap();
+        let mut env = ScenarioEnvironment::new(Ramp, &s, 1);
+        let c = CommunicatorId::new(0);
+        assert_eq!(env.sense(c, Tick::new(5)), Value::Float(5.0));
+        // Window: frozen at the last pre-window reading.
+        for t in [10u64, 20, 29] {
+            assert_eq!(env.sense(c, Tick::new(t)), Value::Float(5.0), "t={t}");
+        }
+        assert_eq!(env.sense(c, Tick::new(30)), Value::Float(30.0));
+        // A window starting before any reading freezes the first reading.
+        let s2 = Scenario::parse("stuck comm=0 from=0 until=20").unwrap();
+        let mut env2 = ScenarioEnvironment::new(Ramp, &s2, 1);
+        assert_eq!(env2.sense(c, Tick::new(4)), Value::Float(4.0));
+        assert_eq!(env2.sense(c, Tick::new(12)), Value::Float(4.0));
+    }
+
+    #[test]
+    fn host_availability_accounts_for_outages() {
+        let s = Scenario::parse("crash host=1 at=25\nrejoin host=1 at=75").unwrap();
+        let h1 = HostId::new(1);
+        assert!((s.host_availability(h1, Tick::new(100)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.host_availability(HostId::new(0), Tick::new(100)), 1.0);
+        // Unterminated outage runs to the horizon.
+        let s2 = Scenario::parse("crash host=0 at=80").unwrap();
+        assert!(
+            (s2.host_availability(HostId::new(0), Tick::new(100)) - 0.8).abs() < 1e-12
+        );
+    }
+
+    proptest::proptest! {
+        /// Any valid timeline's canonical rendering re-parses to an
+        /// identical scenario, and the rendering is a fixpoint.
+        #[test]
+        fn random_scenarios_roundtrip_canonically(
+            raw in proptest::collection::vec(proptest::any::<u64>(), 0..30),
+            hosts in 1u32..5,
+        ) {
+            use proptest::prop_assert_eq;
+            // Cook the raw words into a valid timeline: per-host outages
+            // strictly increase, windows are non-empty, probabilities are
+            // in [0, 1]. An occasional outage is left unterminated, which
+            // closes that host's timeline.
+            let mut events = Vec::new();
+            let mut clock = vec![0u64; hosts as usize];
+            let mut closed = vec![false; hosts as usize];
+            for chunk in raw.chunks(3) {
+                let a = chunk[0];
+                let b = chunk.get(1).copied().unwrap_or(17);
+                let c = chunk.get(2).copied().unwrap_or(29);
+                let host = HostId::new((a / 4 % u64::from(hosts)) as u32);
+                let h = host.index();
+                let prob = |x: u64| (x % 101) as f64 / 100.0;
+                match a % 4 {
+                    0 if !closed[h] => {
+                        let start = clock[h] + 1 + b % 1000;
+                        events.push(ScenarioEvent::Crash {
+                            host,
+                            at: Tick::new(start),
+                        });
+                        if c % 7 == 0 {
+                            closed[h] = true;
+                        } else {
+                            let end = start + 1 + c % 1000;
+                            events.push(ScenarioEvent::Rejoin {
+                                host,
+                                at: Tick::new(end),
+                            });
+                            clock[h] = end;
+                        }
+                    }
+                    1 => events.push(ScenarioEvent::Flaky {
+                        host,
+                        from: Tick::new(b % 10_000),
+                        until: Tick::new(b % 10_000 + 1 + c % 1000),
+                        up: prob(c),
+                    }),
+                    2 => events.push(ScenarioEvent::StuckSensor {
+                        comm: CommunicatorId::new((b % 3) as u32),
+                        from: Tick::new(b % 10_000),
+                        until: Tick::new(b % 10_000 + 1 + c % 1000),
+                    }),
+                    _ => events.push(ScenarioEvent::Burst {
+                        from: Tick::new(b % 10_000),
+                        until: Tick::new(b % 10_000 + 1 + c % 1000),
+                        p_enter: prob(c),
+                        p_exit: prob(c / 101),
+                        loss: prob(c / 10_201),
+                    }),
+                }
+            }
+            let s = Scenario::from_events(events).unwrap();
+            let canon = s.to_string();
+            let parsed = Scenario::parse(&canon).unwrap();
+            prop_assert_eq!(&s, &parsed);
+            prop_assert_eq!(canon, parsed.to_string());
+        }
+    }
+
+    #[test]
+    fn scenario_environment_passthrough() {
+        let s = Scenario::new();
+        let mut env =
+            ScenarioEnvironment::new(ConstantEnvironment::new(Value::Float(3.0)), &s, 2);
+        env.advance(Tick::new(1));
+        assert_eq!(env.sense(CommunicatorId::new(1), Tick::new(1)), Value::Float(3.0));
+        env.actuate(CommunicatorId::new(0), Value::Float(9.0), Tick::new(1));
+    }
+}

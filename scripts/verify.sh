@@ -31,4 +31,12 @@ for f in examples/htl/*.htl assets/*.htl; do
     "$HTLC" check "$f" > /dev/null
 done
 
+echo "==> htlc inject smoke (scenario campaign)"
+"$HTLC" inject examples/htl/infusion_pump.htl examples/scenarios/pump_outage.scn 500 7 2 \
+    > /dev/null
+
+echo "==> scenario engine tests (parser proptests + determinism)"
+cargo test -q -p logrel-sim scenario > /dev/null
+cargo test -q --test fault_scenarios > /dev/null
+
 echo "verify: OK"

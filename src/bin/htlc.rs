@@ -10,6 +10,10 @@
 //! htlc ecode <file> <host>           disassemble one host's E-code
 //! htlc importance <file> <comm>      rank components by Birnbaum importance
 //! htlc simulate <file> [rounds [seed]]  fault-injected simulation summary
+//! htlc inject <file> <scenario> [rounds [seed [reps]]]
+//!                                    scenario campaign with online LRC
+//!                                    monitoring (crash/rejoin, flaky
+//!                                    hosts, burst loss, stuck sensors)
 //! htlc refine <refining> <refined>   check the refinement relation (κ by
 //!                                    task name)
 //! ```
@@ -94,6 +98,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
                  htlc latency <file>               worst-case data ages\n\
                  htlc importance <file> <comm>     component importance ranking\n\
                  htlc simulate <file> [rounds [seed]]  fault-injected run\n\
+                 htlc inject <file> <scenario> [rounds [seed [reps]]]  scenario campaign\n\
                  htlc refine <refining> <refined>  refinement check\n\n\
                  exit codes: 0 clean, 1 usage/IO error, 2 diagnostics emitted\n\
                  diagnostics: code:severity:file:line:col: message (stderr)"
@@ -320,6 +325,114 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     sys.spec.communicator(c).name(),
                     mean,
                     analytic.communicator(c).get()
+                );
+            }
+            Ok(())
+        }
+        "inject" => {
+            let path = args.get(1).ok_or(usage)?;
+            let scenario_path = args.get(2).ok_or(usage)?;
+            let rounds: u64 = args
+                .get(3)
+                .map(|s| s.parse().map_err(|_| format!("bad round count `{s}`")))
+                .transpose()?
+                .unwrap_or(4_000);
+            let seed: u64 = args
+                .get(4)
+                .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                .transpose()?
+                .unwrap_or(0xC0FFEE);
+            let reps: u64 = args
+                .get(5)
+                .map(|s| s.parse().map_err(|_| format!("bad replication count `{s}`")))
+                .transpose()?
+                .unwrap_or(8);
+            let sys = compile_path(path)?;
+
+            /// Resolves scenario names against the compiled program.
+            struct Symbols<'a>(&'a logrel::lang::ElaboratedSystem);
+            impl logrel::sim::ScenarioSymbols for Symbols<'_> {
+                fn host(&self, name: &str) -> Option<logrel::core::HostId> {
+                    self.0.arch.find_host(name)
+                }
+                fn communicator(&self, name: &str) -> Option<logrel::core::CommunicatorId> {
+                    self.0.spec.find_communicator(name)
+                }
+            }
+            let scenario =
+                logrel::sim::Scenario::parse_with(&read(scenario_path)?, &Symbols(&sys))
+                    .map_err(|e| Failure::Usage(format!("{scenario_path}: {e}")))?;
+
+            let analytic = logrel::reliability::compute_srgs(&sys.spec, &sys.arch, &sys.imp)
+                .map_err(|e| Failure::Usage(e.to_string()))?;
+            let analytic: Vec<Option<f64>> = sys
+                .spec
+                .communicator_ids()
+                .map(|c| Some(analytic.communicator(c).get()))
+                .collect();
+            let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
+            let sim = logrel::sim::Simulation::new(&sys.spec, &sys.arch, &td);
+            let config = logrel::sim::CampaignConfig {
+                batch: logrel::sim::montecarlo::BatchConfig {
+                    replications: reps,
+                    rounds,
+                    base_seed: seed,
+                    threads: 0,
+                },
+                monitor: logrel::sim::MonitorConfig::default(),
+            };
+            let report = logrel::sim::run_campaign(
+                &sim,
+                &sys.spec,
+                &scenario,
+                sys.arch.host_count(),
+                &config,
+                |_rep| logrel::sim::montecarlo::ReplicationContext {
+                    behaviors: logrel::sim::BehaviorMap::new(),
+                    environment: Box::new(logrel::sim::ConstantEnvironment::new(
+                        logrel::core::Value::Float(1.0),
+                    )),
+                    injector: Box::new(logrel::sim::ProbabilisticFaults::from_architecture(
+                        &sys.arch,
+                    )),
+                },
+                &analytic,
+            )
+            .map_err(|e| Failure::Usage(e.to_string()))?;
+
+            println!(
+                "{reps} replication(s) x {rounds} rounds, seed {seed}, scenario `{scenario_path}`\n"
+            );
+            println!("host availability (scripted):");
+            for h in sys.arch.host_ids() {
+                println!(
+                    "  {:<16} {:>8.4}",
+                    sys.arch.host(h).name(),
+                    report.host_availability[h.index()]
+                );
+            }
+            println!();
+            println!(
+                "{:<14} {:>10} {:>10} {:>8} {:>7} {:>7} {:>12} {:>7}",
+                "communicator", "empirical", "analytic", "eps", "within", "lrc", "1st-violation", "alarms"
+            );
+            for r in &report.comms {
+                let c = r.comm;
+                println!(
+                    "{:<14} {:>10.6} {:>10.6} {:>8.5} {:>7} {:>7} {:>12} {:>7}",
+                    sys.spec.communicator(c).name(),
+                    r.empirical,
+                    r.analytic.unwrap_or(f64::NAN),
+                    r.epsilon,
+                    match r.within_epsilon {
+                        Some(true) => "yes",
+                        Some(false) => "NO",
+                        None => "-",
+                    },
+                    r.lrc.map_or("-".to_owned(), |l| format!("{l}")),
+                    r.first_violation
+                        .map_or("-".to_owned(), |t| t.as_u64().to_string()),
+                    format!("{}/{}", r.alarms_raised, r.alarms_cleared),
                 );
             }
             Ok(())
