@@ -14,7 +14,10 @@
 //!   memory-free check of §3;
 //! * [`arch`] — architectures: fail-silent hosts, sensors, WCET/WCTT maps;
 //! * [`implmap`] — implementations: replication mappings from tasks to host
-//!   sets, sensor bindings, and periodic time-dependent mappings.
+//!   sets, sensor bindings, and periodic time-dependent mappings;
+//! * [`roundprog`] — the per-round event [`Calendar`] and the compiled
+//!   [`RoundProgram`] shared by the simulator and the translation
+//!   validator.
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@ pub mod graph;
 pub mod ids;
 pub mod implmap;
 pub mod prob;
+pub mod roundprog;
 pub mod spec;
 pub mod time;
 pub mod value;
@@ -62,6 +66,7 @@ pub use graph::{CommDependencyGraph, CycleReport, SpecGraph, SpecVertex};
 pub use ids::{CommunicatorId, HostId, SensorId, TaskId};
 pub use implmap::{Implementation, ImplementationBuilder, TimeDependentImplementation};
 pub use prob::Reliability;
+pub use roundprog::{Calendar, RoundProgram};
 pub use spec::{
     CommAccess, CommunicatorDecl, FailureModel, Specification, SpecificationBuilder, TaskDecl,
 };

@@ -240,19 +240,8 @@ pub fn run_cosim(
         voting,
     } = params;
     let round = spec.round_period().as_u64();
-    let mut out_base = Vec::with_capacity(spec.task_count());
-    let mut total_outputs = 0usize;
-    for t in spec.task_ids() {
-        out_base.push(total_outputs);
-        total_outputs += spec.task(t).outputs().len();
-    }
-    let mut landing = BTreeMap::new();
-    for t in spec.task_ids() {
-        for (idx, &a) in spec.task(t).outputs().iter().enumerate() {
-            let abs = spec.access_instant(a).as_u64();
-            landing.insert((a.comm, abs % round), (t, idx, abs / round));
-        }
-    }
+    let (out_base, total_outputs) = logrel_core::roundprog::output_layout(spec);
+    let landing = logrel_core::Calendar::new(spec).landing().clone();
     let mut platform = CoPlatform {
         spec,
         imp,

@@ -37,13 +37,13 @@ use crate::behavior::BehaviorMap;
 use crate::environment::Environment;
 use crate::fault::FaultInjector;
 use crate::trace::Trace;
+use logrel_core::roundprog::UpdateOp;
 use logrel_core::{
-    Architecture, CommunicatorId, FailureModel, Specification, TaskId, Tick,
-    TimeDependentImplementation, Value,
+    Architecture, Calendar, CommunicatorId, FailureModel, RoundProgram, Specification, TaskId,
+    Tick, TimeDependentImplementation, Value,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,113 +89,27 @@ struct TaskResult {
     delivered: bool,
 }
 
-/// One communicator update in a slot's compiled instruction list.
-///
-/// Update order within a slot is ascending communicator id, exactly the
-/// iteration order of the reference interpreter.
-#[derive(Debug, Clone, Copy)]
-enum UpdateOp {
-    /// Sensor-fed communicator: sample every bound sensor of the current
-    /// phase, then sense or ⊥.
-    Sensor { comm: u32 },
-    /// Task-written instance: take the voted round result landing here.
-    /// `out_slot` is the flat index of the writing task's output value.
-    Landed {
-        comm: u32,
-        task: u32,
-        out_slot: u32,
-        rounds_back: u32,
-    },
-    /// Non-sensor instance nothing lands on: the value persists.
-    Persist { comm: u32 },
-}
-
-/// One input latch: `latched[dst] = comm_values[comm]`.
-#[derive(Debug, Clone, Copy)]
-struct LatchOp {
-    dst: u32,
-    comm: u32,
-}
-
-/// The compiled instruction lists of one event instant within a round.
-#[derive(Debug, Clone)]
-struct SlotProgram {
-    /// Offset of this instant within the round.
-    offset: u64,
-    updates: Vec<UpdateOp>,
-    latches: Vec<LatchOp>,
-    /// Tasks whose read time is this instant, in ascending id order.
-    reads: Vec<u32>,
-}
-
-/// Per-task constants, flattened out of the specification.
-#[derive(Debug, Clone)]
-struct TaskTable {
-    model: FailureModel,
-    /// Base of this task's inputs in the flat latch buffer.
-    in_base: usize,
-    n_in: usize,
-    /// Base of this task's outputs in the flat round-result buffers.
-    out_base: usize,
-    n_out: usize,
-    /// Default input values, padded to the input arity (the pad values are
-    /// unreachable: they would only be read for an unreliable input of a
-    /// task validated to declare defaults).
-    defaults: Vec<Value>,
-    /// Reads at least one task-written communicator: a rejoining replica
-    /// must warm up for one full round before voting again.
-    stateful: bool,
-}
-
-/// Phase-resolved replication tables: who senses and who executes, with
-/// the `BTreeSet` host/sensor sets of the implementation flattened into
-/// dense, cache-friendly lists (ascending id order is preserved, which
-/// fixes the RNG draw order).
-#[derive(Debug, Clone)]
-struct PhaseTables {
-    /// Per communicator: the bound sensors (empty for non-sensor comms).
-    sensors: Vec<Vec<logrel_core::SensorId>>,
-    /// Per task: the replica hosts.
-    hosts: Vec<Vec<logrel_core::HostId>>,
-}
-
-/// The whole simulation, lowered to dense index-addressed form once in
-/// [`Simulation::new`] so the hot loop performs no map lookups and no
-/// per-replica allocation.
-#[derive(Debug, Clone)]
-struct RoundProgram {
-    slots: Vec<SlotProgram>,
-    phases: Vec<PhaseTables>,
-    tasks: Vec<TaskTable>,
-    /// Total input accesses across tasks (= flat latch buffer length).
-    total_inputs: usize,
-    /// Total outputs across tasks (= flat result buffer length).
-    total_outputs: usize,
-    max_inputs: usize,
-    max_outputs: usize,
-    max_replicas: usize,
-}
-
 /// A prepared simulation of one system.
 pub struct Simulation<'a> {
     spec: &'a Specification,
     imp: &'a TimeDependentImplementation,
     voting: crate::voting::VotingStrategy,
-    /// Sorted event instants within one round.
-    events: Vec<u64>,
-    /// `(comm, slot)` → (writer, positional output index, rounds back).
-    landing: BTreeMap<(CommunicatorId, u64), (TaskId, usize, u64)>,
-    /// slot → task input accesses to latch: (task, input index).
-    latch_at: BTreeMap<u64, Vec<(TaskId, usize)>>,
-    /// slot → tasks whose read time is this slot.
-    reads_at: BTreeMap<u64, Vec<TaskId>>,
-    /// The compiled form of the four maps above, used by [`Simulation::run`];
-    /// the maps are retained for [`Simulation::run_reference`].
+    /// The per-round event schedule, retained for
+    /// [`Simulation::run_reference`] and exposed via
+    /// [`Simulation::calendar`].
+    calendar: Calendar,
+    /// The compiled form of the calendar, used by [`Simulation::run`] and
+    /// exposed via [`Simulation::round_program`].
     program: RoundProgram,
 }
 
 impl<'a> Simulation<'a> {
     /// Prepares a simulation (precomputes the event calendar).
+    ///
+    /// With the `validate` feature enabled, the compiled round program is
+    /// self-certified against the specification's denotational dataflow
+    /// (see `logrel-validate`); a failed certificate is a compiler bug and
+    /// panics with the rendered V-series diagnostics.
     pub fn new(
         spec: &'a Specification,
         arch: &'a Architecture,
@@ -208,47 +122,35 @@ impl<'a> Simulation<'a> {
                 .flat_map(|t| phase.hosts_of(t).iter())
                 .all(|h| h.index() < arch.host_count())
         }));
-        let round = spec.round_period().as_u64();
-        let mut events = std::collections::BTreeSet::new();
-        for c in spec.communicator_ids() {
-            let p = spec.communicator(c).period().as_u64();
-            let mut t = 0;
-            while t < round {
-                events.insert(t);
-                t += p;
-            }
+        let calendar = Calendar::new(spec);
+        let program = RoundProgram::compile(spec, imp, &calendar);
+        #[cfg(feature = "validate")]
+        if let Err(diags) = logrel_validate::certify_kernel(spec, imp, &program) {
+            let rendered: Vec<String> =
+                diags.iter().map(|d| d.ci_line("<round-program>")).collect();
+            panic!(
+                "compiled round program failed self-certification:\n{}",
+                rendered.join("\n")
+            );
         }
-        let mut landing = BTreeMap::new();
-        let mut latch_at: BTreeMap<u64, Vec<(TaskId, usize)>> = BTreeMap::new();
-        let mut reads_at: BTreeMap<u64, Vec<TaskId>> = BTreeMap::new();
-        for t in spec.task_ids() {
-            let read = spec.read_time(t).as_u64();
-            events.insert(read);
-            reads_at.entry(read).or_default().push(t);
-            for (idx, &a) in spec.task(t).inputs().iter().enumerate() {
-                let at = spec.access_instant(a).as_u64();
-                events.insert(at);
-                latch_at.entry(at).or_default().push((t, idx));
-            }
-            for (idx, &a) in spec.task(t).outputs().iter().enumerate() {
-                let abs = spec.access_instant(a).as_u64();
-                let slot = abs % round;
-                let rounds_back = abs / round; // 0, or 1 when abs == round
-                landing.insert((a.comm, slot), (t, idx, rounds_back));
-            }
-        }
-        let events: Vec<u64> = events.into_iter().collect();
-        let program = compile(spec, imp, &events, &landing, &latch_at, &reads_at);
         Simulation {
             spec,
             imp,
             voting: crate::voting::VotingStrategy::default(),
-            events,
-            landing,
-            latch_at,
-            reads_at,
+            calendar,
             program,
         }
+    }
+
+    /// The compiled round program interpreted by [`Simulation::run`]
+    /// (read-only introspection, e.g. for the translation validator).
+    pub fn round_program(&self) -> &RoundProgram {
+        &self.program
+    }
+
+    /// The per-round event schedule the program was compiled from.
+    pub fn calendar(&self) -> &Calendar {
+        &self.calendar
     }
 
     /// Selects the replica voting strategy (defaults to
@@ -489,7 +391,7 @@ impl<'a> Simulation<'a> {
         for r in 0..config.rounds {
             let phase = self.imp.at_iteration(r);
             let base = r * round;
-            for &slot in &self.events {
+            for &slot in self.calendar.events() {
                 let now = Tick::new(base + slot);
                 env.advance(now);
 
@@ -517,7 +419,7 @@ impl<'a> Simulation<'a> {
                         trace.record(c, now, comm_values[c.index()]);
                     } else {
                         if let Some(&(t, out_idx, rounds_back)) =
-                            self.landing.get(&(c, slot))
+                            self.calendar.landing().get(&(c, slot))
                         {
                             if r >= rounds_back {
                                 let parity = ((r - rounds_back) % 2) as usize;
@@ -534,14 +436,14 @@ impl<'a> Simulation<'a> {
                 }
 
                 // ---- 2. latch input accesses due at this instant ----
-                if let Some(latches) = self.latch_at.get(&slot) {
+                if let Some(latches) = self.calendar.latch_at().get(&slot) {
                     for &(t, idx) in latches {
                         latched[t.index()][idx] = comm_values[spec.task(t).inputs()[idx].comm.index()];
                     }
                 }
 
                 // ---- 3. task reads / logical execution ----
-                if let Some(tasks) = self.reads_at.get(&slot) {
+                if let Some(tasks) = self.calendar.reads_at().get(&slot) {
                     for &t in tasks {
                         let decl = spec.task(t);
                         let raw = &latched[t.index()];
@@ -623,126 +525,6 @@ pub(crate) fn warm_after_rejoin(rejoined: Option<Tick>, now: Tick, round: u64) -
     match rejoined {
         None => true,
         Some(rj) => now.as_u64() >= rj.as_u64().div_ceil(round) * round + round,
-    }
-}
-
-/// Lowers the event calendar and access maps into the dense round
-/// program interpreted by [`Simulation::run`].
-fn compile(
-    spec: &Specification,
-    imp: &TimeDependentImplementation,
-    events: &[u64],
-    landing: &BTreeMap<(CommunicatorId, u64), (TaskId, usize, u64)>,
-    latch_at: &BTreeMap<u64, Vec<(TaskId, usize)>>,
-    reads_at: &BTreeMap<u64, Vec<TaskId>>,
-) -> RoundProgram {
-    let mut tasks = Vec::with_capacity(spec.task_count());
-    let (mut in_base, mut out_base) = (0usize, 0usize);
-    for t in spec.task_ids() {
-        let decl = spec.task(t);
-        let (n_in, n_out) = (decl.inputs().len(), decl.outputs().len());
-        let defaults = (0..n_in)
-            .map(|i| {
-                decl.default_values()
-                    .get(i)
-                    .copied()
-                    .unwrap_or(Value::Unreliable)
-            })
-            .collect();
-        tasks.push(TaskTable {
-            model: decl.failure_model(),
-            in_base,
-            n_in,
-            out_base,
-            n_out,
-            defaults,
-            stateful: decl.inputs().iter().any(|a| !spec.is_sensor_input(a.comm)),
-        });
-        in_base += n_in;
-        out_base += n_out;
-    }
-    let tasks: Vec<TaskTable> = tasks;
-
-    let phases = imp
-        .phases()
-        .iter()
-        .map(|phase| PhaseTables {
-            sensors: spec
-                .communicator_ids()
-                .map(|c| {
-                    if spec.is_sensor_input(c) {
-                        phase.sensors_of(c).iter().copied().collect()
-                    } else {
-                        Vec::new()
-                    }
-                })
-                .collect(),
-            hosts: spec
-                .task_ids()
-                .map(|t| phase.hosts_of(t).iter().copied().collect())
-                .collect(),
-        })
-        .collect::<Vec<PhaseTables>>();
-
-    let slots = events
-        .iter()
-        .map(|&slot| {
-            let updates = spec
-                .communicator_ids()
-                .filter(|&c| slot % spec.communicator(c).period().as_u64() == 0)
-                .map(|c| {
-                    let comm = c.index() as u32;
-                    if spec.is_sensor_input(c) {
-                        UpdateOp::Sensor { comm }
-                    } else if let Some(&(t, out_idx, rounds_back)) = landing.get(&(c, slot)) {
-                        UpdateOp::Landed {
-                            comm,
-                            task: t.index() as u32,
-                            out_slot: (tasks[t.index()].out_base + out_idx) as u32,
-                            rounds_back: rounds_back as u32,
-                        }
-                    } else {
-                        UpdateOp::Persist { comm }
-                    }
-                })
-                .collect();
-            let latches = latch_at
-                .get(&slot)
-                .map(|l| {
-                    l.iter()
-                        .map(|&(t, idx)| LatchOp {
-                            dst: (tasks[t.index()].in_base + idx) as u32,
-                            comm: spec.task(t).inputs()[idx].comm.index() as u32,
-                        })
-                        .collect()
-                })
-                .unwrap_or_default();
-            let reads = reads_at
-                .get(&slot)
-                .map(|ts| ts.iter().map(|t| t.index() as u32).collect())
-                .unwrap_or_default();
-            SlotProgram {
-                offset: slot,
-                updates,
-                latches,
-                reads,
-            }
-        })
-        .collect();
-
-    RoundProgram {
-        slots,
-        max_replicas: phases
-            .iter()
-            .flat_map(|p| p.hosts.iter().map(Vec::len))
-            .max()
-            .unwrap_or(0),
-        phases,
-        total_inputs: in_base,
-        total_outputs: out_base,
-        max_inputs: tasks.iter().map(|t| t.n_in).max().unwrap_or(0),
-        max_outputs: tasks.iter().map(|t| t.n_out).max().unwrap_or(0),
-        tasks,
     }
 }
 

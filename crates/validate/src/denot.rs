@@ -1,0 +1,99 @@
+//! The canonical round denotation: the symbolic dataflow of one round.
+//!
+//! A [`RoundDenotation`] is the normal form every certified artifact is
+//! reduced to — the specification's declared dataflow, the compiled
+//! [`RoundProgram`], and the composed per-host E-code all map into this
+//! domain, and certification is (diagnosed) equality. The domain is a term
+//! DAG over the initial communicator instances and the round's symbolic
+//! sensor reads: each communicator update names its source term, each task
+//! execution names the update terms its inputs latch.
+//!
+//! Canonicalization rules (see DESIGN.md §8):
+//!
+//! * every instant is reduced to its **slot** — the offset within the
+//!   round, so round-periodic artifacts have one denotation;
+//! * replica and sensor sets are **ordered sets** ([`BTreeSet`]), never
+//!   lists — broadcast and voting are order-insensitive;
+//! * a latched value is named by the slot of the **last update** of the
+//!   latched communicator at or before the latch instant (its *origin*),
+//!   which identifies the instance independently of buffer layout;
+//! * updates and executions are keyed maps ([`BTreeMap`]), so a denotation
+//!   admits exactly one update per `(communicator, slot)` and one
+//!   execution per task — double updates and double executions cannot be
+//!   expressed and are rejected during extraction.
+//!
+//! [`RoundProgram`]: logrel_core::RoundProgram
+
+use logrel_core::{CommunicatorId, FailureModel, HostId, SensorId, TaskId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The symbolic dataflow of one round (hyperperiod), per mapping phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundDenotation {
+    /// The round period π_S.
+    pub round: u64,
+    /// One dataflow graph per phase of the time-dependent mapping.
+    pub phases: Vec<PhaseDenotation>,
+}
+
+/// The dataflow graph of one mapping phase.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseDenotation {
+    /// `(communicator, slot)` → the term the update binds.
+    pub updates: BTreeMap<(CommunicatorId, u64), UpdateSource>,
+    /// task → its execution (read, vote, inputs) record.
+    pub execs: BTreeMap<TaskId, ExecRecord>,
+}
+
+/// What an update at `(communicator, slot)` binds the new instance to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateSource {
+    /// A fresh environment sample, voted over the bound sensor set.
+    Sensor {
+        /// The sensors whose joint success gates the reading.
+        sensors: BTreeSet<SensorId>,
+    },
+    /// A task output lands here: the vote over the replica set that
+    /// executed the writing invocation.
+    Landing {
+        /// The writing task.
+        task: TaskId,
+        /// Positional index into the task's output list.
+        out_idx: usize,
+        /// 0 if the writing invocation reads in the same round, 1 if the
+        /// write instant is the round boundary (previous round's output).
+        rounds_back: u64,
+        /// The replica hosts of the writing invocation's phase.
+        hosts: BTreeSet<HostId>,
+    },
+    /// Nothing lands: the previous instance persists.
+    Persist,
+}
+
+/// One task execution: when it reads, how it votes, what it latches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecRecord {
+    /// Slot of the task's read time within the round.
+    pub read_slot: u64,
+    /// The input failure model applied at the read.
+    pub model: FailureModel,
+    /// The replica host set executing (and broadcasting) this invocation.
+    pub hosts: BTreeSet<HostId>,
+    /// One latch edge per declared input, in declaration order.
+    pub inputs: Vec<LatchEdge>,
+}
+
+/// One input latch edge: which instance of which communicator feeds an
+/// input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatchEdge {
+    /// The latched communicator.
+    pub comm: CommunicatorId,
+    /// Slot of the latch instant (`i·π_c` for declared access `(c, i)`).
+    pub latch_slot: u64,
+    /// Slot of the communicator's last update at or before the latch —
+    /// the identity of the latched instance. `None` if the value predates
+    /// every update of the current round (a stale latch; never produced
+    /// by a correct artifact, since instance 0 updates at slot 0).
+    pub origin: Option<u64>,
+}

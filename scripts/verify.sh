@@ -13,8 +13,14 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> cargo test -p logrel-sim --features validate (kernel self-certification)"
+cargo test -q -p logrel-sim --features validate > /dev/null
+
 echo "==> cargo clippy"
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 HTLC=target/release/htlc
 
@@ -29,6 +35,11 @@ echo "==> htlc lint assets"
 echo "==> htlc check examples/htl + assets"
 for f in examples/htl/*.htl assets/*.htl; do
     "$HTLC" check "$f" > /dev/null
+done
+
+echo "==> htlc verify examples/htl + assets (translation validation)"
+for f in examples/htl/*.htl assets/*.htl; do
+    "$HTLC" verify "$f" > /dev/null
 done
 
 echo "==> htlc inject smoke (scenario campaign)"

@@ -4,6 +4,10 @@
 //! htlc check <file>                  parse, elaborate, statically verify the
 //!                                    generated E-code and run the joint
 //!                                    schedulability/reliability analysis
+//! htlc verify <file>                 translation validation: certify the
+//!                                    compiled round program and the composed
+//!                                    per-host E-code against the
+//!                                    specification's denotational dataflow
 //! htlc lint [--deny] <file>...       specification lints + E-code verification
 //! htlc fmt <file>                    pretty-print the program
 //! htlc graph <file>                  emit the specification graph as DOT
@@ -20,8 +24,11 @@
 //!
 //! Exit codes: `0` clean (warnings may have been printed), `1` usage or
 //! I/O error, `2` diagnostics of error severity emitted (`--deny`
-//! promotes warnings). Diagnostics go to stderr in the stable greppable
-//! form `code:severity:file:line:col: message`.
+//! promotes warnings). Every failing finding — lints (`L`), E-code
+//! verification (`E`), translation validation (`V`) and analysis verdicts
+//! (`A001` invalid system, `A002` failed refinement) — goes to stderr
+//! through the one shared renderer in the stable greppable form
+//! `code:severity:file:line:col: message`.
 
 use logrel::lang::{compile, elaborate_file, parse, parse_file, print_program};
 use logrel::lint::{self, Diagnostic, Severity};
@@ -81,8 +88,19 @@ fn compile_path(path: &str) -> Result<logrel::lang::ElaboratedSystem, Failure> {
     compile(&read(path)?).map_err(|e| lang_failure(path, &e))
 }
 
+/// Prints a failed analysis verdict through the shared diagnostic
+/// renderer (A-series codes: `A001` invalid system, `A002` failed
+/// refinement) and returns the exit-2 failure.
+fn analysis_failure(file: &str, code: &'static str, message: String) -> Failure {
+    eprintln!(
+        "{}",
+        Diagnostic::new(code, Severity::Error, Default::default(), message).render(file)
+    );
+    Failure::Diagnostics(1)
+}
+
 fn run(args: &[String]) -> Result<(), Failure> {
-    let usage = "usage: htlc <check|lint|fmt|graph|ecode|importance|simulate|refine> <args>\n\
+    let usage = "usage: htlc <check|verify|lint|fmt|graph|ecode|importance|simulate|refine> <args>\n\
                  run `htlc help` for details";
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
@@ -91,6 +109,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
                 "htlc — logical-reliability compiler\n\n\
                  htlc check <file>                 joint analysis with SRG table\n\
                  htlc check-file <file>            multi-program file with declared refinements\n\
+                 htlc verify <file>                translation validation of compiled artifacts\n\
                  htlc lint [--deny] <file>...      specification lints + E-code verification\n\
                  htlc fmt <file>                   pretty-print\n\
                  htlc graph <file>                 specification graph (DOT)\n\
@@ -166,9 +185,29 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     );
                     Ok(())
                 }
-                Err(e) => {
-                    eprintln!("htlc: INVALID: {e}");
-                    Err(Failure::Diagnostics(1))
+                Err(e) => Err(analysis_failure(path, "A001", format!("INVALID: {e}"))),
+            }
+        }
+        "verify" => {
+            let path = args.get(1).ok_or(usage)?;
+            let sys = compile_path(path)?;
+            let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
+            match logrel::validate::certify_system(&sys.spec, &sys.arch, &td) {
+                Ok(cert) => {
+                    println!("{cert}");
+                    println!(
+                        "VERIFIED: `{}` — compiled artifacts ({}) are isomorphic to the \
+                         specification's round denotation",
+                        sys.name,
+                        cert.artifacts.join(", ")
+                    );
+                    Ok(())
+                }
+                Err(diags) => {
+                    for d in &diags {
+                        eprintln!("{}", d.render(path));
+                    }
+                    Err(Failure::Diagnostics(diags.len()))
                 }
             }
         }
@@ -194,8 +233,11 @@ fn run(args: &[String]) -> Result<(), Failure> {
                 if !refining_set.contains(&i) {
                     let cert = validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp))
                         .map_err(|e| {
-                            eprintln!("htlc: program `{}` is INVALID: {e}", sys.name);
-                            Failure::Diagnostics(1)
+                            analysis_failure(
+                                path,
+                                "A001",
+                                format!("program `{}` is INVALID: {e}", sys.name),
+                            )
                         })?;
                     println!("program `{}`: VALID (analysed directly)", sys.name);
                     certs.insert(i, cert);
@@ -215,10 +257,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     SystemRef::new(&refined.spec, &refined.arch, &refined.imp),
                     &kappa,
                 )
-                .map_err(|e| {
-                    eprintln!("htlc: refinement failed: {e}");
-                    Failure::Diagnostics(1)
-                })?;
+                .map_err(|e| analysis_failure(path, "A002", format!("refinement failed: {e}")))?;
                 println!(
                     "program `{}`: VALID by refinement of `{}` (Proposition 2)",
                     refining.name, refined.name
@@ -452,10 +491,11 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     println!("`{refining_path}` refines `{refined_path}`");
                     Ok(())
                 }
-                Err(e) => {
-                    eprintln!("htlc: refinement failed: {e}");
-                    Err(Failure::Diagnostics(1))
-                }
+                Err(e) => Err(analysis_failure(
+                    refining_path,
+                    "A002",
+                    format!("refinement failed: {e}"),
+                )),
             }
         }
         other => Err(Failure::Usage(format!("unknown command `{other}`\n{usage}"))),

@@ -18,6 +18,7 @@ pub use logrel_sched as sched;
 pub use logrel_sim as sim;
 pub use logrel_steerbywire as steerbywire;
 pub use logrel_threetank as threetank;
+pub use logrel_validate as validate;
 
 /// One-stop prelude for applications.
 pub mod prelude {
