@@ -1,29 +1,64 @@
-//! Emits `BENCH_baseline.json`: a small, dependency-free performance
-//! snapshot of the hot paths (the Criterion benches need a dev-dependency
-//! and an interactive run; this binary gives CI and future sessions one
-//! comparable JSON artefact).
+//! Emits a performance snapshot of the hot paths as one comparable JSON
+//! artefact (the Criterion benches need a dev-dependency and an
+//! interactive run; this binary gives CI and future sessions a
+//! dependency-free trajectory point).
 //!
 //! Measured, each as the median of several timed repetitions:
 //!
 //! * compiled simulator kernel and the map-driven reference interpreter on
 //!   the 3TS baseline workload (rounds/sec, communicator-update events/sec,
 //!   and their speedup ratio);
+//! * the kernel through `run_observed` with the no-op metrics sink
+//!   (`kernel_observed_noop_rounds_per_sec` — must match the plain kernel;
+//!   the sink monomorphizes to nothing) and with a live `Registry`
+//!   (`kernel_observed_registry_rounds_per_sec` — the enabled-path cost);
 //! * `compute_srgs` on the 3TS (ns per full report);
 //! * greedy and exhaustive replication synthesis on a three-host pipeline
-//!   (ms per solve).
+//!   (ms per solve, timed over inner batches — a single solve is µs-scale).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_snapshot [--out PATH] [--compare BASELINE] [--tolerance FRAC]
+//! ```
+//!
+//! Writes the snapshot to `--out` (default `BENCH_snapshot.json`). With
+//! `--compare`, gated metrics are checked against the baseline snapshot
+//! and the process exits nonzero when any regresses by more than
+//! `--tolerance` (default 0.15) — the regression gate for `verify.sh`.
 //!
 //! Run with: `cargo run --release -p logrel-bench --bin bench_snapshot`
 
 use logrel_core::prelude::*;
+use logrel_obs::{NoopSink, Registry};
 use logrel_reliability::{compute_srgs, exhaustive_synthesize, synthesize, SynthesisOptions};
 use logrel_sim::{
-    BehaviorMap, ConstantEnvironment, ProbabilisticFaults, SimConfig, SimOutput, Simulation,
+    BehaviorMap, ConstantEnvironment, NoSupervisor, ProbabilisticFaults, SimConfig, SimOutput,
+    Simulation,
 };
 use logrel_threetank::{Scenario, ThreeTankSystem};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
 use std::time::Instant;
 
 const SIM_ROUNDS: u64 = 10_000;
 const REPS: usize = 7;
+/// Inner batch size for µs-scale workloads: one timed sample solves the
+/// synthesis problem this many times, so the sample is well above timer
+/// granularity and scheduler noise.
+const SYNTH_BATCH: usize = 50;
+
+/// Metrics gated by `--compare`, with their direction (`true` = higher
+/// is better). Keys missing from the baseline are skipped, so older
+/// baselines stay comparable as metrics are added.
+const GATES: &[(&str, bool)] = &[
+    ("kernel_rounds_per_sec", true),
+    ("kernel_observed_noop_rounds_per_sec", true),
+    ("reference_rounds_per_sec", true),
+    ("compute_srgs_3ts_ns", false),
+    ("greedy_ms", false),
+    ("exhaustive_ms", false),
+];
 
 /// Median wall-clock seconds of `REPS` runs of `f`.
 fn median_secs(mut f: impl FnMut()) -> f64 {
@@ -38,7 +73,14 @@ fn median_secs(mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn run_sim(sim: &Simulation, arch: &Architecture, reference: bool) -> SimOutput {
+enum Mode {
+    Kernel,
+    Reference,
+    ObservedNoop,
+    ObservedRegistry,
+}
+
+fn run_sim(sim: &Simulation, arch: &Architecture, mode: &Mode) -> SimOutput {
     let mut behaviors = BehaviorMap::new();
     let mut env = ConstantEnvironment::new(Value::Float(0.2));
     let mut inj = ProbabilisticFaults::from_architecture(arch);
@@ -46,10 +88,25 @@ fn run_sim(sim: &Simulation, arch: &Architecture, reference: bool) -> SimOutput 
         rounds: SIM_ROUNDS,
         seed: 5,
     };
-    if reference {
-        sim.run_reference(&mut behaviors, &mut env, &mut inj, &config)
-    } else {
-        sim.run(&mut behaviors, &mut env, &mut inj, &config)
+    match mode {
+        Mode::Kernel => sim.run(&mut behaviors, &mut env, &mut inj, &config),
+        Mode::Reference => sim.run_reference(&mut behaviors, &mut env, &mut inj, &config),
+        Mode::ObservedNoop => sim.run_observed(
+            &mut behaviors,
+            &mut env,
+            &mut inj,
+            &mut NoSupervisor,
+            &mut NoopSink,
+            &config,
+        ),
+        Mode::ObservedRegistry => sim.run_observed(
+            &mut behaviors,
+            &mut env,
+            &mut inj,
+            &mut NoSupervisor,
+            &mut Registry::new(),
+            &config,
+        ),
     }
 }
 
@@ -106,13 +163,115 @@ fn synthesis_system() -> (Specification, Architecture, Implementation) {
     (spec, arch, imp)
 }
 
-fn main() {
+/// Extracts every `"key": <number>` pair from a snapshot document — the
+/// minimal scanner the flat snapshot format needs (string values and
+/// object openers parse as no number and are skipped).
+fn scan_numbers(json: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let parts: Vec<&str> = json.split('"').collect();
+    // parts alternate outside/inside quotes; odd indices are quoted keys.
+    for i in (1..parts.len()).step_by(2) {
+        let Some(after) = parts.get(i + 1) else {
+            continue;
+        };
+        let Some(rest) = after.trim_start().strip_prefix(':') else {
+            continue;
+        };
+        let num: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.insert(parts[i].to_owned(), v);
+        }
+    }
+    out
+}
+
+/// Compares current against baseline over [`GATES`]; returns the number
+/// of metrics regressed beyond `tolerance`.
+fn compare(
+    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> usize {
+    let mut regressions = 0;
+    println!(
+        "{:<42} {:>14} {:>14} {:>8}  verdict",
+        "metric", "baseline", "current", "delta"
+    );
+    for &(key, higher_is_better) in GATES {
+        let (Some(&base), Some(&cur)) = (baseline.get(key), current.get(key)) else {
+            println!("{key:<42} {:>14} {:>14} {:>8}  skipped (missing)", "-", "-", "-");
+            continue;
+        };
+        let delta = if base == 0.0 { 0.0 } else { cur / base - 1.0 };
+        let regressed = if higher_is_better {
+            cur < base * (1.0 - tolerance)
+        } else {
+            cur > base * (1.0 + tolerance)
+        };
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "{key:<42} {base:>14.3} {cur:>14.3} {:>+7.1}%  {}",
+            delta * 100.0,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    regressions
+}
+
+struct Args {
+    out: String,
+    compare: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = "BENCH_snapshot.json".to_owned();
+    let mut compare = None;
+    let mut tolerance = 0.15;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().ok_or("--out requires a path")?,
+            "--compare" => compare = Some(it.next().ok_or("--compare requires a path")?),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance requires a fraction")?
+                    .parse()
+                    .map_err(|_| "bad --tolerance value".to_owned())?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        out,
+        compare,
+        tolerance,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("bench_snapshot: {msg}");
+            eprintln!("usage: bench_snapshot [--out PATH] [--compare BASELINE] [--tolerance FRAC]");
+            return ExitCode::from(1);
+        }
+    };
+
     let sys = ThreeTankSystem::with_options(Scenario::Baseline, 0.99, None).expect("valid");
     let imp = TimeDependentImplementation::from(sys.imp.clone());
     let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
 
     // One untimed run to count the recorded communicator-update events.
-    let out = run_sim(&sim, &sys.arch, false);
+    let out = run_sim(&sim, &sys.arch, &Mode::Kernel);
     let events: usize = sys
         .spec
         .communicator_ids()
@@ -120,10 +279,16 @@ fn main() {
         .sum();
 
     let kernel_secs = median_secs(|| {
-        std::hint::black_box(run_sim(&sim, &sys.arch, false));
+        std::hint::black_box(run_sim(&sim, &sys.arch, &Mode::Kernel));
+    });
+    let observed_noop_secs = median_secs(|| {
+        std::hint::black_box(run_sim(&sim, &sys.arch, &Mode::ObservedNoop));
+    });
+    let observed_registry_secs = median_secs(|| {
+        std::hint::black_box(run_sim(&sim, &sys.arch, &Mode::ObservedRegistry));
     });
     let reference_secs = median_secs(|| {
-        std::hint::black_box(run_sim(&sim, &sys.arch, true));
+        std::hint::black_box(run_sim(&sim, &sys.arch, &Mode::Reference));
     });
 
     let srg_secs = median_secs(|| {
@@ -133,13 +298,19 @@ fn main() {
     let (spec, arch, base) = synthesis_system();
     let opts = SynthesisOptions::default();
     let greedy_secs = median_secs(|| {
-        std::hint::black_box(synthesize(&spec, &arch, &base, &opts, |_| true).expect("solvable"));
-    });
+        for _ in 0..SYNTH_BATCH {
+            std::hint::black_box(
+                synthesize(&spec, &arch, &base, &opts, |_| true).expect("solvable"),
+            );
+        }
+    }) / SYNTH_BATCH as f64;
     let exhaustive_secs = median_secs(|| {
-        std::hint::black_box(
-            exhaustive_synthesize(&spec, &arch, &base, &opts, |_| true).expect("solvable"),
-        );
-    });
+        for _ in 0..SYNTH_BATCH {
+            std::hint::black_box(
+                exhaustive_synthesize(&spec, &arch, &base, &opts, |_| true).expect("solvable"),
+            );
+        }
+    }) / SYNTH_BATCH as f64;
 
     let json = format!(
         "{{\n  \
@@ -149,15 +320,19 @@ fn main() {
          \"events_per_run\": {events},\n    \
          \"kernel_rounds_per_sec\": {:.0},\n    \
          \"kernel_events_per_sec\": {:.0},\n    \
+         \"kernel_observed_noop_rounds_per_sec\": {:.0},\n    \
+         \"kernel_observed_registry_rounds_per_sec\": {:.0},\n    \
          \"reference_rounds_per_sec\": {:.0},\n    \
          \"reference_events_per_sec\": {:.0},\n    \
          \"kernel_speedup_over_reference\": {:.2}\n  }},\n  \
          \"srg\": {{ \"compute_srgs_3ts_ns\": {:.0} }},\n  \
          \"synthesis\": {{\n    \
-         \"greedy_ms\": {:.3},\n    \
-         \"exhaustive_ms\": {:.3}\n  }}\n}}\n",
+         \"greedy_ms\": {:.4},\n    \
+         \"exhaustive_ms\": {:.4}\n  }}\n}}\n",
         SIM_ROUNDS as f64 / kernel_secs,
         events as f64 / kernel_secs,
+        SIM_ROUNDS as f64 / observed_noop_secs,
+        SIM_ROUNDS as f64 / observed_registry_secs,
         SIM_ROUNDS as f64 / reference_secs,
         events as f64 / reference_secs,
         reference_secs / kernel_secs,
@@ -165,7 +340,67 @@ fn main() {
         greedy_secs * 1e3,
         exhaustive_secs * 1e3,
     );
-    std::fs::write("BENCH_baseline.json", &json).expect("writable working directory");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("bench_snapshot: cannot write `{}`: {e}", args.out);
+        return ExitCode::from(1);
+    }
     print!("{json}");
-    println!("wrote BENCH_baseline.json");
+    println!("wrote {}", args.out);
+
+    if let Some(baseline_path) = &args.compare {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => scan_numbers(&text),
+            Err(e) => {
+                eprintln!("bench_snapshot: cannot read `{baseline_path}`: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        println!("\ncomparing against {baseline_path} (tolerance {:.0}%):", args.tolerance * 100.0);
+        let regressions = compare(&scan_numbers(&json), &baseline, args.tolerance);
+        if regressions > 0 {
+            eprintln!("bench_snapshot: {regressions} metric(s) regressed beyond tolerance");
+            return ExitCode::from(1);
+        }
+        println!("no regressions beyond tolerance");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scanner_extracts_numbers_and_skips_strings() {
+        let doc = "{\n  \"workload\": \"3TS, 10000 rounds\",\n  \"sim\": {\n    \
+                   \"kernel_rounds_per_sec\": 1267888,\n    \"speedup\": 2.08\n  }\n}\n";
+        let nums = scan_numbers(doc);
+        assert_eq!(nums.get("kernel_rounds_per_sec"), Some(&1267888.0));
+        assert_eq!(nums.get("speedup"), Some(&2.08));
+        assert!(!nums.contains_key("workload"));
+        assert!(!nums.contains_key("sim"));
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let base: BTreeMap<String, f64> = [
+            ("kernel_rounds_per_sec".to_owned(), 1000.0),
+            ("greedy_ms".to_owned(), 1.0),
+        ]
+        .into();
+        // 10% slower kernel, 10% slower synthesis: inside a 15% tolerance.
+        let ok: BTreeMap<String, f64> = [
+            ("kernel_rounds_per_sec".to_owned(), 900.0),
+            ("greedy_ms".to_owned(), 1.1),
+        ]
+        .into();
+        assert_eq!(compare(&ok, &base, 0.15), 0);
+        // 30% slower kernel and doubled synthesis time: both regressed.
+        let bad: BTreeMap<String, f64> = [
+            ("kernel_rounds_per_sec".to_owned(), 700.0),
+            ("greedy_ms".to_owned(), 2.0),
+        ]
+        .into();
+        assert_eq!(compare(&bad, &base, 0.15), 2);
+    }
 }

@@ -1,0 +1,240 @@
+//! The metric catalog: every metric the runtime emits, with its kind,
+//! help text and (for histograms) bucket boundaries.
+//!
+//! Names are `&'static str` constants so sink call sites cannot typo a
+//! metric into existence; the exporters use the catalog for Prometheus
+//! `# HELP` / `# TYPE` lines and bucket layouts. Metrics not in the
+//! catalog still export (kind inferred from the store they live in), so
+//! the catalog is documentation and layout, not a gate.
+
+/// Metric kinds, mirroring the Prometheus exposition types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count (`u64`).
+    Counter,
+    /// Last-written value (`f64`).
+    Gauge,
+    /// Bucketed distribution with sum and count.
+    Histogram,
+}
+
+/// One catalogued metric.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// The metric name (Prometheus-compatible).
+    pub name: &'static str,
+    /// The exposition kind.
+    pub kind: MetricKind,
+    /// One-line help text.
+    pub help: &'static str,
+    /// Upper bucket bounds for histograms (`+Inf` is implicit); empty
+    /// for counters and gauges.
+    pub buckets: &'static [f64],
+}
+
+/// Metric name constants used by the instrumented runtime.
+pub mod names {
+    /// Simulated rounds completed.
+    pub const ROUNDS: &str = "logrel_rounds_total";
+    /// Communicator updates recorded to the trace.
+    pub const UPDATES: &str = "logrel_updates_total";
+    /// Communicator updates recorded as unreliable (⊥).
+    pub const UPDATES_UNRELIABLE: &str = "logrel_updates_unreliable_total";
+    /// Logical task invocations (one per task read instant).
+    pub const TASK_INVOCATIONS: &str = "logrel_task_invocations_total";
+    /// Invocations in which at least one replica delivered.
+    pub const TASK_DELIVERED: &str = "logrel_task_delivered_total";
+    /// Votes in which every delivering replica agreed on every output.
+    pub const VOTE_UNANIMOUS: &str = "logrel_vote_unanimous_total";
+    /// Votes decided by a strict majority against disagreeing replicas.
+    pub const VOTE_MAJORITY: &str = "logrel_vote_majority_total";
+    /// Votes in which some output position had no strict majority.
+    pub const VOTE_TIE: &str = "logrel_vote_tie_total";
+    /// Votes with no delivering replica at all.
+    pub const VOTE_SILENT: &str = "logrel_vote_silent_total";
+    /// Replica invocations that delivered into the vote.
+    pub const REPLICA_OK: &str = "logrel_replica_ok_total";
+    /// Replica invocations dropped from the vote (any reason).
+    pub const REPLICA_DROP: &str = "logrel_replica_drop_total";
+    /// Replica drops: the host failed its availability draw.
+    pub const REPLICA_DROP_HOST: &str = "logrel_replica_drop_host_total";
+    /// Replica drops: host up, but the broadcast was lost.
+    pub const REPLICA_DROP_BROADCAST: &str = "logrel_replica_drop_broadcast_total";
+    /// Replica drops: stateful replica still warming up after a rejoin.
+    pub const REPLICA_DROP_WARMUP: &str = "logrel_replica_drop_warmup_total";
+    /// Replica drops: excluded by a supervisor (degrader).
+    pub const REPLICA_DROP_EXCLUDED: &str = "logrel_replica_drop_excluded_total";
+    /// Replica drops: the logical task did not execute (failed inputs).
+    pub const REPLICA_DROP_SILENT: &str = "logrel_replica_drop_silent_total";
+    /// Broadcast losses observed (host up, broadcast draw failed).
+    pub const BROADCAST_FAIL: &str = "logrel_broadcast_fail_total";
+    /// Host up→down transitions observed through availability draws.
+    pub const HOST_DOWN_TRANSITIONS: &str = "logrel_host_down_transitions_total";
+    /// Host down→up transitions observed through availability draws.
+    pub const HOST_UP_TRANSITIONS: &str = "logrel_host_up_transitions_total";
+    /// Hosts currently observed up (gauge).
+    pub const HOSTS_UP: &str = "logrel_hosts_up";
+    /// LRC monitor alarms raised.
+    pub const ALARM_RAISED: &str = "logrel_alarm_raised_total";
+    /// LRC monitor alarms cleared.
+    pub const ALARM_CLEARED: &str = "logrel_alarm_cleared_total";
+    /// Degradation rules engaged (latched).
+    pub const DEGRADER_ENGAGED: &str = "logrel_degrader_engaged_total";
+    /// E-machine mode-switch events emitted by the degrader.
+    pub const MODE_SWITCH: &str = "logrel_mode_switch_total";
+    /// Delivering replicas per vote (histogram).
+    pub const REPLICAS_PER_VOTE: &str = "logrel_replicas_per_vote";
+    /// Wall-clock seconds compiling the round program (span gauge).
+    pub const COMPILE_SECONDS: &str = "logrel_compile_seconds";
+    /// Wall-clock seconds self-certifying the round program (span gauge).
+    pub const CERTIFY_SECONDS: &str = "logrel_certify_seconds";
+    /// Wall-clock seconds of the simulation/campaign run (span gauge).
+    pub const RUN_SECONDS: &str = "logrel_run_seconds";
+}
+
+/// Buckets for the delivering-replicas-per-vote histogram.
+const REPLICA_BUCKETS: &[f64] = &[0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0];
+
+macro_rules! counter {
+    ($name:expr, $help:expr) => {
+        MetricDef {
+            name: $name,
+            kind: MetricKind::Counter,
+            help: $help,
+            buckets: &[],
+        }
+    };
+}
+
+macro_rules! gauge {
+    ($name:expr, $help:expr) => {
+        MetricDef {
+            name: $name,
+            kind: MetricKind::Gauge,
+            help: $help,
+            buckets: &[],
+        }
+    };
+}
+
+/// Every metric the instrumented runtime emits.
+pub const CATALOG: &[MetricDef] = &[
+    counter!(names::ROUNDS, "Simulated rounds completed"),
+    counter!(names::UPDATES, "Communicator updates recorded"),
+    counter!(
+        names::UPDATES_UNRELIABLE,
+        "Communicator updates recorded as unreliable"
+    ),
+    counter!(names::TASK_INVOCATIONS, "Logical task invocations"),
+    counter!(
+        names::TASK_DELIVERED,
+        "Invocations with at least one delivering replica"
+    ),
+    counter!(
+        names::VOTE_UNANIMOUS,
+        "Votes with all delivering replicas in agreement"
+    ),
+    counter!(
+        names::VOTE_MAJORITY,
+        "Votes decided by a strict majority over disagreement"
+    ),
+    counter!(
+        names::VOTE_TIE,
+        "Votes with an output position lacking a strict majority"
+    ),
+    counter!(names::VOTE_SILENT, "Votes with no delivering replica"),
+    counter!(names::REPLICA_OK, "Replica invocations that delivered"),
+    counter!(names::REPLICA_DROP, "Replica invocations dropped (any reason)"),
+    counter!(names::REPLICA_DROP_HOST, "Replica drops: host down"),
+    counter!(names::REPLICA_DROP_BROADCAST, "Replica drops: broadcast lost"),
+    counter!(names::REPLICA_DROP_WARMUP, "Replica drops: rejoin warm-up"),
+    counter!(
+        names::REPLICA_DROP_EXCLUDED,
+        "Replica drops: supervisor exclusion"
+    ),
+    counter!(
+        names::REPLICA_DROP_SILENT,
+        "Replica drops: logical task did not execute"
+    ),
+    counter!(
+        names::BROADCAST_FAIL,
+        "Broadcast losses observed on up hosts"
+    ),
+    counter!(
+        names::HOST_DOWN_TRANSITIONS,
+        "Observed host up-to-down transitions"
+    ),
+    counter!(
+        names::HOST_UP_TRANSITIONS,
+        "Observed host down-to-up transitions"
+    ),
+    gauge!(names::HOSTS_UP, "Hosts currently observed up"),
+    counter!(names::ALARM_RAISED, "LRC monitor alarms raised"),
+    counter!(names::ALARM_CLEARED, "LRC monitor alarms cleared"),
+    counter!(names::DEGRADER_ENGAGED, "Degradation rules engaged"),
+    counter!(names::MODE_SWITCH, "Degrader mode-switch events emitted"),
+    MetricDef {
+        name: names::REPLICAS_PER_VOTE,
+        kind: MetricKind::Histogram,
+        help: "Delivering replicas per vote",
+        buckets: REPLICA_BUCKETS,
+    },
+    gauge!(
+        names::COMPILE_SECONDS,
+        "Wall-clock seconds compiling the round program"
+    ),
+    gauge!(
+        names::CERTIFY_SECONDS,
+        "Wall-clock seconds self-certifying the round program"
+    ),
+    gauge!(
+        names::RUN_SECONDS,
+        "Wall-clock seconds of the simulation or campaign run"
+    ),
+];
+
+/// Looks a metric up in the catalog.
+#[must_use]
+pub fn lookup(name: &str) -> Option<&'static MetricDef> {
+    CATALOG.iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_prometheus_safe() {
+        let mut seen = std::collections::BTreeSet::new();
+        for d in CATALOG {
+            assert!(seen.insert(d.name), "duplicate metric `{}`", d.name);
+            assert!(
+                d.name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "unsafe metric name `{}`",
+                d.name
+            );
+            assert!(!d.help.is_empty());
+            if d.kind == MetricKind::Histogram {
+                assert!(d.buckets.windows(2).all(|w| w[0] < w[1]));
+            } else {
+                assert!(d.buckets.is_empty());
+            }
+            // Counters follow the Prometheus `_total` convention.
+            if d.kind == MetricKind::Counter {
+                assert!(d.name.ends_with("_total"), "{}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_finds_catalogued_metrics() {
+        assert_eq!(lookup(names::ROUNDS).unwrap().kind, MetricKind::Counter);
+        assert_eq!(
+            lookup(names::REPLICAS_PER_VOTE).unwrap().kind,
+            MetricKind::Histogram
+        );
+        assert!(lookup("nope").is_none());
+    }
+}

@@ -13,9 +13,10 @@
 use crate::environment::Environment;
 use crate::kernel::Simulation;
 use crate::monitor::{AlarmKind, LrcMonitor, MonitorConfig};
-use crate::montecarlo::{run_supervised_replications, BatchConfig, ReplicationContext};
+use crate::montecarlo::{run_observed_replications, BatchConfig, ReplicationContext};
 use crate::scenario::{Scenario, ScenarioEnvironment, ScenarioError, ScenarioInjector};
 use logrel_core::{CommunicatorId, Specification, Tick};
+use logrel_obs::{MetricsSink, NoopSink, Registry};
 use logrel_reliability::hoeffding_epsilon;
 
 /// Configuration of one scenario campaign.
@@ -96,11 +97,82 @@ pub fn run_campaign<'a, S>(
 where
     S: Fn(u64) -> ReplicationContext<'a> + Sync,
 {
+    campaign_core(sim, spec, scenario, host_count, config, setup, analytic, |_| {
+        NoopSink
+    })
+    .map(|(report, _sinks)| report)
+}
+
+/// [`run_campaign`] with metrics: every replication carries a fresh
+/// [`Registry`] (with a flight recorder of `recorder_capacity` events
+/// when nonzero), and the per-replication registries are merged **in
+/// replication order** into the caller's `registry` — so the aggregate
+/// is bit-identical at any thread count. Alarm-triggered flight-recorder
+/// dumps survive the merge (capped; see `FlightRecorder::MAX_DUMPS`).
+///
+/// The caller's registry is merged *into*, not replaced: top-level span
+/// gauges already recorded on it (compile/certify/run) are preserved.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_observed<'a, S>(
+    sim: &Simulation<'_>,
+    spec: &Specification,
+    scenario: &Scenario,
+    host_count: usize,
+    config: &CampaignConfig,
+    setup: S,
+    analytic: &[Option<f64>],
+    registry: &mut Registry,
+    recorder_capacity: usize,
+) -> Result<ScenarioReport, ScenarioError>
+where
+    S: Fn(u64) -> ReplicationContext<'a> + Sync,
+{
+    let (report, sinks) = campaign_core(
+        sim,
+        spec,
+        scenario,
+        host_count,
+        config,
+        setup,
+        analytic,
+        |_rep| {
+            if recorder_capacity > 0 {
+                Registry::with_recorder(recorder_capacity)
+            } else {
+                Registry::new()
+            }
+        },
+    )?;
+    for sink in sinks {
+        registry.merge(sink);
+    }
+    Ok(report)
+}
+
+/// The shared campaign driver: runs the batch with per-replication
+/// monitors and sinks, aggregates the report, and returns the filled
+/// sinks in replication order for the caller to merge (or discard).
+#[allow(clippy::too_many_arguments)]
+fn campaign_core<'a, S, M, FM>(
+    sim: &Simulation<'_>,
+    spec: &Specification,
+    scenario: &Scenario,
+    host_count: usize,
+    config: &CampaignConfig,
+    setup: S,
+    analytic: &[Option<f64>],
+    make_sink: FM,
+) -> Result<(ScenarioReport, Vec<M>), ScenarioError>
+where
+    S: Fn(u64) -> ReplicationContext<'a> + Sync,
+    M: MetricsSink + Send,
+    FM: Fn(u64) -> M + Sync,
+{
     let comm_count = spec.communicator_count();
     // Validate once up front so per-replication wrapping cannot fail.
     scenario.check_bounds(host_count, comm_count)?;
 
-    let per_rep: Vec<RepStats> = run_supervised_replications(
+    let per_rep: Vec<(RepStats, M)> = run_observed_replications(
         sim,
         &config.batch,
         |rep| {
@@ -119,9 +191,10 @@ where
                     injector: Box::new(injector),
                 },
                 LrcMonitor::new(spec, config.monitor),
+                make_sink(rep),
             )
         },
-        |_rep, out, monitor: LrcMonitor| {
+        |_rep, out, monitor: LrcMonitor, sink| {
             let mut stats = RepStats {
                 updates: vec![0; comm_count],
                 reliable: vec![0; comm_count],
@@ -142,7 +215,7 @@ where
                     AlarmKind::Cleared => stats.cleared[alarm.comm.index()] += 1,
                 }
             }
-            stats
+            (stats, sink)
         },
     );
 
@@ -151,8 +224,8 @@ where
         .communicator_ids()
         .map(|c| {
             let i = c.index();
-            let updates: u64 = per_rep.iter().map(|s| s.updates[i]).sum();
-            let reliable: u64 = per_rep.iter().map(|s| s.reliable[i]).sum();
+            let updates: u64 = per_rep.iter().map(|(s, _)| s.updates[i]).sum();
+            let reliable: u64 = per_rep.iter().map(|(s, _)| s.reliable[i]).sum();
             let empirical = if updates == 0 {
                 0.0
             } else {
@@ -175,24 +248,26 @@ where
                 lrc: spec.communicator(c).lrc().map(|l| l.get()),
                 first_violation: per_rep
                     .iter()
-                    .filter_map(|s| s.first_violation[i])
+                    .filter_map(|(s, _)| s.first_violation[i])
                     .min()
                     .map(Tick::new),
                 violated_reps: per_rep
                     .iter()
-                    .filter(|s| s.first_violation[i].is_some())
+                    .filter(|(s, _)| s.first_violation[i].is_some())
                     .count() as u64,
-                alarms_raised: per_rep.iter().map(|s| s.raised[i]).sum(),
-                alarms_cleared: per_rep.iter().map(|s| s.cleared[i]).sum(),
+                alarms_raised: per_rep.iter().map(|(s, _)| s.raised[i]).sum(),
+                alarms_cleared: per_rep.iter().map(|(s, _)| s.cleared[i]).sum(),
             }
         })
         .collect();
 
-    Ok(ScenarioReport {
+    let report = ScenarioReport {
         scenario: scenario.to_string(),
         host_availability: (0..host_count)
             .map(|h| scenario.host_availability(logrel_core::HostId::new(h as u32), horizon))
             .collect(),
         comms,
-    })
+    };
+    let sinks = per_rep.into_iter().map(|(_, sink)| sink).collect();
+    Ok((report, sinks))
 }

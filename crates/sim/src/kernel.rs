@@ -42,8 +42,10 @@ use logrel_core::{
     Architecture, Calendar, CommunicatorId, FailureModel, RoundProgram, Specification, TaskId,
     Tick, TimeDependentImplementation, Value,
 };
+use logrel_obs::{names, DropReason, MetricsSink, NoopSink, ObsEvent, Span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +91,55 @@ struct TaskResult {
     delivered: bool,
 }
 
+/// Why [`Simulation::try_new`] rejected a system.
+///
+/// Without the `validate` feature the enum is uninhabited — compilation
+/// cannot fail — and `try_new` always returns `Ok`.
+#[derive(Debug, Clone)]
+pub enum SimBuildError {
+    /// The compiled round program failed self-certification against the
+    /// specification's denotational dataflow (`validate` feature): a
+    /// kernel-compiler bug, reported with the certifier's V-series
+    /// diagnostics.
+    #[cfg(feature = "validate")]
+    Certification(Vec<logrel_lint::Diagnostic>),
+}
+
+impl SimBuildError {
+    /// The certifier diagnostics carried by the error, if any (empty
+    /// without the `validate` feature).
+    #[cfg(feature = "validate")]
+    pub fn diagnostics(&self) -> &[logrel_lint::Diagnostic] {
+        match self {
+            SimBuildError::Certification(diags) => diags,
+        }
+    }
+}
+
+impl fmt::Display for SimBuildError {
+    #[cfg(feature = "validate")]
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimBuildError::Certification(diags) => {
+                let rendered: Vec<String> =
+                    diags.iter().map(|d| d.ci_line("<round-program>")).collect();
+                write!(
+                    f,
+                    "compiled round program failed self-certification:\n{}",
+                    rendered.join("\n")
+                )
+            }
+        }
+    }
+
+    #[cfg(not(feature = "validate"))]
+    fn fmt(&self, _f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {}
+    }
+}
+
+impl std::error::Error for SimBuildError {}
+
 /// A prepared simulation of one system.
 pub struct Simulation<'a> {
     spec: &'a Specification,
@@ -109,12 +160,43 @@ impl<'a> Simulation<'a> {
     /// With the `validate` feature enabled, the compiled round program is
     /// self-certified against the specification's denotational dataflow
     /// (see `logrel-validate`); a failed certificate is a compiler bug and
-    /// panics with the rendered V-series diagnostics.
+    /// panics with the rendered V-series diagnostics. Library callers that
+    /// prefer a diagnosed error over the panic use
+    /// [`Simulation::try_new`].
     pub fn new(
         spec: &'a Specification,
         arch: &'a Architecture,
         imp: &'a TimeDependentImplementation,
     ) -> Self {
+        Simulation::try_new(spec, arch, imp).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Simulation::new`]: a failed self-certification
+    /// under the `validate` feature comes back as
+    /// [`SimBuildError::Certification`] carrying the certifier's
+    /// diagnostics instead of panicking. Without the feature the error
+    /// type is uninhabited and this always succeeds.
+    pub fn try_new(
+        spec: &'a Specification,
+        arch: &'a Architecture,
+        imp: &'a TimeDependentImplementation,
+    ) -> Result<Self, SimBuildError> {
+        Simulation::try_new_observed(spec, arch, imp, &mut NoopSink)
+    }
+
+    /// Like [`Simulation::try_new`], but records the wall-clock
+    /// compile/certify span gauges (`logrel_compile_seconds`,
+    /// `logrel_certify_seconds`) on `sink`.
+    ///
+    /// Span gauges are wall-clock values: record them only in top-level
+    /// drivers, never inside a Monte-Carlo replication (see the
+    /// `logrel-obs` crate docs for the determinism rule).
+    pub fn try_new_observed(
+        spec: &'a Specification,
+        arch: &'a Architecture,
+        imp: &'a TimeDependentImplementation,
+        sink: &mut dyn MetricsSink,
+    ) -> Result<Self, SimBuildError> {
         // The replication mapping must refer only to declared hosts;
         // builder-validated implementations always satisfy this.
         debug_assert!(imp.phases().iter().all(|phase| {
@@ -122,24 +204,30 @@ impl<'a> Simulation<'a> {
                 .flat_map(|t| phase.hosts_of(t).iter())
                 .all(|h| h.index() < arch.host_count())
         }));
+        let compile_span = sink.enabled().then(Span::start);
         let calendar = Calendar::new(spec);
         let program = RoundProgram::compile(spec, imp, &calendar);
-        #[cfg(feature = "validate")]
-        if let Err(diags) = logrel_validate::certify_kernel(spec, imp, &program) {
-            let rendered: Vec<String> =
-                diags.iter().map(|d| d.ci_line("<round-program>")).collect();
-            panic!(
-                "compiled round program failed self-certification:\n{}",
-                rendered.join("\n")
-            );
+        if let Some(span) = compile_span {
+            span.finish(sink, names::COMPILE_SECONDS);
         }
-        Simulation {
+        #[cfg(feature = "validate")]
+        {
+            let certify_span = sink.enabled().then(Span::start);
+            let certified = logrel_validate::certify_kernel(spec, imp, &program);
+            if let Some(span) = certify_span {
+                span.finish(sink, names::CERTIFY_SECONDS);
+            }
+            if let Err(diags) = certified {
+                return Err(SimBuildError::Certification(diags));
+            }
+        }
+        Ok(Simulation {
             spec,
             imp,
             voting: crate::voting::VotingStrategy::default(),
             calendar,
             program,
-        }
+        })
     }
 
     /// The compiled round program interpreted by [`Simulation::run`]
@@ -204,6 +292,31 @@ impl<'a> Simulation<'a> {
         supervisor: &mut dyn crate::monitor::Supervisor,
         config: &SimConfig,
     ) -> SimOutput {
+        self.run_observed(behaviors, env, injector, supervisor, &mut NoopSink, config)
+    }
+
+    /// Runs the simulation with a [`Supervisor`] *and* a [`MetricsSink`]
+    /// recording per-round vote outcomes, replica drops, host up/down
+    /// transitions, broadcast failures and alarm transitions.
+    ///
+    /// The kernel is generic over the sink: with [`NoopSink`] every
+    /// observation site monomorphizes to nothing and this is exactly
+    /// [`Simulation::run_supervised`] (which delegates here). The sink
+    /// never influences the simulation — fault draws, trace records and
+    /// supervisor hooks happen in the same order with the same values
+    /// whether or not metrics are recorded, so instrumented and plain
+    /// runs of one seed produce bit-identical [`SimOutput`]s.
+    ///
+    /// [`Supervisor`]: crate::monitor::Supervisor
+    pub fn run_observed<M: MetricsSink>(
+        &self,
+        behaviors: &mut BehaviorMap,
+        env: &mut dyn Environment,
+        injector: &mut dyn FaultInjector,
+        supervisor: &mut dyn crate::monitor::Supervisor,
+        sink: &mut M,
+        config: &SimConfig,
+    ) -> SimOutput {
         let spec = self.spec;
         let prog = &self.program;
         let round = spec.round_period().as_u64();
@@ -227,6 +340,27 @@ impl<'a> Simulation<'a> {
         let mut outputs_buf: Vec<Value> = Vec::with_capacity(prog.max_outputs);
         let mut replica_vals = vec![Value::Unreliable; prog.max_replicas * prog.max_outputs];
         let mut replica_ok = vec![false; prog.max_replicas];
+
+        // Observation-only state. `obs` is a constant `false` for
+        // `NoopSink`, so with the default sink all the `if obs` blocks
+        // below vanish after monomorphization.
+        let obs = sink.enabled();
+        let mut host_up: Vec<bool> = if obs {
+            // Hosts mentioned by any phase's mapping; assumed up until an
+            // availability draw says otherwise.
+            let hosts = prog
+                .phases
+                .iter()
+                .flat_map(|p| p.hosts.iter().flatten())
+                .map(|h| h.index())
+                .max()
+                .map_or(0, |m| m + 1);
+            sink.set_gauge(names::HOSTS_UP, hosts as f64);
+            vec![true; hosts]
+        } else {
+            Vec::new()
+        };
+        let mut hosts_up_count = host_up.len();
 
         for r in 0..config.rounds {
             let phase = &prog.phases[(r % phase_count) as usize];
@@ -256,7 +390,7 @@ impl<'a> Simulation<'a> {
                                 Value::Unreliable
                             };
                             trace.record(c, now, comm_values[comm as usize]);
-                            supervisor.observe(c, now, comm_values[comm as usize]);
+                            supervisor.observe_with(c, now, comm_values[comm as usize], sink);
                         }
                         UpdateOp::Landed {
                             comm,
@@ -277,14 +411,25 @@ impl<'a> Simulation<'a> {
                             }
                             // else: nothing produced yet, init persists.
                             trace.record(c, now, comm_values[comm as usize]);
-                            supervisor.observe(c, now, comm_values[comm as usize]);
+                            supervisor.observe_with(c, now, comm_values[comm as usize], sink);
                             env.actuate(c, comm_values[comm as usize], now);
                         }
                         UpdateOp::Persist { comm } => {
                             let c = CommunicatorId::new(comm);
                             trace.record(c, now, comm_values[comm as usize]);
-                            supervisor.observe(c, now, comm_values[comm as usize]);
+                            supervisor.observe_with(c, now, comm_values[comm as usize], sink);
                             env.actuate(c, comm_values[comm as usize], now);
+                        }
+                    }
+                    if obs {
+                        let comm = match *op {
+                            UpdateOp::Sensor { comm }
+                            | UpdateOp::Landed { comm, .. }
+                            | UpdateOp::Persist { comm } => comm,
+                        };
+                        sink.inc(names::UPDATES);
+                        if !comm_values[comm as usize].is_reliable() {
+                            sink.inc(names::UPDATES_UNRELIABLE);
                         }
                     }
                 }
@@ -335,6 +480,60 @@ impl<'a> Simulation<'a> {
                             injector.corrupt(h, now, dst, &mut rng);
                             delivered = true;
                         }
+                        if obs {
+                            let hi = h.index();
+                            if host_up[hi] != host_ok {
+                                host_up[hi] = host_ok;
+                                if host_ok {
+                                    hosts_up_count += 1;
+                                    sink.inc(names::HOST_UP_TRANSITIONS);
+                                    sink.event(&ObsEvent::HostUp {
+                                        at: now.as_u64(),
+                                        host: hi,
+                                    });
+                                } else {
+                                    hosts_up_count -= 1;
+                                    sink.inc(names::HOST_DOWN_TRANSITIONS);
+                                    sink.event(&ObsEvent::HostDown {
+                                        at: now.as_u64(),
+                                        host: hi,
+                                    });
+                                }
+                                sink.set_gauge(names::HOSTS_UP, hosts_up_count as f64);
+                            }
+                            if host_ok && !bc_ok {
+                                sink.inc(names::BROADCAST_FAIL);
+                            }
+                            if ok {
+                                sink.inc(names::REPLICA_OK);
+                            } else {
+                                let reason = if !executes {
+                                    DropReason::NotExecuted
+                                } else if !host_ok {
+                                    DropReason::HostDown
+                                } else if !bc_ok {
+                                    DropReason::Broadcast
+                                } else if !warm {
+                                    DropReason::Warmup
+                                } else {
+                                    DropReason::Excluded
+                                };
+                                sink.inc(names::REPLICA_DROP);
+                                sink.inc(drop_counter(reason));
+                                // A not-executed logical task is a
+                                // property of the vote, not of any single
+                                // replica — the Vote event below records
+                                // it as `silent`.
+                                if reason != DropReason::NotExecuted {
+                                    sink.event(&ObsEvent::ReplicaDrop {
+                                        at: now.as_u64(),
+                                        task: t,
+                                        host: hi,
+                                        reason,
+                                    });
+                                }
+                            }
+                        }
                     }
                     crate::voting::vote_into(
                         &replica_vals[..hosts.len() * tt.n_out],
@@ -348,7 +547,32 @@ impl<'a> Simulation<'a> {
                         task_stats[t].delivered += 1;
                     }
                     result_delivered[parity][t] = delivered;
+                    if obs {
+                        sink.inc(names::TASK_INVOCATIONS);
+                        let n_del =
+                            replica_ok[..hosts.len()].iter().filter(|&&ok| ok).count();
+                        sink.observe(names::REPLICAS_PER_VOTE, n_del as f64);
+                        if delivered {
+                            sink.inc(names::TASK_DELIVERED);
+                        }
+                        let outcome = crate::voting::classify_outcome(
+                            &replica_vals[..hosts.len() * tt.n_out],
+                            &replica_ok[..hosts.len()],
+                            tt.n_out,
+                        );
+                        sink.inc(vote_counter(outcome));
+                        sink.event(&ObsEvent::Vote {
+                            at: now.as_u64(),
+                            task: t,
+                            outcome,
+                            delivered: n_del,
+                            replicas: hosts.len(),
+                        });
+                    }
                 }
+            }
+            if obs {
+                sink.inc(names::ROUNDS);
             }
         }
         SimOutput {
@@ -525,6 +749,27 @@ pub(crate) fn warm_after_rejoin(rejoined: Option<Tick>, now: Tick, round: u64) -
     match rejoined {
         None => true,
         Some(rj) => now.as_u64() >= rj.as_u64().div_ceil(round) * round + round,
+    }
+}
+
+/// The per-reason replica-drop counter.
+fn drop_counter(reason: DropReason) -> &'static str {
+    match reason {
+        DropReason::NotExecuted => names::REPLICA_DROP_SILENT,
+        DropReason::HostDown => names::REPLICA_DROP_HOST,
+        DropReason::Broadcast => names::REPLICA_DROP_BROADCAST,
+        DropReason::Warmup => names::REPLICA_DROP_WARMUP,
+        DropReason::Excluded => names::REPLICA_DROP_EXCLUDED,
+    }
+}
+
+/// The per-outcome vote counter.
+fn vote_counter(outcome: logrel_obs::VoteOutcome) -> &'static str {
+    match outcome {
+        logrel_obs::VoteOutcome::Unanimous => names::VOTE_UNANIMOUS,
+        logrel_obs::VoteOutcome::Majority => names::VOTE_MAJORITY,
+        logrel_obs::VoteOutcome::Tie => names::VOTE_TIE,
+        logrel_obs::VoteOutcome::Silent => names::VOTE_SILENT,
     }
 }
 

@@ -52,24 +52,26 @@ pub mod trace;
 pub mod voting;
 
 pub use behavior::{BehaviorMap, TaskBehavior};
-pub use campaign::{run_campaign, CampaignConfig, CommunicatorReport, ScenarioReport};
+pub use campaign::{
+    run_campaign, run_campaign_observed, CampaignConfig, CommunicatorReport, ScenarioReport,
+};
 pub use environment::{ConstantEnvironment, Environment};
 pub use fault::{
     CorruptingFaults, FaultInjector, HostSilencer, NoFaults, PermanentFaults,
     ProbabilisticFaults, UnplugAt,
 };
-pub use kernel::{SimConfig, SimOutput, Simulation};
+pub use kernel::{SimBuildError, SimConfig, SimOutput, Simulation};
 pub use monitor::{
     Alarm, AlarmKind, DegradationRule, Degrader, LrcMonitor, MonitorConfig, NoSupervisor,
     Response, Supervisor,
 };
 pub use montecarlo::{
-    derive_seed, run_batch, run_replications, run_supervised_replications, BatchConfig,
-    ReplicationContext,
+    derive_seed, run_batch, run_observed_replications, run_replications,
+    run_supervised_replications, BatchConfig, ReplicationContext,
 };
 pub use scenario::{
     Scenario, ScenarioEnvironment, ScenarioError, ScenarioEvent, ScenarioInjector,
     ScenarioSymbols,
 };
 pub use trace::Trace;
-pub use voting::{vote, vote_into, VotingStrategy};
+pub use voting::{classify_outcome, vote, vote_into, VotingStrategy};

@@ -20,6 +20,7 @@
 //! [`Platform::event`]: logrel_emachine::Platform
 
 use logrel_core::{CommunicatorId, HostId, Specification, TaskId, Tick, Value};
+use logrel_obs::{names, MetricsSink, ObsEvent};
 use logrel_reliability::{hoeffding_epsilon, SlidingMean};
 
 /// Runtime hook invoked by the simulation kernel.
@@ -32,6 +33,25 @@ use logrel_reliability::{hoeffding_epsilon, SlidingMean};
 pub trait Supervisor {
     /// A communicator update was recorded at `now` with `value`.
     fn observe(&mut self, comm: CommunicatorId, now: Tick, value: Value);
+
+    /// Metrics-aware form of [`Supervisor::observe`]: the kernel calls
+    /// this one, passing its [`MetricsSink`], so supervisors that emit
+    /// observability signals (alarm transitions, degradation
+    /// engagements) can record them. The default ignores the sink and
+    /// delegates to `observe` — supervisors without metrics need not
+    /// care. Implementations must keep the *supervision* behavior
+    /// identical to `observe` (the sink must never influence the run).
+    fn observe_with(
+        &mut self,
+        comm: CommunicatorId,
+        now: Tick,
+        value: Value,
+        sink: &mut dyn MetricsSink,
+    ) {
+        let _ = sink;
+        self.observe(comm, now, value);
+    }
+
     /// Should `host`'s replica of `task` be dropped from the vote at
     /// `now`?
     fn exclude_replica(&mut self, task: TaskId, host: HostId, now: Tick) -> bool {
@@ -197,6 +217,48 @@ impl Supervisor for LrcMonitor {
             });
         }
     }
+
+    fn observe_with(
+        &mut self,
+        comm: CommunicatorId,
+        now: Tick,
+        value: Value,
+        sink: &mut dyn MetricsSink,
+    ) {
+        let seen = self.alarms.len();
+        self.observe(comm, now, value);
+        if sink.enabled() {
+            emit_alarms(&self.alarms[seen..], sink);
+        }
+    }
+}
+
+/// Records freshly fired alarm transitions on the sink — counters plus
+/// flight-recorder events (an `AlarmRaised` event is what triggers the
+/// recorder's automatic dump).
+fn emit_alarms(fresh: &[Alarm], sink: &mut dyn MetricsSink) {
+    for alarm in fresh {
+        match alarm.kind {
+            AlarmKind::Raised => {
+                sink.inc(names::ALARM_RAISED);
+                sink.event(&ObsEvent::AlarmRaised {
+                    at: alarm.at.as_u64(),
+                    comm: alarm.comm.index(),
+                    mean: alarm.mean,
+                    epsilon: alarm.epsilon,
+                    lrc: alarm.lrc,
+                });
+            }
+            AlarmKind::Cleared => {
+                sink.inc(names::ALARM_CLEARED);
+                sink.event(&ObsEvent::AlarmCleared {
+                    at: alarm.at.as_u64(),
+                    comm: alarm.comm.index(),
+                    mean: alarm.mean,
+                });
+            }
+        }
+    }
 }
 
 /// A scripted response to an LRC alarm.
@@ -276,6 +338,39 @@ impl Supervisor for Degrader {
                 self.engaged[i] = Some(now);
                 if let Response::ModeSwitch { event } = rule.response {
                     self.mode_events.push((now, event));
+                }
+            }
+        }
+    }
+
+    fn observe_with(
+        &mut self,
+        comm: CommunicatorId,
+        now: Tick,
+        value: Value,
+        sink: &mut dyn MetricsSink,
+    ) {
+        if !sink.enabled() {
+            self.observe(comm, now, value);
+            return;
+        }
+        let alarms_seen = self.monitor.alarms.len();
+        let engaged_seen: Vec<bool> = self.engaged.iter().map(Option::is_some).collect();
+        self.observe(comm, now, value);
+        emit_alarms(&self.monitor.alarms[alarms_seen..], sink);
+        for (i, was) in engaged_seen.iter().enumerate() {
+            if !was && self.engaged[i].is_some() {
+                sink.inc(names::DEGRADER_ENGAGED);
+                sink.event(&ObsEvent::DegraderEngaged {
+                    at: now.as_u64(),
+                    rule: i,
+                });
+                if let Response::ModeSwitch { event } = self.rules[i].response {
+                    sink.inc(names::MODE_SWITCH);
+                    sink.event(&ObsEvent::ModeSwitch {
+                        at: now.as_u64(),
+                        event: event.to_string(),
+                    });
                 }
             }
         }

@@ -194,6 +194,48 @@ where
     })
 }
 
+/// Like [`run_supervised_replications`], but each replication also
+/// carries a [`MetricsSink`] built by `setup` (typically a fresh
+/// `Registry` per replication) which `extract` receives back filled.
+///
+/// This is the deterministic-aggregation point of the observability
+/// layer: because a per-replication registry holds only values that are
+/// a deterministic function of that replication, and results come back
+/// in replication order regardless of the thread count, merging the
+/// extracted registries in result order yields a bit-identical aggregate
+/// at any thread count.
+///
+/// [`MetricsSink`]: logrel_obs::MetricsSink
+pub fn run_observed_replications<'a, T, Sup, M, S, E>(
+    sim: &Simulation<'_>,
+    config: &BatchConfig,
+    setup: S,
+    extract: E,
+) -> Vec<T>
+where
+    T: Send,
+    Sup: crate::monitor::Supervisor,
+    M: logrel_obs::MetricsSink,
+    S: Fn(u64) -> (ReplicationContext<'a>, Sup, M) + Sync,
+    E: Fn(u64, SimOutput, Sup, M) -> T + Sync,
+{
+    run_batch(config, |rep, seed| {
+        let (mut ctx, mut supervisor, mut sink) = setup(rep);
+        let out = sim.run_observed(
+            &mut ctx.behaviors,
+            &mut *ctx.environment,
+            &mut *ctx.injector,
+            &mut supervisor,
+            &mut sink,
+            &SimConfig {
+                rounds: config.rounds,
+                seed,
+            },
+        );
+        extract(rep, out, supervisor, sink)
+    })
+}
+
 /// The arithmetic mean of a slice (0 for an empty slice).
 #[must_use]
 pub fn mean(xs: &[f64]) -> f64 {

@@ -493,6 +493,11 @@ impl Scenario {
         if let Some(since) = down_since {
             down += horizon - since;
         }
+        // Overlapping or duplicated crash windows (expressible on a
+        // hand-built event list that bypassed `validate`) can accumulate
+        // more downtime than the horizon holds; clamp so the subtraction
+        // below cannot underflow.
+        let down = down.min(horizon);
         (horizon - down) as f64 / horizon as f64
     }
 }
@@ -961,6 +966,48 @@ burst from=0 until=100000 enter=0.01 exit=0.2 loss=0.9
         assert!(
             (s2.host_availability(HostId::new(0), Tick::new(100)) - 0.8).abs() < 1e-12
         );
+    }
+
+    /// Regression: cumulative downtime exceeding the horizon used to
+    /// underflow `horizon - down` (debug panic / release wrap). Windows
+    /// reaching or crossing the horizon must clamp to availability 0.
+    #[test]
+    fn host_availability_clamps_downtime_at_the_horizon() {
+        let h = HostId::new(0);
+        // Boundary via the public API: down for exactly the whole horizon.
+        let s = Scenario::parse("crash host=0 at=0\nrejoin host=0 at=100").unwrap();
+        assert_eq!(s.host_availability(h, Tick::new(100)), 0.0);
+        // Unterminated crash from 0: down to the horizon, availability 0.
+        let s = Scenario::parse("crash host=0 at=0").unwrap();
+        assert_eq!(s.host_availability(h, Tick::new(50)), 0.0);
+        // A rejoin beyond the horizon truncates at the horizon.
+        let s = Scenario::parse("crash host=0 at=30\nrejoin host=0 at=500").unwrap();
+        assert!((s.host_availability(h, Tick::new(100)) - 0.3).abs() < 1e-12);
+        // Pathological hand-built timelines (not expressible through
+        // `parse`, which enforces alternation) accumulate overlapping
+        // windows; the clamp keeps the quotient in [0, 1].
+        let s = Scenario {
+            events: vec![
+                ScenarioEvent::Crash {
+                    host: h,
+                    at: Tick::new(0),
+                },
+                ScenarioEvent::Rejoin {
+                    host: h,
+                    at: Tick::new(90),
+                },
+                ScenarioEvent::Crash {
+                    host: h,
+                    at: Tick::new(10),
+                },
+                ScenarioEvent::Rejoin {
+                    host: h,
+                    at: Tick::new(95),
+                },
+            ],
+        };
+        let a = s.host_availability(h, Tick::new(100));
+        assert!((0.0..=1.0).contains(&a), "availability {a}");
     }
 
     proptest::proptest! {

@@ -116,6 +116,57 @@ pub fn vote_into(
     true
 }
 
+/// Classifies how a vote resolved, for the observability layer — see
+/// [`VoteOutcome`].
+///
+/// Takes the same flat-buffer view as [`vote_into`] (*after* corruption
+/// was applied, so disagreement between delivering replicas is visible):
+///
+/// * no delivering replica → [`VoteOutcome::Silent`];
+/// * all delivering replica rows equal → [`VoteOutcome::Unanimous`];
+/// * otherwise, if every output position has a strict-majority value →
+///   [`VoteOutcome::Majority`], else [`VoteOutcome::Tie`].
+///
+/// The classification is independent of the [`VotingStrategy`] actually
+/// used to decide the value — it describes the ballot, not the decision.
+#[must_use]
+pub fn classify_outcome(
+    replica_vals: &[Value],
+    replica_ok: &[bool],
+    arity: usize,
+) -> logrel_obs::VoteOutcome {
+    use logrel_obs::VoteOutcome;
+    let delivered: Vec<usize> = replica_ok
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &ok)| ok.then_some(i))
+        .collect();
+    if delivered.is_empty() {
+        return VoteOutcome::Silent;
+    }
+    let row = |i: usize| &replica_vals[i * arity..(i + 1) * arity];
+    let first = row(delivered[0]);
+    if delivered[1..].iter().all(|&i| row(i) == first) {
+        return VoteOutcome::Unanimous;
+    }
+    let need = delivered.len() / 2 + 1;
+    let all_positions_decided = (0..arity).all(|k| {
+        delivered.iter().any(|&c| {
+            let v = replica_vals[c * arity + k];
+            delivered
+                .iter()
+                .filter(|&&d| replica_vals[d * arity + k] == v)
+                .count()
+                >= need
+        })
+    });
+    if all_positions_decided {
+        VoteOutcome::Majority
+    } else {
+        VoteOutcome::Tie
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +238,45 @@ mod tests {
             VotingStrategy::Majority,
         );
         assert_eq!(out, vec![Value::Bool(true)]);
+    }
+
+    #[test]
+    fn outcome_classification_covers_the_four_cases() {
+        use logrel_obs::VoteOutcome;
+        let f = Value::Float;
+        assert_eq!(classify_outcome(&[], &[], 1), VoteOutcome::Silent);
+        assert_eq!(
+            classify_outcome(&[f(1.0), f(2.0)], &[false, false], 1),
+            VoteOutcome::Silent
+        );
+        // A single delivering replica is trivially unanimous.
+        assert_eq!(
+            classify_outcome(&[f(1.0), f(2.0)], &[true, false], 1),
+            VoteOutcome::Unanimous
+        );
+        assert_eq!(
+            classify_outcome(&[f(1.0), f(1.0), f(1.0)], &[true, true, true], 1),
+            VoteOutcome::Unanimous
+        );
+        // 2-of-3 agreement on every position: majority.
+        assert_eq!(
+            classify_outcome(&[f(1.0), f(2.0), f(1.0)], &[true, true, true], 1),
+            VoteOutcome::Majority
+        );
+        // 1-vs-1 split: no strict majority anywhere.
+        assert_eq!(
+            classify_outcome(&[f(1.0), f(2.0)], &[true, true], 1),
+            VoteOutcome::Tie
+        );
+        // Mixed positions: position 0 decided, position 1 split 1-1-1.
+        assert_eq!(
+            classify_outcome(
+                &[f(1.0), f(7.0), f(1.0), f(8.0), f(2.0), f(9.0)],
+                &[true, true, true],
+                2
+            ),
+            VoteOutcome::Tie
+        );
     }
 
     /// `vote_into` must agree with `vote` on every replica pattern.

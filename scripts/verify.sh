@@ -46,8 +46,35 @@ echo "==> htlc inject smoke (scenario campaign)"
 "$HTLC" inject examples/htl/infusion_pump.htl examples/scenarios/pump_outage.scn 500 7 2 \
     > /dev/null
 
+echo "==> htlc inject --metrics smoke (Prometheus + JSON exporters)"
+METRICS_DIR=$(mktemp -d)
+trap 'rm -rf "$METRICS_DIR"' EXIT
+"$HTLC" inject --metrics "$METRICS_DIR/m.prom" \
+    examples/htl/infusion_pump.htl examples/scenarios/pump_outage.scn 500 7 2 \
+    > /dev/null
+grep -q '^logrel_rounds_total ' "$METRICS_DIR/m.prom"
+grep -q '^logrel_vote_' "$METRICS_DIR/m.prom"
+python3 - "$METRICS_DIR/m.prom.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "logrel-metrics-v1", doc.get("schema")
+assert doc["counters"]["logrel_rounds_total"] == 1000, doc["counters"]
+assert "logrel_task_invocations_total" in doc["counters"]
+PY
+
+echo "==> htlc trace smoke (flight recorder)"
+"$HTLC" trace examples/htl/infusion_pump.htl examples/scenarios/pump_outage.scn 200 7 \
+    | grep -q '^flight recorder:'
+
 echo "==> scenario engine tests (parser proptests + determinism)"
 cargo test -q -p logrel-sim scenario > /dev/null
 cargo test -q --test fault_scenarios > /dev/null
+
+echo "==> observability tests (pinned metrics + thread-count invariance)"
+cargo test -q --test observability > /dev/null
+
+echo "==> bench_snapshot regression gate (vs BENCH_baseline.json)"
+cargo run --release -q -p logrel-bench --bin bench_snapshot -- \
+    --out "$METRICS_DIR/BENCH_current.json" --compare BENCH_baseline.json > /dev/null
 
 echo "verify: OK"

@@ -14,10 +14,19 @@
 //! htlc ecode <file> <host>           disassemble one host's E-code
 //! htlc importance <file> <comm>      rank components by Birnbaum importance
 //! htlc simulate <file> [rounds [seed]]  fault-injected simulation summary
-//! htlc inject <file> <scenario> [rounds [seed [reps]]]
+//! htlc inject [--metrics PATH] <file> <scenario> [rounds [seed [reps]]]
 //!                                    scenario campaign with online LRC
 //!                                    monitoring (crash/rejoin, flaky
-//!                                    hosts, burst loss, stuck sensors)
+//!                                    hosts, burst loss, stuck sensors);
+//!                                    --metrics exports the aggregated
+//!                                    registry (Prometheus text at PATH,
+//!                                    JSON at PATH.json, `-` for stdout)
+//! htlc trace <file> <scenario> [rounds [seed]]
+//!                                    single-replication run with the
+//!                                    flight recorder attached: counter
+//!                                    summary plus every recorded dump
+//!                                    (alarm-triggered and final) with
+//!                                    names resolved
 //! htlc refine <refining> <refined>   check the refinement relation (κ by
 //!                                    task name)
 //! ```
@@ -26,8 +35,9 @@
 //! I/O error, `2` diagnostics of error severity emitted (`--deny`
 //! promotes warnings). Every failing finding — lints (`L`), E-code
 //! verification (`E`), translation validation (`V`) and analysis verdicts
-//! (`A001` invalid system, `A002` failed refinement) — goes to stderr
-//! through the one shared renderer in the stable greppable form
+//! (`A001` invalid system, `A002` failed refinement, `A003` failed
+//! round-program self-certification) — goes to stderr through the one
+//! shared renderer in the stable greppable form
 //! `code:severity:file:line:col: message`.
 
 use logrel::lang::{compile, elaborate_file, parse, parse_file, print_program};
@@ -90,7 +100,8 @@ fn compile_path(path: &str) -> Result<logrel::lang::ElaboratedSystem, Failure> {
 
 /// Prints a failed analysis verdict through the shared diagnostic
 /// renderer (A-series codes: `A001` invalid system, `A002` failed
-/// refinement) and returns the exit-2 failure.
+/// refinement, `A003` failed round-program self-certification) and
+/// returns the exit-2 failure.
 fn analysis_failure(file: &str, code: &'static str, message: String) -> Failure {
     eprintln!(
         "{}",
@@ -99,8 +110,142 @@ fn analysis_failure(file: &str, code: &'static str, message: String) -> Failure 
     Failure::Diagnostics(1)
 }
 
+/// Flight-recorder ring capacity used by `inject --metrics` and `trace`:
+/// enough context to see the rounds leading up to a violation without
+/// unbounded growth.
+const FLIGHT_RING: usize = 256;
+
+/// Resolves scenario names against a compiled program.
+struct Symbols<'a>(&'a logrel::lang::ElaboratedSystem);
+
+impl logrel::sim::ScenarioSymbols for Symbols<'_> {
+    fn host(&self, name: &str) -> Option<logrel::core::HostId> {
+        self.0.arch.find_host(name)
+    }
+    fn communicator(&self, name: &str) -> Option<logrel::core::CommunicatorId> {
+        self.0.spec.find_communicator(name)
+    }
+}
+
+/// Removes `--flag VALUE` from `args`, returning the value if present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Failure> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(Failure::Usage(format!("{flag} requires a value"))),
+        None => Ok(None),
+    }
+}
+
+/// Exports the registry: Prometheus text at `target` and the JSON
+/// document at `target.json`, or both concatenated to stdout when
+/// `target` is `-`.
+fn write_metrics(target: &str, registry: &logrel::obs::Registry) -> Result<(), Failure> {
+    let prom = logrel::obs::export::to_prometheus(registry);
+    let json = logrel::obs::export::to_json(registry);
+    if target == "-" {
+        print!("{prom}{json}");
+    } else {
+        std::fs::write(target, prom)
+            .map_err(|e| Failure::Io(format!("cannot write `{target}`: {e}")))?;
+        let json_path = format!("{target}.json");
+        std::fs::write(&json_path, json)
+            .map_err(|e| Failure::Io(format!("cannot write `{json_path}`: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Renders one flight-recorder event, resolving the raw round-program
+/// indices the recorder stores back to specification names.
+fn render_event(e: &logrel::obs::ObsEvent, sys: &logrel::lang::ElaboratedSystem) -> String {
+    use logrel::obs::ObsEvent as E;
+    let task = |t: usize| sys.spec.task(logrel::core::TaskId::new(t as u32)).name();
+    let host = |h: usize| sys.arch.host(logrel::core::HostId::new(h as u32)).name();
+    let comm = |c: usize| {
+        sys.spec
+            .communicator(logrel::core::CommunicatorId::new(c as u32))
+            .name()
+    };
+    match e {
+        E::Vote {
+            at,
+            task: t,
+            outcome,
+            delivered,
+            replicas,
+        } => format!(
+            "[{at}] vote {} {} ({delivered}/{replicas} delivered)",
+            task(*t),
+            outcome.label()
+        ),
+        E::ReplicaDrop {
+            at,
+            task: t,
+            host: h,
+            reason,
+        } => format!(
+            "[{at}] replica-drop {}@{} ({})",
+            task(*t),
+            host(*h),
+            reason.label()
+        ),
+        E::HostDown { at, host: h } => format!("[{at}] host-down {}", host(*h)),
+        E::HostUp { at, host: h } => format!("[{at}] host-up {}", host(*h)),
+        E::AlarmRaised {
+            at,
+            comm: c,
+            mean,
+            epsilon,
+            lrc,
+        } => format!(
+            "[{at}] alarm-raised {} (mean {mean:.6}, eps {epsilon:.6}, lrc {lrc})",
+            comm(*c)
+        ),
+        E::AlarmCleared { at, comm: c, mean } => {
+            format!("[{at}] alarm-cleared {} (mean {mean:.6})", comm(*c))
+        }
+        E::DegraderEngaged { at, rule } => format!("[{at}] degrader-engaged rule #{rule}"),
+        E::ModeSwitch { at, event } => format!("[{at}] mode-switch `{event}`"),
+    }
+}
+
+/// Pretty-prints every retained flight-recorder dump with names resolved.
+fn format_dumps(registry: &logrel::obs::Registry, sys: &logrel::lang::ElaboratedSystem) -> String {
+    let Some(rec) = registry.recorder() else {
+        return String::new();
+    };
+    let mut out = format!(
+        "flight recorder: {} dump(s), {} event(s) evicted from the ring\n",
+        rec.dumps().len(),
+        rec.dropped()
+    );
+    for (i, dump) in rec.dumps().iter().enumerate() {
+        let trigger = match &dump.trigger {
+            logrel::obs::DumpTrigger::AlarmRaised { comm } => format!(
+                "alarm-raised on `{}`",
+                sys.spec
+                    .communicator(logrel::core::CommunicatorId::new(*comm as u32))
+                    .name()
+            ),
+            t => t.label().to_owned(),
+        };
+        out.push_str(&format!(
+            "\ndump #{i}: {trigger} at {} ({} event(s))\n",
+            dump.at,
+            dump.events.len()
+        ));
+        for e in &dump.events {
+            out.push_str(&format!("  {}\n", render_event(e, sys)));
+        }
+    }
+    out
+}
+
 fn run(args: &[String]) -> Result<(), Failure> {
-    let usage = "usage: htlc <check|verify|lint|fmt|graph|ecode|importance|simulate|refine> <args>\n\
+    let usage = "usage: htlc <check|verify|lint|fmt|graph|ecode|importance|simulate|inject|trace|refine> <args>\n\
                  run `htlc help` for details";
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
@@ -117,7 +262,11 @@ fn run(args: &[String]) -> Result<(), Failure> {
                  htlc latency <file>               worst-case data ages\n\
                  htlc importance <file> <comm>     component importance ranking\n\
                  htlc simulate <file> [rounds [seed]]  fault-injected run\n\
-                 htlc inject <file> <scenario> [rounds [seed [reps]]]  scenario campaign\n\
+                 htlc inject [--metrics PATH] <file> <scenario> [rounds [seed [reps]]]\n\
+                                                   scenario campaign; --metrics exports the\n\
+                                                   aggregated registry (Prometheus text at\n\
+                                                   PATH, JSON at PATH.json, `-` for stdout)\n\
+                 htlc trace <file> <scenario> [rounds [seed]]  flight-recorder trace\n\
                  htlc refine <refining> <refined>  refinement check\n\n\
                  exit codes: 0 clean, 1 usage/IO error, 2 diagnostics emitted\n\
                  diagnostics: code:severity:file:line:col: message (stderr)"
@@ -342,7 +491,8 @@ fn run(args: &[String]) -> Result<(), Failure> {
             let analytic = logrel::reliability::compute_srgs(&sys.spec, &sys.arch, &sys.imp)
                 .map_err(|e| Failure::Usage(e.to_string()))?;
             let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
-            let sim = logrel::sim::Simulation::new(&sys.spec, &sys.arch, &td);
+            let sim = logrel::sim::Simulation::try_new(&sys.spec, &sys.arch, &td)
+                .map_err(|e| analysis_failure(path, "A003", format!("{e}")))?;
             let mut inj = logrel::sim::ProbabilisticFaults::from_architecture(&sys.arch);
             let out = sim.run(
                 &mut logrel::sim::BehaviorMap::new(),
@@ -369,35 +519,27 @@ fn run(args: &[String]) -> Result<(), Failure> {
             Ok(())
         }
         "inject" => {
-            let path = args.get(1).ok_or(usage)?;
-            let scenario_path = args.get(2).ok_or(usage)?;
-            let rounds: u64 = args
-                .get(3)
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let metrics = take_flag_value(&mut rest, "--metrics")?;
+            let path = rest.first().ok_or(usage)?;
+            let scenario_path = rest.get(1).ok_or(usage)?;
+            let rounds: u64 = rest
+                .get(2)
                 .map(|s| s.parse().map_err(|_| format!("bad round count `{s}`")))
                 .transpose()?
                 .unwrap_or(4_000);
-            let seed: u64 = args
-                .get(4)
+            let seed: u64 = rest
+                .get(3)
                 .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
                 .transpose()?
                 .unwrap_or(0xC0FFEE);
-            let reps: u64 = args
-                .get(5)
+            let reps: u64 = rest
+                .get(4)
                 .map(|s| s.parse().map_err(|_| format!("bad replication count `{s}`")))
                 .transpose()?
                 .unwrap_or(8);
             let sys = compile_path(path)?;
 
-            /// Resolves scenario names against the compiled program.
-            struct Symbols<'a>(&'a logrel::lang::ElaboratedSystem);
-            impl logrel::sim::ScenarioSymbols for Symbols<'_> {
-                fn host(&self, name: &str) -> Option<logrel::core::HostId> {
-                    self.0.arch.find_host(name)
-                }
-                fn communicator(&self, name: &str) -> Option<logrel::core::CommunicatorId> {
-                    self.0.spec.find_communicator(name)
-                }
-            }
             let scenario =
                 logrel::sim::Scenario::parse_with(&read(scenario_path)?, &Symbols(&sys))
                     .map_err(|e| Failure::Usage(format!("{scenario_path}: {e}")))?;
@@ -410,7 +552,12 @@ fn run(args: &[String]) -> Result<(), Failure> {
                 .map(|c| Some(analytic.communicator(c).get()))
                 .collect();
             let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
-            let sim = logrel::sim::Simulation::new(&sys.spec, &sys.arch, &td);
+            // The registry collects compile/certify spans even when
+            // `--metrics` is absent; it is only exported when requested.
+            let mut registry = logrel::obs::Registry::with_recorder(FLIGHT_RING);
+            let sim =
+                logrel::sim::Simulation::try_new_observed(&sys.spec, &sys.arch, &td, &mut registry)
+                    .map_err(|e| analysis_failure(path, "A003", format!("{e}")))?;
             let config = logrel::sim::CampaignConfig {
                 batch: logrel::sim::montecarlo::BatchConfig {
                     replications: reps,
@@ -420,24 +567,43 @@ fn run(args: &[String]) -> Result<(), Failure> {
                 },
                 monitor: logrel::sim::MonitorConfig::default(),
             };
-            let report = logrel::sim::run_campaign(
-                &sim,
-                &sys.spec,
-                &scenario,
-                sys.arch.host_count(),
-                &config,
-                |_rep| logrel::sim::montecarlo::ReplicationContext {
-                    behaviors: logrel::sim::BehaviorMap::new(),
-                    environment: Box::new(logrel::sim::ConstantEnvironment::new(
-                        logrel::core::Value::Float(1.0),
-                    )),
-                    injector: Box::new(logrel::sim::ProbabilisticFaults::from_architecture(
-                        &sys.arch,
-                    )),
-                },
-                &analytic,
-            )
-            .map_err(|e| Failure::Usage(e.to_string()))?;
+            let setup = |_rep| logrel::sim::montecarlo::ReplicationContext {
+                behaviors: logrel::sim::BehaviorMap::new(),
+                environment: Box::new(logrel::sim::ConstantEnvironment::new(
+                    logrel::core::Value::Float(1.0),
+                )),
+                injector: Box::new(logrel::sim::ProbabilisticFaults::from_architecture(
+                    &sys.arch,
+                )),
+            };
+            let report = if metrics.is_some() {
+                let run_span = logrel::obs::Span::start();
+                let report = logrel::sim::run_campaign_observed(
+                    &sim,
+                    &sys.spec,
+                    &scenario,
+                    sys.arch.host_count(),
+                    &config,
+                    setup,
+                    &analytic,
+                    &mut registry,
+                    FLIGHT_RING,
+                )
+                .map_err(|e| Failure::Usage(e.to_string()))?;
+                run_span.finish(&mut registry, logrel::obs::names::RUN_SECONDS);
+                report
+            } else {
+                logrel::sim::run_campaign(
+                    &sim,
+                    &sys.spec,
+                    &scenario,
+                    sys.arch.host_count(),
+                    &config,
+                    setup,
+                    &analytic,
+                )
+                .map_err(|e| Failure::Usage(e.to_string()))?
+            };
 
             println!(
                 "{reps} replication(s) x {rounds} rounds, seed {seed}, scenario `{scenario_path}`\n"
@@ -474,7 +640,94 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     format!("{}/{}", r.alarms_raised, r.alarms_cleared),
                 );
             }
+            if let Some(target) = &metrics {
+                if target == "-" {
+                    println!();
+                }
+                write_metrics(target, &registry)?;
+            }
             Ok(())
+        }
+        "trace" => {
+            let path = args.get(1).ok_or(usage)?;
+            let scenario_path = args.get(2).ok_or(usage)?;
+            let rounds: u64 = args
+                .get(3)
+                .map(|s| s.parse().map_err(|_| format!("bad round count `{s}`")))
+                .transpose()?
+                .unwrap_or(2_000);
+            let seed: u64 = args
+                .get(4)
+                .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                .transpose()?
+                .unwrap_or(0xC0FFEE);
+            let sys = compile_path(path)?;
+            let scenario =
+                logrel::sim::Scenario::parse_with(&read(scenario_path)?, &Symbols(&sys))
+                    .map_err(|e| Failure::Usage(format!("{scenario_path}: {e}")))?;
+            let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
+            let mut registry = logrel::obs::Registry::with_recorder(FLIGHT_RING);
+            let sim =
+                logrel::sim::Simulation::try_new_observed(&sys.spec, &sys.arch, &td, &mut registry)
+                    .map_err(|e| analysis_failure(path, "A003", format!("{e}")))?;
+            let mut injector = logrel::sim::ScenarioInjector::new(
+                logrel::sim::ProbabilisticFaults::from_architecture(&sys.arch),
+                &scenario,
+                sys.arch.host_count(),
+                sys.spec.communicator_count(),
+            )
+            .map_err(|e| Failure::Usage(format!("{scenario_path}: {e}")))?;
+            let mut environment = logrel::sim::ScenarioEnvironment::new(
+                logrel::sim::ConstantEnvironment::new(logrel::core::Value::Float(1.0)),
+                &scenario,
+                sys.spec.communicator_count(),
+            );
+            let mut monitor =
+                logrel::sim::LrcMonitor::new(&sys.spec, logrel::sim::MonitorConfig::default());
+            let mut behaviors = logrel::sim::BehaviorMap::new();
+            let config = logrel::sim::SimConfig { rounds, seed };
+            let run_span = logrel::obs::Span::start();
+            // If the kernel panics, dump the flight recorder before the
+            // unwind escapes — the last recorded events are exactly the
+            // context the panic message lacks.
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sim.run_observed(
+                    &mut behaviors,
+                    &mut environment,
+                    &mut injector,
+                    &mut monitor,
+                    &mut registry,
+                    &config,
+                )
+            }));
+            match run {
+                Ok(_out) => {
+                    run_span.finish(&mut registry, logrel::obs::names::RUN_SECONDS);
+                    let horizon = rounds * sys.spec.round_period().as_u64();
+                    if let Some(rec) = registry.recorder_mut() {
+                        rec.dump_now(horizon);
+                    }
+                    println!("{rounds} round(s), seed {seed}, scenario `{scenario_path}`\n");
+                    println!("counters:");
+                    for (name, v) in registry.counters() {
+                        println!("  {name:<36} {v:>12}");
+                    }
+                    println!();
+                    print!("{}", format_dumps(&registry, &sys));
+                    Ok(())
+                }
+                Err(payload) => {
+                    let at = registry
+                        .recorder()
+                        .and_then(|r| r.events().last().map(logrel::obs::ObsEvent::at))
+                        .unwrap_or(0);
+                    if let Some(rec) = registry.recorder_mut() {
+                        rec.dump_on_panic(at);
+                    }
+                    eprint!("{}", format_dumps(&registry, &sys));
+                    std::panic::resume_unwind(payload);
+                }
+            }
         }
         "refine" => {
             let refining_path = args.get(1).ok_or(usage)?;
