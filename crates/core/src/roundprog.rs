@@ -137,6 +137,18 @@ pub enum UpdateOp {
     Persist { comm: u32 },
 }
 
+impl UpdateOp {
+    /// The communicator this update writes, uniformly across variants.
+    #[must_use]
+    pub fn comm(&self) -> usize {
+        match *self {
+            UpdateOp::Sensor { comm }
+            | UpdateOp::Landed { comm, .. }
+            | UpdateOp::Persist { comm } => comm as usize,
+        }
+    }
+}
+
 /// One input latch: `latched[dst] = comm_values[comm]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatchOp {
@@ -179,6 +191,20 @@ pub struct TaskTable {
     /// Reads at least one task-written communicator: a rejoining replica
     /// must warm up for one full round before voting again.
     pub stateful: bool,
+}
+
+impl TaskTable {
+    /// The task's slice of the flat latch buffer.
+    #[must_use]
+    pub fn in_range(&self) -> std::ops::Range<usize> {
+        self.in_base..self.in_base + self.n_in
+    }
+
+    /// The task's slice of the flat round-result buffers.
+    #[must_use]
+    pub fn out_range(&self) -> std::ops::Range<usize> {
+        self.out_base..self.out_base + self.n_out
+    }
 }
 
 /// Phase-resolved replication tables: who senses and who executes, with

@@ -90,6 +90,8 @@ pub mod names {
     pub const CERTIFY_SECONDS: &str = "logrel_certify_seconds";
     /// Wall-clock seconds of the simulation/campaign run (span gauge).
     pub const RUN_SECONDS: &str = "logrel_run_seconds";
+    /// Bit-sliced lane width the campaign ran with (gauge; 1 = scalar).
+    pub const BITSLICE_LANES: &str = "logrel_bitslice_lanes";
 }
 
 /// Buckets for the delivering-replicas-per-vote histogram.
@@ -190,6 +192,10 @@ pub const CATALOG: &[MetricDef] = &[
     gauge!(
         names::RUN_SECONDS,
         "Wall-clock seconds of the simulation or campaign run"
+    ),
+    gauge!(
+        names::BITSLICE_LANES,
+        "Bit-sliced lane width of the campaign run (1 = scalar)"
     ),
 ];
 

@@ -47,6 +47,15 @@ pub trait MetricsSink {
         let _ = (name, v);
     }
 
+    /// Records `n` identical observations of `v` into the histogram
+    /// `name` — the batched form of [`MetricsSink::observe`] used by hot
+    /// loops that tally observations and flush once.
+    fn observe_n(&mut self, name: &'static str, v: f64, n: u64) {
+        for _ in 0..n {
+            self.observe(name, v);
+        }
+    }
+
     /// Records a structured event (flight recorder).
     fn event(&mut self, event: &ObsEvent) {
         let _ = event;
@@ -100,14 +109,26 @@ impl Histogram {
 
     /// Records one observation.
     pub fn observe(&mut self, v: f64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Records `n` identical observations of `v`. Equivalent to calling
+    /// [`Histogram::observe`] `n` times: for the integer-valued samples
+    /// the simulator records, `v * n` is exact in `f64` (as is the
+    /// repeated-addition sum), so the two forms produce bit-identical
+    /// histograms.
+    pub fn observe_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = self
             .bounds
             .iter()
             .position(|&b| v <= b)
             .unwrap_or(self.bounds.len());
-        self.counts[idx] += 1;
-        self.sum += v;
-        self.count += 1;
+        self.counts[idx] += n;
+        self.sum += v * n as f64;
+        self.count += n;
     }
 
     /// Upper bounds (excluding the implicit `+Inf`).
@@ -286,6 +307,16 @@ impl MetricsSink for Registry {
             .entry(name)
             .or_insert_with(|| Histogram::for_metric(name))
             .observe(v);
+    }
+
+    fn observe_n(&mut self, name: &'static str, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::for_metric(name))
+            .observe_n(v, n);
     }
 
     fn event(&mut self, event: &ObsEvent) {

@@ -10,14 +10,48 @@
 //! bit-deterministic in the batch configuration — rerunning a report, at
 //! any thread count, reproduces it exactly.
 
+use crate::bitslice::LaneContext;
 use crate::environment::Environment;
-use crate::kernel::Simulation;
+use crate::kernel::{SimOutput, Simulation};
 use crate::monitor::{AlarmKind, LrcMonitor, MonitorConfig};
-use crate::montecarlo::{run_observed_replications, BatchConfig, ReplicationContext};
+use crate::montecarlo::{
+    derive_seed, run_indexed_units, run_observed_replications, BatchConfig, ReplicationContext,
+};
 use crate::scenario::{Scenario, ScenarioEnvironment, ScenarioError, ScenarioInjector};
 use logrel_core::{CommunicatorId, Specification, Tick};
 use logrel_obs::{MetricsSink, NoopSink, Registry};
 use logrel_reliability::hoeffding_epsilon;
+
+/// How a campaign executes its replications: bit-sliced lane groups (the
+/// default) or one scalar run per replication.
+///
+/// The mode never changes results — every lane replays its scalar
+/// replication bit-exactly (see [`crate::bitslice`]) — only wall-clock
+/// time, so `Off` exists for debugging and differential testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneMode {
+    /// Bit-sliced groups of 64 replications, plus one narrower group for
+    /// a non-multiple-of-64 tail.
+    #[default]
+    Auto,
+    /// Scalar execution, one replication at a time.
+    Off,
+    /// Bit-sliced groups of a fixed width (clamped to 1..=64; width 1
+    /// runs the scalar path).
+    Width(u8),
+}
+
+impl LaneMode {
+    /// The lane-group width this mode packs (1 for [`LaneMode::Off`]).
+    #[must_use]
+    pub fn width(self) -> usize {
+        match self {
+            LaneMode::Auto => 64,
+            LaneMode::Off => 1,
+            LaneMode::Width(w) => (w as usize).clamp(1, 64),
+        }
+    }
+}
 
 /// Configuration of one scenario campaign.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -26,6 +60,8 @@ pub struct CampaignConfig {
     pub batch: BatchConfig,
     /// The online monitor attached to each replication.
     pub monitor: MonitorConfig,
+    /// Scalar vs bit-sliced execution (default: 64-wide lane groups).
+    pub lanes: LaneMode,
 }
 
 /// Aggregated per-communicator campaign statistics.
@@ -74,6 +110,33 @@ struct RepStats {
     first_violation: Vec<Option<u64>>,
     raised: Vec<u64>,
     cleared: Vec<u64>,
+}
+
+/// Reduces one replication's output and monitor to its [`RepStats`] —
+/// shared by the scalar and bit-sliced execution paths so both aggregate
+/// identically.
+fn rep_stats(spec: &Specification, out: &SimOutput, monitor: &LrcMonitor) -> RepStats {
+    let comm_count = spec.communicator_count();
+    let mut stats = RepStats {
+        updates: vec![0; comm_count],
+        reliable: vec![0; comm_count],
+        first_violation: vec![None; comm_count],
+        raised: vec![0; comm_count],
+        cleared: vec![0; comm_count],
+    };
+    for c in spec.communicator_ids() {
+        let bits = out.trace.abstraction(c);
+        stats.updates[c.index()] = bits.len() as u64;
+        stats.reliable[c.index()] = bits.iter().filter(|&&b| b).count() as u64;
+        stats.first_violation[c.index()] = monitor.first_violation(c).map(Tick::as_u64);
+    }
+    for alarm in monitor.alarms() {
+        match alarm.kind {
+            AlarmKind::Raised => stats.raised[alarm.comm.index()] += 1,
+            AlarmKind::Cleared => stats.cleared[alarm.comm.index()] += 1,
+        }
+    }
+    stats
 }
 
 /// Runs `scenario` for a batch of replications over `sim` and aggregates
@@ -172,52 +235,86 @@ where
     // Validate once up front so per-replication wrapping cannot fail.
     scenario.check_bounds(host_count, comm_count)?;
 
-    let per_rep: Vec<(RepStats, M)> = run_observed_replications(
-        sim,
-        &config.batch,
-        |rep| {
-            let base = setup(rep);
-            let injector = ScenarioInjector::new(base.injector, scenario, host_count, comm_count)
-                .expect("scenario bounds checked above");
-            let environment: Box<dyn Environment + 'a> = Box::new(ScenarioEnvironment::new(
-                base.environment,
-                scenario,
-                comm_count,
-            ));
-            (
-                ReplicationContext {
-                    behaviors: base.behaviors,
-                    environment,
-                    injector: Box::new(injector),
-                },
-                LrcMonitor::new(spec, config.monitor),
-                make_sink(rep),
-            )
-        },
-        |_rep, out, monitor: LrcMonitor, sink| {
-            let mut stats = RepStats {
-                updates: vec![0; comm_count],
-                reliable: vec![0; comm_count],
-                first_violation: vec![None; comm_count],
-                raised: vec![0; comm_count],
-                cleared: vec![0; comm_count],
-            };
-            for c in spec.communicator_ids() {
-                let bits = out.trace.abstraction(c);
-                stats.updates[c.index()] = bits.len() as u64;
-                stats.reliable[c.index()] = bits.iter().filter(|&&b| b).count() as u64;
-                stats.first_violation[c.index()] =
-                    monitor.first_violation(c).map(Tick::as_u64);
-            }
-            for alarm in monitor.alarms() {
-                match alarm.kind {
-                    AlarmKind::Raised => stats.raised[alarm.comm.index()] += 1,
-                    AlarmKind::Cleared => stats.cleared[alarm.comm.index()] += 1,
+    let width = config.lanes.width();
+    let per_rep: Vec<(RepStats, M)> = if width <= 1 {
+        run_observed_replications(
+            sim,
+            &config.batch,
+            |rep| {
+                let base = setup(rep);
+                let injector =
+                    ScenarioInjector::new(base.injector, scenario, host_count, comm_count)
+                        .expect("scenario bounds checked above");
+                let environment: Box<dyn Environment + 'a> = Box::new(ScenarioEnvironment::new(
+                    base.environment,
+                    scenario,
+                    comm_count,
+                ));
+                (
+                    ReplicationContext {
+                        behaviors: base.behaviors,
+                        environment,
+                        injector: Box::new(injector),
+                    },
+                    LrcMonitor::new(spec, config.monitor),
+                    make_sink(rep),
+                )
+            },
+            |_rep, out, monitor: LrcMonitor, sink| (rep_stats(spec, &out, &monitor), sink),
+        )
+    } else {
+        // Bit-sliced lane groups: `width` replications per unit, with one
+        // narrower tail group for a non-multiple remainder (a lane's draw
+        // sequence never depends on the group width, so the tail needs no
+        // special casing). Units are whole work items, so the merged
+        // order is still replication order at any thread count.
+        let n = config.batch.replications;
+        let mut units: Vec<(u64, usize)> = Vec::new();
+        let mut first = 0u64;
+        while first < n {
+            let w = (n - first).min(width as u64) as usize;
+            units.push((first, w));
+            first += w as u64;
+        }
+        let per_unit: Vec<Vec<(RepStats, M)>> =
+            run_indexed_units(config.batch.threads, &units, |&(first, w), _| {
+                // One shared behavior map per group (the first
+                // replication's): behaviors are pure by the bit-sliced
+                // kernel's contract.
+                let mut behaviors = None;
+                let mut lanes = Vec::with_capacity(w);
+                for rep in first..first + w as u64 {
+                    let base = setup(rep);
+                    let injector =
+                        ScenarioInjector::new(base.injector, scenario, host_count, comm_count)
+                            .expect("scenario bounds checked above");
+                    let environment =
+                        ScenarioEnvironment::new(base.environment, scenario, comm_count);
+                    if behaviors.is_none() {
+                        behaviors = Some(base.behaviors);
+                    }
+                    lanes.push(LaneContext::new(
+                        derive_seed(config.batch.base_seed, rep),
+                        injector,
+                        environment,
+                        LrcMonitor::new(spec, config.monitor),
+                        make_sink(rep),
+                    ));
                 }
-            }
-            (stats, sink)
-        },
-    );
+                let mut behaviors = behaviors.expect("groups are non-empty");
+                let packed = sim.run_bitsliced(&mut behaviors, &mut lanes, config.batch.rounds);
+                lanes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(li, lane)| {
+                        let out = packed.extract_lane(spec, li);
+                        let (_injector, _environment, monitor, sink) = lane.into_parts();
+                        (rep_stats(spec, &out, &monitor), sink)
+                    })
+                    .collect()
+            });
+        per_unit.into_iter().flatten().collect()
+    };
 
     let horizon = Tick::new(config.batch.rounds * spec.round_period().as_u64());
     let comms = spec

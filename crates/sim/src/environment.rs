@@ -22,6 +22,18 @@ pub trait Environment {
     /// Observes the update of task-written communicator `comm` (actuator
     /// communicators act on it; others may be ignored).
     fn actuate(&mut self, comm: CommunicatorId, value: Value, now: Tick);
+
+    /// Whether [`Environment::advance`] and [`Environment::actuate`] are
+    /// both no-ops for this environment.
+    ///
+    /// Returning `true` is a *contract*: neither call ever changes state
+    /// or is otherwise observed, so a caller may skip both entirely
+    /// (sensing still happens). The bit-sliced kernel uses this to elide
+    /// per-lane hook loops on passive environments. The default is
+    /// conservatively `false` (always call).
+    fn is_passive(&self) -> bool {
+        false
+    }
 }
 
 /// Forwarding so wrappers (e.g. the scenario layer) can hold type-erased
@@ -35,6 +47,9 @@ impl Environment for Box<dyn Environment + '_> {
     }
     fn actuate(&mut self, comm: CommunicatorId, value: Value, now: Tick) {
         (**self).actuate(comm, value, now);
+    }
+    fn is_passive(&self) -> bool {
+        (**self).is_passive()
     }
 }
 
@@ -77,6 +92,10 @@ impl Environment for ConstantEnvironment {
     }
 
     fn actuate(&mut self, _comm: CommunicatorId, _value: Value, _now: Tick) {}
+
+    fn is_passive(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,17 @@ pub trait FaultInjector {
         let _ = (host, now);
         None
     }
+    /// Whether this injector's [`FaultInjector::corrupt`] may ever act.
+    ///
+    /// Returning `false` is a *contract*: `corrupt` never mutates the
+    /// outputs **and never consumes randomness**, so a caller may skip the
+    /// call entirely without shifting the draw sequence. The bit-sliced
+    /// kernel uses this to elide per-replica output materialisation on
+    /// fail-silent fault models. The default is conservatively `true`
+    /// (slow but always correct for injectors that override `corrupt`).
+    fn corrupts(&self) -> bool {
+        true
+    }
 }
 
 /// Forwarding so wrappers can hold type-erased inner injectors (the
@@ -77,6 +88,9 @@ impl FaultInjector for Box<dyn FaultInjector + '_> {
     }
     fn rejoined_at(&self, host: HostId, now: Tick) -> Option<Tick> {
         (**self).rejoined_at(host, now)
+    }
+    fn corrupts(&self) -> bool {
+        (**self).corrupts()
     }
 }
 
@@ -144,6 +158,10 @@ impl<S: HostSilencer> FaultInjector for S {
         }
         self.inner_ref().rejoined_at(host, now)
     }
+    fn corrupts(&self) -> bool {
+        // Silencing only suppresses corruption; it never introduces it.
+        self.inner_ref().corrupts()
+    }
 }
 
 /// The fault-free injector: everything always works.
@@ -159,6 +177,9 @@ impl FaultInjector for NoFaults {
     }
     fn broadcast_ok(&mut self, _host: HostId, _now: Tick, _rng: &mut StdRng) -> bool {
         true
+    }
+    fn corrupts(&self) -> bool {
+        false
     }
 }
 
@@ -197,6 +218,9 @@ impl FaultInjector for ProbabilisticFaults {
     }
     fn broadcast_ok(&mut self, _host: HostId, _now: Tick, rng: &mut StdRng) -> bool {
         self.broadcast_rel >= 1.0 || rng.gen::<f64>() < self.broadcast_rel
+    }
+    fn corrupts(&self) -> bool {
+        false
     }
 }
 
@@ -264,6 +288,11 @@ impl<I: FaultInjector> FaultInjector for CorruptingFaults<I> {
     }
     fn rejoined_at(&self, host: HostId, now: Tick) -> Option<Tick> {
         self.inner.rejoined_at(host, now)
+    }
+    fn corrupts(&self) -> bool {
+        // Even with `corruption == 0.0` the corrupt hook consumes one
+        // draw per delivered replica, so the call can never be skipped.
+        true
     }
 }
 

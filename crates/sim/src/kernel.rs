@@ -142,16 +142,16 @@ impl std::error::Error for SimBuildError {}
 
 /// A prepared simulation of one system.
 pub struct Simulation<'a> {
-    spec: &'a Specification,
+    pub(crate) spec: &'a Specification,
     imp: &'a TimeDependentImplementation,
-    voting: crate::voting::VotingStrategy,
+    pub(crate) voting: crate::voting::VotingStrategy,
     /// The per-round event schedule, retained for
     /// [`Simulation::run_reference`] and exposed via
     /// [`Simulation::calendar`].
     calendar: Calendar,
     /// The compiled form of the calendar, used by [`Simulation::run`] and
     /// exposed via [`Simulation::round_program`].
-    program: RoundProgram,
+    pub(crate) program: RoundProgram,
 }
 
 impl<'a> Simulation<'a> {
@@ -343,8 +343,11 @@ impl<'a> Simulation<'a> {
 
         // Observation-only state. `obs` is a constant `false` for
         // `NoopSink`, so with the default sink all the `if obs` blocks
-        // below vanish after monomorphization.
+        // below vanish after monomorphization. Counters and histogram
+        // samples are batched in `tally` (flushed once after the loop);
+        // events and gauges are order-sensitive and stay inline.
         let obs = sink.enabled();
+        let mut tally = ObsTally::new(prog.max_replicas);
         let mut host_up: Vec<bool> = if obs {
             // Hosts mentioned by any phase's mapping; assumed up until an
             // availability draw says otherwise.
@@ -422,14 +425,9 @@ impl<'a> Simulation<'a> {
                         }
                     }
                     if obs {
-                        let comm = match *op {
-                            UpdateOp::Sensor { comm }
-                            | UpdateOp::Landed { comm, .. }
-                            | UpdateOp::Persist { comm } => comm,
-                        };
-                        sink.inc(names::UPDATES);
-                        if !comm_values[comm as usize].is_reliable() {
-                            sink.inc(names::UPDATES_UNRELIABLE);
+                        tally.updates += 1;
+                        if !comm_values[op.comm()].is_reliable() {
+                            tally.updates_unreliable += 1;
                         }
                     }
                 }
@@ -486,14 +484,14 @@ impl<'a> Simulation<'a> {
                                 host_up[hi] = host_ok;
                                 if host_ok {
                                     hosts_up_count += 1;
-                                    sink.inc(names::HOST_UP_TRANSITIONS);
+                                    tally.host_up_transitions += 1;
                                     sink.event(&ObsEvent::HostUp {
                                         at: now.as_u64(),
                                         host: hi,
                                     });
                                 } else {
                                     hosts_up_count -= 1;
-                                    sink.inc(names::HOST_DOWN_TRANSITIONS);
+                                    tally.host_down_transitions += 1;
                                     sink.event(&ObsEvent::HostDown {
                                         at: now.as_u64(),
                                         host: hi,
@@ -502,10 +500,10 @@ impl<'a> Simulation<'a> {
                                 sink.set_gauge(names::HOSTS_UP, hosts_up_count as f64);
                             }
                             if host_ok && !bc_ok {
-                                sink.inc(names::BROADCAST_FAIL);
+                                tally.broadcast_fail += 1;
                             }
                             if ok {
-                                sink.inc(names::REPLICA_OK);
+                                tally.replica_ok += 1;
                             } else {
                                 let reason = if !executes {
                                     DropReason::NotExecuted
@@ -518,8 +516,7 @@ impl<'a> Simulation<'a> {
                                 } else {
                                     DropReason::Excluded
                                 };
-                                sink.inc(names::REPLICA_DROP);
-                                sink.inc(drop_counter(reason));
+                                tally.drop_reason(reason);
                                 // A not-executed logical task is a
                                 // property of the vote, not of any single
                                 // replica — the Vote event below records
@@ -548,19 +545,19 @@ impl<'a> Simulation<'a> {
                     }
                     result_delivered[parity][t] = delivered;
                     if obs {
-                        sink.inc(names::TASK_INVOCATIONS);
+                        tally.task_invocations += 1;
                         let n_del =
                             replica_ok[..hosts.len()].iter().filter(|&&ok| ok).count();
-                        sink.observe(names::REPLICAS_PER_VOTE, n_del as f64);
+                        tally.replicas_per_vote[n_del] += 1;
                         if delivered {
-                            sink.inc(names::TASK_DELIVERED);
+                            tally.task_delivered += 1;
                         }
                         let outcome = crate::voting::classify_outcome(
                             &replica_vals[..hosts.len() * tt.n_out],
                             &replica_ok[..hosts.len()],
                             tt.n_out,
                         );
-                        sink.inc(vote_counter(outcome));
+                        tally.vote(outcome);
                         sink.event(&ObsEvent::Vote {
                             at: now.as_u64(),
                             task: t,
@@ -572,8 +569,11 @@ impl<'a> Simulation<'a> {
                 }
             }
             if obs {
-                sink.inc(names::ROUNDS);
+                tally.rounds += 1;
             }
+        }
+        if obs {
+            tally.flush(sink);
         }
         SimOutput {
             trace,
@@ -742,6 +742,127 @@ impl<'a> Simulation<'a> {
     }
 }
 
+/// Batched counters for the observed hot loop.
+///
+/// `Registry::inc` costs a `BTreeMap` lookup per call; at ~10 counter
+/// bumps per round that lookup chain dominated the observed kernel
+/// (515k vs 1.34M rounds/s in BENCH_pr5). The hot loop instead bumps
+/// plain `u64` fields here and [`ObsTally::flush`] writes the totals to
+/// the sink once per run. Only *counters* and histogram observations are
+/// tallied — events and gauges are order-sensitive (flight recorder,
+/// last-write-wins) and stay inline. Flushing adds only nonzero values,
+/// so a flushed registry has an entry exactly where the per-event form
+/// created one, and exports stay byte-identical (counter order is
+/// irrelevant: the registry sorts by name; histogram sums over
+/// integer-valued samples are order-independent in `f64`).
+#[derive(Debug, Clone)]
+pub(crate) struct ObsTally {
+    pub rounds: u64,
+    pub updates: u64,
+    pub updates_unreliable: u64,
+    pub task_invocations: u64,
+    pub task_delivered: u64,
+    pub replica_ok: u64,
+    pub replica_drop: u64,
+    pub drop_silent: u64,
+    pub drop_host: u64,
+    pub drop_broadcast: u64,
+    pub drop_warmup: u64,
+    pub drop_excluded: u64,
+    pub broadcast_fail: u64,
+    pub host_up_transitions: u64,
+    pub host_down_transitions: u64,
+    pub vote_unanimous: u64,
+    pub vote_majority: u64,
+    pub vote_tie: u64,
+    pub vote_silent: u64,
+    /// `replicas_per_vote[n]` = votes with exactly `n` delivering
+    /// replicas (histogram samples, batched).
+    pub replicas_per_vote: Vec<u64>,
+}
+
+impl ObsTally {
+    pub fn new(max_replicas: usize) -> Self {
+        ObsTally {
+            rounds: 0,
+            updates: 0,
+            updates_unreliable: 0,
+            task_invocations: 0,
+            task_delivered: 0,
+            replica_ok: 0,
+            replica_drop: 0,
+            drop_silent: 0,
+            drop_host: 0,
+            drop_broadcast: 0,
+            drop_warmup: 0,
+            drop_excluded: 0,
+            broadcast_fail: 0,
+            host_up_transitions: 0,
+            host_down_transitions: 0,
+            vote_unanimous: 0,
+            vote_majority: 0,
+            vote_tie: 0,
+            vote_silent: 0,
+            replicas_per_vote: vec![0; max_replicas + 1],
+        }
+    }
+
+    pub fn drop_reason(&mut self, reason: DropReason) {
+        self.replica_drop += 1;
+        match reason {
+            DropReason::NotExecuted => self.drop_silent += 1,
+            DropReason::HostDown => self.drop_host += 1,
+            DropReason::Broadcast => self.drop_broadcast += 1,
+            DropReason::Warmup => self.drop_warmup += 1,
+            DropReason::Excluded => self.drop_excluded += 1,
+        }
+    }
+
+    pub fn vote(&mut self, outcome: logrel_obs::VoteOutcome) {
+        match outcome {
+            logrel_obs::VoteOutcome::Unanimous => self.vote_unanimous += 1,
+            logrel_obs::VoteOutcome::Majority => self.vote_majority += 1,
+            logrel_obs::VoteOutcome::Tie => self.vote_tie += 1,
+            logrel_obs::VoteOutcome::Silent => self.vote_silent += 1,
+        }
+    }
+
+    /// Writes every nonzero total to `sink`.
+    pub fn flush<M: MetricsSink + ?Sized>(&self, sink: &mut M) {
+        let counters = [
+            (names::ROUNDS, self.rounds),
+            (names::UPDATES, self.updates),
+            (names::UPDATES_UNRELIABLE, self.updates_unreliable),
+            (names::TASK_INVOCATIONS, self.task_invocations),
+            (names::TASK_DELIVERED, self.task_delivered),
+            (names::REPLICA_OK, self.replica_ok),
+            (names::REPLICA_DROP, self.replica_drop),
+            (names::REPLICA_DROP_SILENT, self.drop_silent),
+            (names::REPLICA_DROP_HOST, self.drop_host),
+            (names::REPLICA_DROP_BROADCAST, self.drop_broadcast),
+            (names::REPLICA_DROP_WARMUP, self.drop_warmup),
+            (names::REPLICA_DROP_EXCLUDED, self.drop_excluded),
+            (names::BROADCAST_FAIL, self.broadcast_fail),
+            (names::HOST_UP_TRANSITIONS, self.host_up_transitions),
+            (names::HOST_DOWN_TRANSITIONS, self.host_down_transitions),
+            (names::VOTE_UNANIMOUS, self.vote_unanimous),
+            (names::VOTE_MAJORITY, self.vote_majority),
+            (names::VOTE_TIE, self.vote_tie),
+            (names::VOTE_SILENT, self.vote_silent),
+        ];
+        for (name, v) in counters {
+            if v != 0 {
+                sink.add(name, v);
+            }
+        }
+        for (n_del, &count) in self.replicas_per_vote.iter().enumerate() {
+            if count != 0 {
+                sink.observe_n(names::REPLICAS_PER_VOTE, n_del as f64, count);
+            }
+        }
+    }
+}
+
 /// The warm-up rule for a stateful task's replica (see the module docs):
 /// after a scripted rejoin at `rj`, the replica rejoins the vote one full
 /// round after the first round boundary at or following `rj`.
@@ -753,7 +874,7 @@ pub(crate) fn warm_after_rejoin(rejoined: Option<Tick>, now: Tick, round: u64) -
 }
 
 /// The per-reason replica-drop counter.
-fn drop_counter(reason: DropReason) -> &'static str {
+pub(crate) fn drop_counter(reason: DropReason) -> &'static str {
     match reason {
         DropReason::NotExecuted => names::REPLICA_DROP_SILENT,
         DropReason::HostDown => names::REPLICA_DROP_HOST,
@@ -764,7 +885,7 @@ fn drop_counter(reason: DropReason) -> &'static str {
 }
 
 /// The per-outcome vote counter.
-fn vote_counter(outcome: logrel_obs::VoteOutcome) -> &'static str {
+pub(crate) fn vote_counter(outcome: logrel_obs::VoteOutcome) -> &'static str {
     match outcome {
         logrel_obs::VoteOutcome::Unanimous => names::VOTE_UNANIMOUS,
         logrel_obs::VoteOutcome::Majority => names::VOTE_MAJORITY,

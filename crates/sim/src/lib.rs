@@ -39,6 +39,7 @@
 //! [`TaskBehavior`]: behavior::TaskBehavior
 
 pub mod behavior;
+pub mod bitslice;
 pub mod campaign;
 pub mod cosim;
 pub mod emrun;
@@ -52,8 +53,10 @@ pub mod trace;
 pub mod voting;
 
 pub use behavior::{BehaviorMap, TaskBehavior};
+pub use bitslice::{BitslicedOutput, LaneContext, PackedTrace};
 pub use campaign::{
-    run_campaign, run_campaign_observed, CampaignConfig, CommunicatorReport, ScenarioReport,
+    run_campaign, run_campaign_observed, CampaignConfig, CommunicatorReport, LaneMode,
+    ScenarioReport,
 };
 pub use environment::{ConstantEnvironment, Environment};
 pub use fault::{
@@ -66,7 +69,7 @@ pub use monitor::{
     Response, Supervisor,
 };
 pub use montecarlo::{
-    derive_seed, run_batch, run_observed_replications, run_replications,
+    derive_seed, run_batch, run_indexed_units, run_observed_replications, run_replications,
     run_supervised_replications, BatchConfig, ReplicationContext,
 };
 pub use scenario::{

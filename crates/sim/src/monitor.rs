@@ -58,6 +58,18 @@ pub trait Supervisor {
         let _ = (task, host, now);
         false
     }
+
+    /// Whether [`Supervisor::observe`] / [`Supervisor::observe_with`] are
+    /// no-ops for this supervisor.
+    ///
+    /// Returning `true` is a *contract*: neither call ever changes state
+    /// or touches the sink, so a caller may skip both entirely
+    /// (`exclude_replica` is still consulted). The bit-sliced kernel uses
+    /// this to elide per-lane hook loops. The default is conservatively
+    /// `false` (always call).
+    fn is_passive(&self) -> bool {
+        false
+    }
 }
 
 /// The do-nothing supervisor used by plain [`Simulation::run`].
@@ -68,6 +80,10 @@ pub struct NoSupervisor;
 
 impl Supervisor for NoSupervisor {
     fn observe(&mut self, _comm: CommunicatorId, _now: Tick, _value: Value) {}
+
+    fn is_passive(&self) -> bool {
+        true
+    }
 }
 
 /// Configuration of the online monitor.

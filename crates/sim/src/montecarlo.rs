@@ -115,6 +115,57 @@ where
         .collect()
 }
 
+/// Distributes `job(&unit, index)` over the units of a work list and
+/// returns the results in unit order.
+///
+/// The generalized sibling of [`run_batch`] for callers whose work items
+/// are not one-replication-per-seed — e.g. the campaign layer's
+/// bit-sliced lane groups, where one unit covers up to 64 replications.
+/// The same determinism argument applies: units are distributed over
+/// scoped workers in contiguous chunks writing disjoint slices, so the
+/// merged vector is independent of `threads` (with `0` using the
+/// machine's available parallelism).
+pub fn run_indexed_units<T, U, F>(threads: usize, units: &[U], job: F) -> Vec<T>
+where
+    T: Send,
+    U: Sync,
+    F: Fn(&U, usize) -> T + Sync,
+{
+    let n = units.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+    .min(n);
+
+    let run_chunk = |first: usize, slots: &mut [Option<T>]| {
+        for (j, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(job(&units[first + j], first + j));
+        }
+    };
+
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if threads == 1 {
+        run_chunk(0, &mut results);
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, slots) in results.chunks_mut(chunk).enumerate() {
+                let run_chunk = &run_chunk;
+                scope.spawn(move || run_chunk(ci * chunk, slots));
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every unit ran"))
+        .collect()
+}
+
 /// Everything one replication mutates while it runs.
 pub struct ReplicationContext<'a> {
     /// The task behavior registry.

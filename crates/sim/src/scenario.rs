@@ -724,6 +724,12 @@ impl<I: FaultInjector> FaultInjector for ScenarioInjector<I> {
             None => self.inner.rejoined_at(host, now),
         }
     }
+
+    fn corrupts(&self) -> bool {
+        // The scenario layer only *suppresses* inner corruption (crashed
+        // or flaked-out hosts are fail-silent); it never corrupts itself.
+        self.inner.corrupts()
+    }
 }
 
 /// Applies a scenario's stuck-at sensor windows over an inner
@@ -790,6 +796,12 @@ impl<E: Environment> Environment for ScenarioEnvironment<E> {
 
     fn actuate(&mut self, comm: CommunicatorId, value: Value, now: Tick) {
         self.inner.actuate(comm, value, now);
+    }
+
+    fn is_passive(&self) -> bool {
+        // Stuck-sensor freezing lives in `sense`; advance/actuate only
+        // forward, so passivity is the inner environment's.
+        self.inner.is_passive()
     }
 }
 

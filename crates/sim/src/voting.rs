@@ -136,28 +136,24 @@ pub fn classify_outcome(
     arity: usize,
 ) -> logrel_obs::VoteOutcome {
     use logrel_obs::VoteOutcome;
-    let delivered: Vec<usize> = replica_ok
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &ok)| ok.then_some(i))
-        .collect();
-    if delivered.is_empty() {
+    // Alloc-free: this runs once per vote in the observed hot loop, so
+    // the delivering-index set is re-derived from `replica_ok` on the fly
+    // instead of being collected.
+    let delivered = replica_ok.iter().filter(|&&ok| ok).count();
+    if delivered == 0 {
         return VoteOutcome::Silent;
     }
     let row = |i: usize| &replica_vals[i * arity..(i + 1) * arity];
-    let first = row(delivered[0]);
-    if delivered[1..].iter().all(|&i| row(i) == first) {
+    let ok_rows = || replica_ok.iter().enumerate().filter_map(|(i, &ok)| ok.then_some(i));
+    let first = ok_rows().next().expect("delivered > 0");
+    if ok_rows().skip(1).all(|i| row(i) == row(first)) {
         return VoteOutcome::Unanimous;
     }
-    let need = delivered.len() / 2 + 1;
+    let need = delivered / 2 + 1;
     let all_positions_decided = (0..arity).all(|k| {
-        delivered.iter().any(|&c| {
+        ok_rows().any(|c| {
             let v = replica_vals[c * arity + k];
-            delivered
-                .iter()
-                .filter(|&&d| replica_vals[d * arity + k] == v)
-                .count()
-                >= need
+            ok_rows().filter(|&d| replica_vals[d * arity + k] == v).count() >= need
         })
     });
     if all_positions_decided {

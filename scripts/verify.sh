@@ -73,6 +73,21 @@ cargo test -q --test fault_scenarios > /dev/null
 echo "==> observability tests (pinned metrics + thread-count invariance)"
 cargo test -q --test observability > /dev/null
 
+echo "==> bit-sliced kernel differential tests (lane-vs-scalar bit-identity)"
+cargo test -q --test bitslice_equivalence > /dev/null
+
+echo "==> htlc inject --lanes smoke (bit-sliced and scalar paths agree)"
+"$HTLC" inject --lanes off --metrics "$METRICS_DIR/scalar.prom" \
+    examples/htl/infusion_pump.htl examples/scenarios/pump_outage.scn 500 7 2 \
+    > /dev/null
+"$HTLC" inject --lanes 64 --metrics "$METRICS_DIR/sliced.prom" \
+    examples/htl/infusion_pump.htl examples/scenarios/pump_outage.scn 500 7 2 \
+    > /dev/null
+grep -q '^logrel_bitslice_lanes 1$' "$METRICS_DIR/scalar.prom"
+grep -q '^logrel_bitslice_lanes 64$' "$METRICS_DIR/sliced.prom"
+diff <(grep -v '^logrel_bitslice_lanes' "$METRICS_DIR/scalar.prom" | grep -v '_seconds') \
+     <(grep -v '^logrel_bitslice_lanes' "$METRICS_DIR/sliced.prom" | grep -v '_seconds')
+
 echo "==> bench_snapshot regression gate (vs BENCH_baseline.json)"
 cargo run --release -q -p logrel-bench --bin bench_snapshot -- \
     --out "$METRICS_DIR/BENCH_current.json" --compare BENCH_baseline.json > /dev/null

@@ -14,13 +14,16 @@
 //! htlc ecode <file> <host>           disassemble one host's E-code
 //! htlc importance <file> <comm>      rank components by Birnbaum importance
 //! htlc simulate <file> [rounds [seed]]  fault-injected simulation summary
-//! htlc inject [--metrics PATH] <file> <scenario> [rounds [seed [reps]]]
+//! htlc inject [--metrics PATH] [--lanes N|off|auto] <file> <scenario> [rounds [seed [reps]]]
 //!                                    scenario campaign with online LRC
 //!                                    monitoring (crash/rejoin, flaky
 //!                                    hosts, burst loss, stuck sensors);
 //!                                    --metrics exports the aggregated
 //!                                    registry (Prometheus text at PATH,
-//!                                    JSON at PATH.json, `-` for stdout)
+//!                                    JSON at PATH.json, `-` for stdout);
+//!                                    --lanes selects the bit-sliced
+//!                                    Monte-Carlo path (up to 64
+//!                                    replications per u64 word)
 //! htlc trace <file> <scenario> [rounds [seed]]
 //!                                    single-replication run with the
 //!                                    flight recorder attached: counter
@@ -42,6 +45,7 @@
 
 use logrel::lang::{compile, elaborate_file, parse, parse_file, print_program};
 use logrel::lint::{self, Diagnostic, Severity};
+use logrel::obs::MetricsSink as _;
 use logrel::refine::{check_refinement, validate, Kappa, SystemRef};
 use logrel::reliability::architecture_importance;
 use std::process::ExitCode;
@@ -262,10 +266,13 @@ fn run(args: &[String]) -> Result<(), Failure> {
                  htlc latency <file>               worst-case data ages\n\
                  htlc importance <file> <comm>     component importance ranking\n\
                  htlc simulate <file> [rounds [seed]]  fault-injected run\n\
-                 htlc inject [--metrics PATH] <file> <scenario> [rounds [seed [reps]]]\n\
+                 htlc inject [--metrics PATH] [--lanes N|off|auto] <file> <scenario> [rounds [seed [reps]]]\n\
                                                    scenario campaign; --metrics exports the\n\
                                                    aggregated registry (Prometheus text at\n\
-                                                   PATH, JSON at PATH.json, `-` for stdout)\n\
+                                                   PATH, JSON at PATH.json, `-` for stdout);\n\
+                                                   --lanes packs up to N replications per\n\
+                                                   u64 word (default auto = 64, `off` for\n\
+                                                   the scalar path; results are identical)\n\
                  htlc trace <file> <scenario> [rounds [seed]]  flight-recorder trace\n\
                  htlc refine <refining> <refined>  refinement check\n\n\
                  exit codes: 0 clean, 1 usage/IO error, 2 diagnostics emitted\n\
@@ -521,6 +528,20 @@ fn run(args: &[String]) -> Result<(), Failure> {
         "inject" => {
             let mut rest: Vec<String> = args[1..].to_vec();
             let metrics = take_flag_value(&mut rest, "--metrics")?;
+            let lanes = match take_flag_value(&mut rest, "--lanes")?.as_deref() {
+                None | Some("auto") => logrel::sim::LaneMode::Auto,
+                Some("off") => logrel::sim::LaneMode::Off,
+                Some(s) => {
+                    let n: u8 = s
+                        .parse()
+                        .ok()
+                        .filter(|n| (1..=64).contains(n))
+                        .ok_or_else(|| {
+                            Failure::Usage(format!("--lanes wants 1..=64, `off` or `auto`, got `{s}`"))
+                        })?;
+                    logrel::sim::LaneMode::Width(n)
+                }
+            };
             let path = rest.first().ok_or(usage)?;
             let scenario_path = rest.get(1).ok_or(usage)?;
             let rounds: u64 = rest
@@ -566,7 +587,11 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     threads: 0,
                 },
                 monitor: logrel::sim::MonitorConfig::default(),
+                lanes,
             };
+            // Echo the execution path in the export so downstream tooling
+            // can tell bit-sliced runs from scalar ones.
+            registry.set_gauge(logrel::obs::names::BITSLICE_LANES, lanes.width() as f64);
             let setup = |_rep| logrel::sim::montecarlo::ReplicationContext {
                 behaviors: logrel::sim::BehaviorMap::new(),
                 environment: Box::new(logrel::sim::ConstantEnvironment::new(
@@ -605,8 +630,12 @@ fn run(args: &[String]) -> Result<(), Failure> {
                 .map_err(|e| Failure::Usage(e.to_string()))?
             };
 
+            let lane_desc = match lanes.width() {
+                1 => "scalar".to_owned(),
+                w => format!("bit-sliced x{w}"),
+            };
             println!(
-                "{reps} replication(s) x {rounds} rounds, seed {seed}, scenario `{scenario_path}`\n"
+                "{reps} replication(s) x {rounds} rounds, seed {seed}, scenario `{scenario_path}`, {lane_desc}\n"
             );
             println!("host availability (scripted):");
             for h in sys.arch.host_ids() {

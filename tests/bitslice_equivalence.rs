@@ -1,0 +1,432 @@
+//! Differential tests of the bit-sliced kernel: every lane of
+//! `Simulation::run_bitsliced` must be bit-identical to the scalar
+//! `Simulation::run` of the same seed, injector and environment — under
+//! all five scenario event kinds (crash/rejoin, flaky windows, GE bursts,
+//! stuck sensors, unplug), under value corruption (the slow voting path),
+//! on the 3TS and steer-by-wire systems, and on randomly generated
+//! pipeline systems.
+
+use logrel_core::prelude::*;
+use logrel_core::TimeDependentImplementation;
+use logrel_sim::bitslice::LaneContext;
+use logrel_sim::{
+    BehaviorMap, ConstantEnvironment, CorruptingFaults, ProbabilisticFaults, Scenario,
+    ScenarioEnvironment, ScenarioEvent, ScenarioInjector, SimConfig, SimOutput, Simulation,
+    UnplugAt, VotingStrategy,
+};
+use logrel_steerbywire::{SteerScenario, SteerSystem};
+use logrel_threetank::behaviors::build_behaviors;
+use logrel_threetank::{PlantParams, Scenario as Deployment, ThreeTankSystem};
+use proptest::prelude::*;
+
+/// A scenario exercising crash/rejoin, flaky windows, a stuck sensor and
+/// a Gilbert–Elliott burst at once (3TS ids).
+fn full_scenario(sys: &ThreeTankSystem) -> Scenario {
+    Scenario::from_events(vec![
+        ScenarioEvent::Crash {
+            host: sys.ids.h1,
+            at: Tick::new(20_000),
+        },
+        ScenarioEvent::Rejoin {
+            host: sys.ids.h1,
+            at: Tick::new(30_000),
+        },
+        ScenarioEvent::Flaky {
+            host: sys.ids.h2,
+            from: Tick::new(0),
+            until: Tick::new(40_000),
+            up: 0.8,
+        },
+        ScenarioEvent::StuckSensor {
+            comm: sys.ids.s1,
+            from: Tick::new(10_000),
+            until: Tick::new(15_000),
+        },
+        ScenarioEvent::Burst {
+            from: Tick::new(50_000),
+            until: Tick::new(80_000),
+            p_enter: 0.05,
+            p_exit: 0.2,
+            loss: 0.9,
+        },
+    ])
+    .unwrap()
+}
+
+/// 3TS under every scenario event kind and probabilistic inner faults:
+/// each extracted lane equals the scalar run of the same seed.
+#[test]
+fn threetank_lanes_match_scalar_under_full_scenario() {
+    let sys = ThreeTankSystem::new(Deployment::ReplicatedControllers);
+    let params = PlantParams::default();
+    let imp = TimeDependentImplementation::from(sys.imp.clone());
+    let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
+    let comms = sys.spec.communicator_count();
+    let scn = full_scenario(&sys);
+    let rounds = 200;
+    let seeds: Vec<u64> = (0..9).map(|i| 0xBEEF + 31 * i).collect();
+
+    let fresh_inj = || {
+        ScenarioInjector::new(
+            ProbabilisticFaults::from_architecture(&sys.arch),
+            &scn,
+            sys.arch.host_count(),
+            comms,
+        )
+        .unwrap()
+    };
+    let fresh_env = || {
+        ScenarioEnvironment::new(ConstantEnvironment::new(Value::Float(0.25)), &scn, comms)
+    };
+
+    let scalar: Vec<SimOutput> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut behaviors = build_behaviors(&sys, &params);
+            sim.run(
+                &mut behaviors,
+                &mut fresh_env(),
+                &mut fresh_inj(),
+                &SimConfig { rounds, seed },
+            )
+        })
+        .collect();
+
+    let mut behaviors = build_behaviors(&sys, &params);
+    let mut lanes: Vec<_> = seeds
+        .iter()
+        .map(|&seed| LaneContext::plain(seed, fresh_inj(), fresh_env()))
+        .collect();
+    let packed = sim.run_bitsliced(&mut behaviors, &mut lanes, rounds);
+
+    for (i, expected) in scalar.iter().enumerate() {
+        assert_eq!(
+            &packed.extract_lane(&sys.spec, i),
+            expected,
+            "lane {i} diverged from scalar run"
+        );
+    }
+}
+
+/// Steer-by-wire with an ECU unplug (the fifth fault kind): lanes match
+/// scalar runs, including the warm-up bookkeeping of the stateful tasks.
+#[test]
+fn steerbywire_lanes_match_scalar_with_unplug() {
+    let sys = SteerSystem::new(SteerScenario::ReplicatedEcus, None).unwrap();
+    let imp = TimeDependentImplementation::from(sys.imp.clone());
+    let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
+    let rounds = 150;
+    let seeds: Vec<u64> = (0..7).map(|i| 0x51EE + 17 * i).collect();
+
+    let fresh_inj = || {
+        UnplugAt::new(
+            ProbabilisticFaults::from_architecture(&sys.arch),
+            sys.ids.ecu_a,
+            Tick::new(4_000),
+        )
+    };
+
+    let scalar: Vec<SimOutput> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut behaviors = BehaviorMap::default();
+            sim.run(
+                &mut behaviors,
+                &mut ConstantEnvironment::new(Value::Float(0.1)),
+                &mut fresh_inj(),
+                &SimConfig { rounds, seed },
+            )
+        })
+        .collect();
+
+    let mut behaviors = BehaviorMap::default();
+    let mut lanes: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            LaneContext::plain(seed, fresh_inj(), ConstantEnvironment::new(Value::Float(0.1)))
+        })
+        .collect();
+    let packed = sim.run_bitsliced(&mut behaviors, &mut lanes, rounds);
+
+    for (i, expected) in scalar.iter().enumerate() {
+        assert_eq!(
+            &packed.extract_lane(&sys.spec, i),
+            expected,
+            "lane {i} diverged from scalar run"
+        );
+    }
+}
+
+/// Value corruption forces the slow (materialized-replicas) voting path;
+/// with `Majority` voting each lane must still replay its scalar run.
+#[test]
+fn corrupting_majority_voting_matches_scalar() {
+    let sys = ThreeTankSystem::new(Deployment::ReplicatedControllers);
+    let params = PlantParams::default();
+    let imp = TimeDependentImplementation::from(sys.imp.clone());
+    let mut sim = Simulation::new(&sys.spec, &sys.arch, &imp);
+    sim.set_voting(VotingStrategy::Majority);
+    let rounds = 120;
+    let seeds: Vec<u64> = (0..6).map(|i| 0xC0DE + 7 * i).collect();
+    let fresh_inj = || CorruptingFaults::new(0.2, 9_999.0);
+
+    let scalar: Vec<SimOutput> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut behaviors = build_behaviors(&sys, &params);
+            sim.run(
+                &mut behaviors,
+                &mut ConstantEnvironment::new(Value::Float(0.25)),
+                &mut fresh_inj(),
+                &SimConfig { rounds, seed },
+            )
+        })
+        .collect();
+
+    let mut behaviors = build_behaviors(&sys, &params);
+    let mut lanes: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            LaneContext::plain(
+                seed,
+                fresh_inj(),
+                ConstantEnvironment::new(Value::Float(0.25)),
+            )
+        })
+        .collect();
+    let packed = sim.run_bitsliced(&mut behaviors, &mut lanes, rounds);
+
+    for (i, expected) in scalar.iter().enumerate() {
+        assert_eq!(
+            &packed.extract_lane(&sys.spec, i),
+            expected,
+            "lane {i} diverged from scalar run under corruption"
+        );
+    }
+}
+
+/// A full 64-lane pack (the widest mask, exercising the `u64::MAX`
+/// all-lanes mask) matches scalar lane by lane.
+#[test]
+fn full_64_lane_pack_matches_scalar() {
+    let sys = ThreeTankSystem::new(Deployment::Baseline);
+    let params = PlantParams::default();
+    let imp = TimeDependentImplementation::from(sys.imp.clone());
+    let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
+    let rounds = 40;
+    let seeds: Vec<u64> = (0..64).map(|i| 0xACE + i).collect();
+    let fresh_inj = || ProbabilisticFaults::from_architecture(&sys.arch);
+
+    let mut behaviors = build_behaviors(&sys, &params);
+    let mut lanes: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            LaneContext::plain(
+                seed,
+                fresh_inj(),
+                ConstantEnvironment::new(Value::Float(0.25)),
+            )
+        })
+        .collect();
+    let packed = sim.run_bitsliced(&mut behaviors, &mut lanes, rounds);
+
+    for (i, &seed) in seeds.iter().enumerate() {
+        let mut behaviors = build_behaviors(&sys, &params);
+        let expected = sim.run(
+            &mut behaviors,
+            &mut ConstantEnvironment::new(Value::Float(0.25)),
+            &mut fresh_inj(),
+            &SimConfig { rounds, seed },
+        );
+        assert_eq!(
+            packed.extract_lane(&sys.spec, i),
+            expected,
+            "lane {i} diverged at full width"
+        );
+    }
+}
+
+/// A randomly parameterised linear pipeline (as in `model_properties`).
+#[derive(Debug, Clone)]
+struct Pipeline {
+    stage_rels: Vec<f64>,
+    sensor_rel: f64,
+}
+
+fn pipeline_strategy() -> impl Strategy<Value = Pipeline> {
+    (proptest::collection::vec(0.5f64..1.0, 1..5), 0.5f64..1.0).prop_map(
+        |(stage_rels, sensor_rel)| Pipeline {
+            stage_rels,
+            sensor_rel,
+        },
+    )
+}
+
+fn build(p: &Pipeline) -> (Specification, Architecture, Implementation) {
+    let n = p.stage_rels.len();
+    let mut sb = Specification::builder();
+    let mut comms = Vec::new();
+    comms.push(
+        sb.communicator(
+            CommunicatorDecl::new("c0", ValueType::Float, 10)
+                .unwrap()
+                .from_sensor(),
+        )
+        .unwrap(),
+    );
+    for i in 1..=n {
+        comms.push(
+            sb.communicator(CommunicatorDecl::new(format!("c{i}"), ValueType::Float, 10).unwrap())
+                .unwrap(),
+        );
+    }
+    let mut tasks = Vec::new();
+    for i in 0..n {
+        tasks.push(
+            sb.task(
+                TaskDecl::new(format!("t{i}"))
+                    .reads(comms[i], i as u64)
+                    .writes(comms[i + 1], i as u64 + 1),
+            )
+            .unwrap(),
+        );
+    }
+    let spec = sb.build().unwrap();
+
+    let mut ab = Architecture::builder();
+    let mut hosts = Vec::new();
+    for (i, &rel) in p.stage_rels.iter().enumerate() {
+        hosts.push(
+            ab.host(HostDecl::new(
+                format!("h{i}"),
+                Reliability::new(rel).unwrap(),
+            ))
+            .unwrap(),
+        );
+    }
+    let sen = ab
+        .sensor(SensorDecl::new(
+            "sen",
+            Reliability::new(p.sensor_rel).unwrap(),
+        ))
+        .unwrap();
+    for &t in &tasks {
+        ab.wcet_all(t, 1).unwrap();
+        ab.wctt_all(t, 1).unwrap();
+    }
+    let arch = ab.build();
+
+    let mut ib = Implementation::builder().bind_sensor(comms[0], sen);
+    for (i, &t) in tasks.iter().enumerate() {
+        ib = ib.assign(t, [hosts[i]]);
+    }
+    let imp = ib.build(&spec, &arch).unwrap();
+    (spec, arch, imp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random pipelines, seeds and lane counts: every lane equals its
+    /// scalar run (default behaviors — type-zero outputs).
+    #[test]
+    fn random_pipelines_match_scalar(
+        p in pipeline_strategy(),
+        base_seed in 0u64..u64::MAX / 2,
+        width in 1usize..11,
+    ) {
+        let (spec, arch, imp) = build(&p);
+        let tdi = TimeDependentImplementation::from(imp);
+        let sim = Simulation::new(&spec, &arch, &tdi);
+        let rounds = 30;
+        let fresh_inj = || ProbabilisticFaults::from_architecture(&arch);
+
+        let mut behaviors = BehaviorMap::default();
+        let mut lanes: Vec<_> = (0..width)
+            .map(|i| {
+                LaneContext::plain(
+                    base_seed + i as u64,
+                    fresh_inj(),
+                    ConstantEnvironment::new(Value::Float(1.5)),
+                )
+            })
+            .collect();
+        let packed = sim.run_bitsliced(&mut behaviors, &mut lanes, rounds);
+
+        for i in 0..width {
+            let mut behaviors = BehaviorMap::default();
+            let expected = sim.run(
+                &mut behaviors,
+                &mut ConstantEnvironment::new(Value::Float(1.5)),
+                &mut fresh_inj(),
+                &SimConfig { rounds, seed: base_seed + i as u64 },
+            );
+            prop_assert_eq!(
+                packed.extract_lane(&spec, i),
+                expected,
+                "lane {} diverged",
+                i
+            );
+        }
+    }
+}
+
+/// Campaign-level equivalence with a replication count that is not a
+/// multiple of the lane width: 70 replications pack into one full
+/// 64-lane word plus a 6-lane tail (and, at width 16, four full words
+/// plus the same tail). Every packing must produce the byte-identical
+/// report the scalar path does, at any thread count.
+#[test]
+fn campaign_tail_packing_matches_scalar() {
+    use logrel_sim::{
+        run_campaign, BatchConfig, CampaignConfig, LaneMode, MonitorConfig, ReplicationContext,
+    };
+
+    let sys = ThreeTankSystem::new(Deployment::ReplicatedControllers);
+    let imp = TimeDependentImplementation::from(sys.imp.clone());
+    let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
+    let scn = Scenario::from_events(vec![
+        ScenarioEvent::Crash {
+            host: sys.ids.h1,
+            at: Tick::new(5_000),
+        },
+        ScenarioEvent::Rejoin {
+            host: sys.ids.h1,
+            at: Tick::new(10_000),
+        },
+    ])
+    .unwrap();
+
+    let run = |threads: usize, lanes: LaneMode| {
+        let config = CampaignConfig {
+            batch: BatchConfig {
+                replications: 70,
+                rounds: 60,
+                base_seed: 0x7A11,
+                threads,
+            },
+            monitor: MonitorConfig::default(),
+            lanes,
+        };
+        run_campaign(
+            &sim,
+            &sys.spec,
+            &scn,
+            sys.arch.host_count(),
+            &config,
+            |_rep| ReplicationContext {
+                behaviors: BehaviorMap::default(),
+                environment: Box::new(ConstantEnvironment::new(Value::Float(0.25))),
+                injector: Box::new(ProbabilisticFaults::from_architecture(&sys.arch)),
+            },
+            &[],
+        )
+        .unwrap()
+    };
+
+    let scalar = run(1, LaneMode::Off);
+    assert_eq!(scalar, run(1, LaneMode::Auto));
+    assert_eq!(scalar, run(4, LaneMode::Auto));
+    assert_eq!(scalar, run(2, LaneMode::Width(16)));
+    assert_eq!(scalar, run(3, LaneMode::Off));
+}

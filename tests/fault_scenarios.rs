@@ -7,7 +7,7 @@ use logrel_core::{Tick, TimeDependentImplementation, Value};
 use logrel_reliability::compute_srgs;
 use logrel_sim::{
     run_campaign, run_replications, AlarmKind, BatchConfig, BehaviorMap, CampaignConfig,
-    ConstantEnvironment, LrcMonitor, MonitorConfig, NoFaults, ProbabilisticFaults,
+    ConstantEnvironment, LaneMode, LrcMonitor, MonitorConfig, NoFaults, ProbabilisticFaults,
     ReplicationContext, Scenario, ScenarioEnvironment, ScenarioEvent, ScenarioInjector, SimConfig,
     SimOutput, Simulation,
 };
@@ -224,6 +224,7 @@ fn campaign_lambda_within_epsilon_and_replays_bit_identically() {
                 threads,
             },
             monitor: MonitorConfig::default(),
+            lanes: LaneMode::default(),
         };
         run_campaign(
             &sim,

@@ -10,9 +10,9 @@ use logrel_obs::{
 };
 use logrel_sim::{
     run_campaign_observed, BatchConfig, BehaviorMap, CampaignConfig, ConstantEnvironment,
-    LrcMonitor, MonitorConfig, NoFaults, NoSupervisor, ProbabilisticFaults, ReplicationContext,
-    Scenario, ScenarioEnvironment, ScenarioEvent, ScenarioInjector, SimConfig, SimOutput,
-    Simulation,
+    LaneMode, LrcMonitor, MonitorConfig, NoFaults, NoSupervisor, ProbabilisticFaults,
+    ReplicationContext, Scenario, ScenarioEnvironment, ScenarioEvent, ScenarioInjector, SimConfig,
+    SimOutput, Simulation,
 };
 use logrel_threetank::{Scenario as Deployment, ThreeTankSystem};
 
@@ -114,7 +114,8 @@ fn observed_runs_are_bit_identical_to_plain_runs() {
 
 /// Campaign metric aggregation merges per-replication registries in
 /// replication order, so the exported documents are bit-identical at any
-/// thread count.
+/// thread count — and on the bit-sliced path exactly as on the scalar
+/// one, since every lane replays the same per-replication draw sequence.
 #[test]
 fn campaign_metric_aggregation_is_thread_count_invariant() {
     let sys = ThreeTankSystem::with_options(Deployment::Baseline, 0.99, Some(0.9)).unwrap();
@@ -132,7 +133,7 @@ fn campaign_metric_aggregation_is_thread_count_invariant() {
     let imp = TimeDependentImplementation::from(sys.imp.clone());
     let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
 
-    let run = |threads: usize| {
+    let run = |threads: usize, lanes: LaneMode| {
         let config = CampaignConfig {
             batch: BatchConfig {
                 replications: 8,
@@ -141,6 +142,7 @@ fn campaign_metric_aggregation_is_thread_count_invariant() {
                 threads,
             },
             monitor: MonitorConfig::default(),
+            lanes,
         };
         let mut reg = Registry::with_recorder(64);
         let report = run_campaign_observed(
@@ -162,11 +164,26 @@ fn campaign_metric_aggregation_is_thread_count_invariant() {
         (report, export::to_prometheus(&reg), export::to_json(&reg))
     };
 
-    let (report_1, prom_1, json_1) = run(1);
-    let (report_8, prom_8, json_8) = run(8);
+    let (report_1, prom_1, json_1) = run(1, LaneMode::Auto);
+    let (report_8, prom_8, json_8) = run(8, LaneMode::Auto);
     assert_eq!(report_1, report_8);
     assert_eq!(prom_1, prom_8);
     assert_eq!(json_1, json_8);
+    // The scalar path agrees byte for byte, again at any thread count.
+    let (report_s1, prom_s1, json_s1) = run(1, LaneMode::Off);
+    let (report_s8, prom_s8, json_s8) = run(8, LaneMode::Off);
+    assert_eq!(report_1, report_s1);
+    assert_eq!(prom_1, prom_s1);
+    assert_eq!(json_1, json_s1);
+    assert_eq!(report_s1, report_s8);
+    assert_eq!(prom_s1, prom_s8);
+    assert_eq!(json_s1, json_s8);
+    // A narrow width chunks the replications differently but lands on
+    // the same bytes.
+    let (report_w3, prom_w3, json_w3) = run(2, LaneMode::Width(3));
+    assert_eq!(report_1, report_w3);
+    assert_eq!(prom_1, prom_w3);
+    assert_eq!(json_1, json_w3);
     // The scripted outage is actually visible in the merged metrics.
     assert!(prom_1.contains("logrel_replica_drop_host_total"));
 }
