@@ -13,98 +13,88 @@ use crate::token::{Keyword, Span, SpannedToken, Token};
 ///
 /// Returns [`LangError::Lex`] for unexpected characters or malformed
 /// numbers.
-pub fn lex(source: &str) -> Result<Vec<SpannedToken>, LangError> {
-    let mut tokens = Vec::new();
-    let chars: Vec<char> = source.chars().collect();
+pub fn lex(source: &str) -> Result<Vec<SpannedToken<'_>>, LangError> {
+    // The grammar is pure ASCII, so the scanner runs over the raw bytes:
+    // no up-front `Vec<char>` materialisation, and identifiers/numbers
+    // slice the source directly instead of re-collecting characters.
+    // Multi-byte UTF-8 can only appear inside `//` comments (skipped
+    // wholesale) or as an unexpected-character error, where the full
+    // character is decoded just for the message.
+    let bytes = source.as_bytes();
+    let n = bytes.len();
+    let mut tokens = Vec::with_capacity(n / 4 + 1);
     let mut i = 0usize;
     let mut line = 1u32;
     let mut col = 1u32;
 
-    let n = chars.len();
+    // Pushes a punctuation token at the current `span` (a macro, not a
+    // closure: the borrowed-token lifetimes stay tied to `source`).
+    macro_rules! punct {
+        ($token:expr, $span:expr) => {
+            tokens.push(SpannedToken { token: $token, span: $span })
+        };
+    }
+
     while i < n {
-        let c = chars[i];
+        let c = bytes[i];
         let span = Span { line, col };
         match c {
-            '\n' => {
+            b'\n' => {
                 line += 1;
                 col = 1;
                 i += 1;
             }
-            ' ' | '\t' | '\r' => {
+            b' ' | b'\t' | b'\r' => {
                 col += 1;
                 i += 1;
             }
-            '/' if i + 1 < n && chars[i + 1] == '/' => {
-                while i < n && chars[i] != '\n' {
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
                     i += 1;
                 }
             }
-            '{' => {
-                tokens.push(SpannedToken {
-                    token: Token::LBrace,
-                    span,
-                });
+            b'{' => {
+                punct!(Token::LBrace, span);
                 i += 1;
                 col += 1;
             }
-            '}' => {
-                tokens.push(SpannedToken {
-                    token: Token::RBrace,
-                    span,
-                });
+            b'}' => {
+                punct!(Token::RBrace, span);
                 i += 1;
                 col += 1;
             }
-            '[' => {
-                tokens.push(SpannedToken {
-                    token: Token::LBracket,
-                    span,
-                });
+            b'[' => {
+                punct!(Token::LBracket, span);
                 i += 1;
                 col += 1;
             }
-            ']' => {
-                tokens.push(SpannedToken {
-                    token: Token::RBracket,
-                    span,
-                });
+            b']' => {
+                punct!(Token::RBracket, span);
                 i += 1;
                 col += 1;
             }
-            ':' => {
-                tokens.push(SpannedToken {
-                    token: Token::Colon,
-                    span,
-                });
+            b':' => {
+                punct!(Token::Colon, span);
                 i += 1;
                 col += 1;
             }
-            ';' => {
-                tokens.push(SpannedToken {
-                    token: Token::Semi,
-                    span,
-                });
+            b';' => {
+                punct!(Token::Semi, span);
                 i += 1;
                 col += 1;
             }
-            ',' => {
-                tokens.push(SpannedToken {
-                    token: Token::Comma,
-                    span,
-                });
+            b',' => {
+                punct!(Token::Comma, span);
                 i += 1;
                 col += 1;
             }
-            '-' => {
-                if i + 1 < n && chars[i + 1] == '>' {
-                    tokens.push(SpannedToken {
-                        token: Token::Arrow,
-                        span,
-                    });
+            b'-' => {
+                if i + 1 < n && bytes[i + 1] == b'>' {
+                    punct!(Token::Arrow, span);
                     i += 2;
                     col += 2;
-                } else if i + 1 < n && chars[i + 1].is_ascii_digit() {
-                    let (token, len) = lex_number(&chars[i..], span)?;
+                } else if i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                    let (token, len) = lex_number(source, i, span)?;
                     tokens.push(SpannedToken { token, span });
                     i += len;
                     col += len as u32;
@@ -116,26 +106,27 @@ pub fn lex(source: &str) -> Result<Vec<SpannedToken>, LangError> {
                 }
             }
             c if c.is_ascii_digit() => {
-                let (token, len) = lex_number(&chars[i..], span)?;
+                let (token, len) = lex_number(source, i, span)?;
                 tokens.push(SpannedToken { token, span });
                 i += len;
                 col += len as u32;
             }
-            c if c.is_ascii_alphabetic() || c == '_' => {
+            c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
-                let word: String = chars[start..i].iter().collect();
+                let word = &source[start..i];
                 let len = (i - start) as u32;
-                let token = match Keyword::lookup(&word) {
+                let token = match Keyword::lookup(word) {
                     Some(kw) => Token::Keyword(kw),
                     None => Token::Ident(word),
                 };
                 tokens.push(SpannedToken { token, span });
                 col += len;
             }
-            other => {
+            _ => {
+                let other = source[i..].chars().next().unwrap_or('\u{FFFD}');
                 return Err(LangError::Lex {
                     message: format!("unexpected character `{other}`"),
                     span,
@@ -150,24 +141,26 @@ pub fn lex(source: &str) -> Result<Vec<SpannedToken>, LangError> {
     Ok(tokens)
 }
 
-/// Lexes a number starting at `chars[0]` (which may be `-`). Returns the
-/// token and the number of characters consumed.
-fn lex_number(chars: &[char], span: Span) -> Result<(Token, usize), LangError> {
-    let mut i = 0usize;
-    if chars[0] == '-' {
-        i = 1;
+/// Lexes a number starting at byte `start` of `source` (which may be
+/// `-`). Returns the token and the number of bytes consumed.
+fn lex_number(source: &str, start: usize, span: Span) -> Result<(Token<'static>, usize), LangError> {
+    let bytes = source.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' {
+        i += 1;
     }
     let mut is_float = false;
-    while i < chars.len() {
-        match chars[i] {
+    while i < bytes.len() {
+        match bytes[i] {
             c if c.is_ascii_digit() => i += 1,
-            '.' | 'e' | 'E' => {
+            b'.' | b'e' | b'E' => {
                 is_float = true;
+                let marker = bytes[i];
                 i += 1;
                 // allow an exponent sign
-                if (chars[i - 1] == 'e' || chars[i - 1] == 'E')
-                    && i < chars.len()
-                    && (chars[i] == '+' || chars[i] == '-')
+                if (marker == b'e' || marker == b'E')
+                    && i < bytes.len()
+                    && (bytes[i] == b'+' || bytes[i] == b'-')
                 {
                     i += 1;
                 }
@@ -175,17 +168,18 @@ fn lex_number(chars: &[char], span: Span) -> Result<(Token, usize), LangError> {
             _ => break,
         }
     }
-    let text: String = chars[..i].iter().collect();
+    let text = &source[start..i];
+    let len = i - start;
     if is_float {
         text.parse::<f64>()
-            .map(|v| (Token::Float(v), i))
+            .map(|v| (Token::Float(v), len))
             .map_err(|_| LangError::Lex {
                 message: format!("malformed number `{text}`"),
                 span,
             })
     } else {
         text.parse::<i64>()
-            .map(|v| (Token::Int(v), i))
+            .map(|v| (Token::Int(v), len))
             .map_err(|_| LangError::Lex {
                 message: format!("malformed number `{text}`"),
                 span,
@@ -197,7 +191,7 @@ fn lex_number(chars: &[char], span: Span) -> Result<(Token, usize), LangError> {
 mod tests {
     use super::*;
 
-    fn toks(src: &str) -> Vec<Token> {
+    fn toks(src: &str) -> Vec<Token<'_>> {
         lex(src).unwrap().into_iter().map(|t| t.token).collect()
     }
 
@@ -207,7 +201,7 @@ mod tests {
             toks("mode m { } -> ; , : [ ]"),
             vec![
                 Token::Keyword(Keyword::Mode),
-                Token::Ident("m".into()),
+                Token::Ident("m"),
                 Token::LBrace,
                 Token::RBrace,
                 Token::Arrow,
@@ -241,8 +235,8 @@ mod tests {
         assert_eq!(
             toks("a // comment with { } -> stuff\nb"),
             vec![
-                Token::Ident("a".into()),
-                Token::Ident("b".into()),
+                Token::Ident("a"),
+                Token::Ident("b"),
                 Token::Eof
             ]
         );
@@ -272,8 +266,8 @@ mod tests {
         assert_eq!(
             toks("_foo bar_2"),
             vec![
-                Token::Ident("_foo".into()),
-                Token::Ident("bar_2".into()),
+                Token::Ident("_foo"),
+                Token::Ident("bar_2"),
                 Token::Eof
             ]
         );
@@ -285,7 +279,7 @@ mod tests {
             toks("sensor sensors"),
             vec![
                 Token::Keyword(Keyword::Sensor),
-                Token::Ident("sensors".into()),
+                Token::Ident("sensors"),
                 Token::Eof
             ]
         );

@@ -60,6 +60,7 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
+pub mod subspec;
 pub mod token;
 
 #[cfg(test)]
@@ -73,6 +74,7 @@ pub use emit::{emit_source, program_from_system};
 pub use error::LangError;
 pub use parser::{parse, parse_file};
 pub use printer::print_program;
+pub use subspec::{program_digest, split_units, units_digest, FnvWriter, SubspecUnit};
 
 /// Parses and elaborates `source` in one step.
 ///

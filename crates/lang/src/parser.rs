@@ -58,7 +58,7 @@ pub fn parse_file(source: &str) -> Result<SourceFile, LangError> {
         refinements: Vec::new(),
     };
     loop {
-        match p.peek().token.clone() {
+        match p.peek().token {
             Token::Eof => return Ok(file),
             Token::Keyword(Keyword::Program) => file.programs.push(p.program()?),
             Token::Ident(_) => file.refinements.push(p.refinement_decl()?),
@@ -67,18 +67,18 @@ pub fn parse_file(source: &str) -> Result<SourceFile, LangError> {
     }
 }
 
-struct Parser {
-    tokens: Vec<SpannedToken>,
+struct Parser<'a> {
+    tokens: Vec<SpannedToken<'a>>,
     pos: usize,
 }
 
-impl Parser {
-    fn peek(&self) -> &SpannedToken {
-        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+impl<'a> Parser<'a> {
+    fn peek(&self) -> SpannedToken<'a> {
+        self.tokens[self.pos.min(self.tokens.len() - 1)]
     }
 
-    fn bump(&mut self) -> SpannedToken {
-        let t = self.peek().clone();
+    fn bump(&mut self) -> SpannedToken<'a> {
+        let t = self.peek();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -94,7 +94,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, token: Token) -> Result<Span, LangError> {
+    fn expect(&mut self, token: Token<'a>) -> Result<Span, LangError> {
         if self.peek().token == token {
             Ok(self.bump().span)
         } else {
@@ -116,12 +116,11 @@ impl Parser {
     }
 
     fn ident(&mut self) -> Result<(String, Span), LangError> {
-        match self.peek().token.clone() {
-            Token::Ident(s) => {
-                let span = self.bump().span;
-                Ok((s, span))
-            }
-            _ => Err(self.err("an identifier")),
+        if let Token::Ident(s) = self.peek().token {
+            let span = self.bump().span;
+            Ok((s.to_owned(), span))
+        } else {
+            Err(self.err("an identifier"))
         }
     }
 
@@ -460,7 +459,7 @@ impl Parser {
         self.expect_kw(Keyword::Map)?;
         self.expect(Token::LBrace)?;
         loop {
-            match self.peek().token.clone() {
+            match self.peek().token {
                 Token::RBrace => {
                     self.bump();
                     return Ok(());

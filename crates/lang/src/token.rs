@@ -169,13 +169,14 @@ impl Keyword {
     }
 }
 
-/// A lexical token.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Token {
+/// A lexical token. Identifiers borrow their spelling from the source
+/// text, so tokens are `Copy` and lexing allocates nothing per token.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Token<'a> {
     /// A keyword.
     Keyword(Keyword),
     /// An identifier.
-    Ident(String),
+    Ident(&'a str),
     /// An integer literal (possibly negative).
     Int(i64),
     /// A floating-point literal (contains `.`, `e` or `E`).
@@ -200,7 +201,7 @@ pub enum Token {
     Eof,
 }
 
-impl fmt::Display for Token {
+impl fmt::Display for Token<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Token::Keyword(k) => write!(f, "`{}`", k.as_str()),
@@ -221,10 +222,10 @@ impl fmt::Display for Token {
 }
 
 /// A token with its source position.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SpannedToken {
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpannedToken<'a> {
     /// The token.
-    pub token: Token,
+    pub token: Token<'a>,
     /// Where it starts.
     pub span: Span,
 }
@@ -278,7 +279,7 @@ mod tests {
     #[test]
     fn token_display() {
         assert_eq!(Token::Arrow.to_string(), "`->`");
-        assert_eq!(Token::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(Token::Ident("x").to_string(), "identifier `x`");
         assert_eq!(Token::Keyword(Keyword::Mode).to_string(), "`mode`");
     }
 

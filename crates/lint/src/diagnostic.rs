@@ -34,7 +34,7 @@ impl fmt::Display for Severity {
 }
 
 /// A secondary label pointing at related source.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Label {
     /// Position of the related construct.
     pub span: Span,
@@ -143,13 +143,21 @@ impl Diagnostic {
 
 /// Sorts diagnostics into reporting order (position, then code) and
 /// removes exact duplicates.
+///
+/// The order is **total** over every field: two distinct diagnostics
+/// never compare equal, so the sorted sequence is independent of
+/// emission order. (A key over position/code/message alone would let
+/// findings that differ only in labels or help keep their emission
+/// order — an order-dependence that breaks cached-vs-fresh diffs.)
 pub fn sort_diagnostics(diags: &mut Vec<Diagnostic>) {
     diags.sort_by(|a, b| {
-        (a.span.line, a.span.col, a.code, &a.message).cmp(&(
-            b.span.line,
-            b.span.col,
+        (a.span, a.code, &a.message, a.severity, &a.labels, &a.help).cmp(&(
+            b.span,
             b.code,
             &b.message,
+            b.severity,
+            &b.labels,
+            &b.help,
         ))
     });
     diags.dedup();

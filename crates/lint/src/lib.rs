@@ -19,10 +19,12 @@
 
 pub mod diagnostic;
 pub mod ecode;
+pub mod refine_diag;
 pub mod spec_lints;
 
 pub use diagnostic::{deny_warnings, sort_diagnostics, Diagnostic, Label, Severity};
 pub use ecode::{verify, verify_instructions, ModeCtx, VerifyCtx};
+pub use refine_diag::{refine_error_diagnostics, violation_diagnostic};
 pub use spec_lints::{lint_time_dependent, spanned_restriction_checks, spec_lints};
 
 use logrel_emachine::{generate, generate_modal, ModalMode, ModeSwitch};

@@ -1,0 +1,359 @@
+//! R-code diagnostics: refinement-checker violations rendered with
+//! source spans.
+//!
+//! `logrel-refine` reports violations in core-model terms (task and host
+//! names, no positions). This module maps each violation back to the
+//! construct of the *refining* program's AST that caused it, so `htlc`
+//! can emit them through the shared renderer in the stable
+//! `code:severity:file:line:col:` form like every other finding:
+//!
+//! | code | violation |
+//! |------|-----------|
+//! | R001 | κ is not total or not injective |
+//! | R002 | host sets differ (constraint a) |
+//! | R003 | replication mapping differs (b1) |
+//! | R004 | WCET/WCTT grew (b2) |
+//! | R005 | LET not contained (b3) |
+//! | R006 | output LRC exceeds the admissible maximum (b4) |
+//! | R007 | input failure model changed (b5) |
+//! | R008 | input set does not shrink/grow as the model requires (b6) |
+//! | R009 | κ references an unknown task |
+
+use crate::diagnostic::{sort_diagnostics, Diagnostic, Severity};
+use logrel_lang::ast::{ArchItem, MapItem, Program};
+use logrel_lang::token::Span;
+use logrel_refine::{RefineError, Violation};
+
+/// Span of the first invocation of `task`, or `0:0`.
+fn invocation_span(program: &Program, task: &str) -> Span {
+    for module in &program.modules {
+        for mode in &module.modes {
+            for inv in &mode.invocations {
+                if inv.task == task {
+                    return inv.span;
+                }
+            }
+        }
+    }
+    Span::default()
+}
+
+/// Span of the communicator declaration `comm`, or `0:0`.
+fn comm_span(program: &Program, comm: &str) -> Span {
+    program
+        .communicators
+        .iter()
+        .find(|c| c.name == comm)
+        .map_or_else(Span::default, |c| c.span)
+}
+
+/// Span of the `map` assignment of `task`, or `0:0`.
+fn assign_span(program: &Program, task: &str) -> Span {
+    for item in &program.map {
+        if let MapItem::Assign { task: t, span, .. } = item {
+            if t == task {
+                return *span;
+            }
+        }
+    }
+    Span::default()
+}
+
+/// Span of the `wcet`/`wctt` row for (`task`, `host`), or `0:0`.
+fn metric_span(program: &Program, metric: &str, task: &str, host: &str) -> Span {
+    for item in &program.arch {
+        match item {
+            ArchItem::Wcet { task: t, host: h, span, .. }
+                if metric == "WCET" && t == task && h == host =>
+            {
+                return *span;
+            }
+            ArchItem::Wctt { task: t, host: h, span, .. }
+                if metric == "WCTT" && t == task && h == host =>
+            {
+                return *span;
+            }
+            _ => {}
+        }
+    }
+    Span::default()
+}
+
+/// Span of the first architecture item, or `0:0`.
+fn arch_span(program: &Program) -> Span {
+    program.arch.first().map_or_else(Span::default, |i| match i {
+        ArchItem::Host { span, .. }
+        | ArchItem::Sensor { span, .. }
+        | ArchItem::Broadcast { span, .. }
+        | ArchItem::Wcet { span, .. }
+        | ArchItem::Wctt { span, .. } => *span,
+    })
+}
+
+/// Maps one refinement violation to a spanned R-code diagnostic against
+/// the refining program's source.
+#[must_use]
+pub fn violation_diagnostic(program: &Program, v: &Violation) -> Diagnostic {
+    match v {
+        Violation::KappaNotTotal { task } => Diagnostic::new(
+            "R001",
+            Severity::Error,
+            invocation_span(program, task),
+            format!("κ does not map task `{task}`"),
+        )
+        .with_help("name the task in the refinement's mapping block or match it by name"),
+        Violation::KappaNotInjective {
+            refined,
+            first,
+            second,
+        } => Diagnostic::new(
+            "R001",
+            Severity::Error,
+            invocation_span(program, first),
+            format!("κ maps both `{first}` and `{second}` to `{refined}`"),
+        )
+        .with_label(
+            invocation_span(program, second),
+            format!("`{second}` also maps to `{refined}`"),
+        ),
+        Violation::HostSetMismatch { detail } => Diagnostic::new(
+            "R002",
+            Severity::Error,
+            arch_span(program),
+            format!("host sets differ: {detail}"),
+        )
+        .with_help("a refinement must keep the refined architecture's host set"),
+        Violation::MappingMismatch { task } => Diagnostic::new(
+            "R003",
+            Severity::Error,
+            assign_span(program, task),
+            format!("task `{task}` is mapped to different hosts than its image"),
+        )
+        .with_help("constraint (b1): the replication mapping must be identical"),
+        Violation::MetricIncreased {
+            metric,
+            task,
+            host,
+            refining,
+            refined,
+        } => Diagnostic::new(
+            "R004",
+            Severity::Error,
+            metric_span(program, metric, task, host),
+            format!("{metric} of `{task}` on `{host}` grew from {refined} to {refining}"),
+        )
+        .with_help("constraint (b2): execution metrics must not grow under refinement"),
+        Violation::LetNotContained { task, read_side } => {
+            let side = if *read_side {
+                "reads earlier"
+            } else {
+                "writes later"
+            };
+            Diagnostic::new(
+                "R005",
+                Severity::Error,
+                invocation_span(program, task),
+                format!("task `{task}` {side} than its image"),
+            )
+            .with_help("constraint (b3): the refining LET must be contained in the refined one")
+        }
+        Violation::LrcExceeded {
+            task,
+            comm,
+            lrc,
+            max,
+        } => {
+            let message = match max {
+                Some(m) => {
+                    format!("output `{comm}` of `{task}` requires LRC {lrc} > admissible {m}")
+                }
+                None => format!(
+                    "output `{comm}` of `{task}` requires LRC {lrc} but the image's outputs \
+                     declare none"
+                ),
+            };
+            Diagnostic::new("R006", Severity::Error, comm_span(program, comm), message)
+                .with_label(
+                    invocation_span(program, task),
+                    format!("written by `{task}` here"),
+                )
+                .with_help("constraint (b4): refining outputs may not demand stronger LRCs")
+        }
+        Violation::ModelChanged { task } => Diagnostic::new(
+            "R007",
+            Severity::Error,
+            invocation_span(program, task),
+            format!("task `{task}` changed its input failure model"),
+        )
+        .with_help("constraint (b5): the input failure model must be identical"),
+        Violation::InputSetMismatch {
+            task,
+            subset_required,
+        } => {
+            let req = if *subset_required {
+                "a subset"
+            } else {
+                "a superset"
+            };
+            Diagnostic::new(
+                "R008",
+                Severity::Error,
+                invocation_span(program, task),
+                format!("inputs of `{task}` are not {req} of its image's inputs"),
+            )
+            .with_help(
+                "constraint (b6): inputs shrink under the series model and grow under parallel",
+            )
+        }
+        // `Violation` is non_exhaustive; render unknown future variants
+        // through their Display form at the file head.
+        other => Diagnostic::new("R000", Severity::Error, Span::default(), other.to_string()),
+    }
+}
+
+/// Maps a refinement-checker error to spanned diagnostics in reporting
+/// order (one per violation).
+#[must_use]
+pub fn refine_error_diagnostics(program: &Program, err: &RefineError) -> Vec<Diagnostic> {
+    let mut diags = match err {
+        RefineError::NotARefinement { violations } => violations
+            .iter()
+            .map(|v| violation_diagnostic(program, v))
+            .collect(),
+        RefineError::UnknownTask { id } => vec![Diagnostic::new(
+            "R009",
+            Severity::Error,
+            Span::default(),
+            format!("κ references unknown task {id}"),
+        )],
+        other => vec![Diagnostic::new(
+            "R000",
+            Severity::Error,
+            Span::default(),
+            other.to_string(),
+        )],
+    };
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logrel_lang::parse;
+
+    const SRC: &str = r#"
+program p {
+    communicator s : float period 10 sensor;
+    communicator u : float period 10 lrc 0.99;
+    module m {
+        start mode main period 10 {
+            invoke ctrl reads s[0] writes u[1];
+        }
+    }
+    architecture {
+        host h1 reliability 0.99;
+        sensor sn reliability 0.999;
+        wcet ctrl on h1 2;
+        wctt ctrl on h1 1;
+    }
+    map {
+        ctrl -> h1;
+        bind s -> sn;
+    }
+}
+"#;
+
+    #[test]
+    fn metric_violation_points_at_the_wcet_row() {
+        let p = parse(SRC).unwrap();
+        let d = violation_diagnostic(
+            &p,
+            &Violation::MetricIncreased {
+                metric: "WCET",
+                task: "ctrl".into(),
+                host: "h1".into(),
+                refining: 5,
+                refined: 2,
+            },
+        );
+        assert_eq!(d.code, "R004");
+        assert_ne!(d.span, Span::default());
+        assert!(d.ci_line("a.htl").starts_with("R004:error:a.htl:"));
+        assert!(d.ci_line("a.htl").contains("grew from 2 to 5"));
+    }
+
+    #[test]
+    fn lrc_violation_points_at_the_communicator() {
+        let p = parse(SRC).unwrap();
+        let d = violation_diagnostic(
+            &p,
+            &Violation::LrcExceeded {
+                task: "ctrl".into(),
+                comm: "u".into(),
+                lrc: 0.999,
+                max: Some(0.99),
+            },
+        );
+        assert_eq!(d.code, "R006");
+        let comm_line = p.communicators.iter().find(|c| c.name == "u").unwrap().span.line;
+        assert_eq!(d.span.line, comm_line);
+    }
+
+    #[test]
+    fn every_violation_kind_gets_a_distinct_code() {
+        let p = parse(SRC).unwrap();
+        let vs = [
+            (
+                Violation::KappaNotTotal { task: "ctrl".into() },
+                "R001",
+            ),
+            (
+                Violation::HostSetMismatch { detail: "x".into() },
+                "R002",
+            ),
+            (Violation::MappingMismatch { task: "ctrl".into() }, "R003"),
+            (
+                Violation::LetNotContained {
+                    task: "ctrl".into(),
+                    read_side: true,
+                },
+                "R005",
+            ),
+            (Violation::ModelChanged { task: "ctrl".into() }, "R007"),
+            (
+                Violation::InputSetMismatch {
+                    task: "ctrl".into(),
+                    subset_required: false,
+                },
+                "R008",
+            ),
+        ];
+        for (v, code) in vs {
+            assert_eq!(violation_diagnostic(&p, &v).code, code);
+        }
+    }
+
+    #[test]
+    fn error_expands_to_sorted_per_violation_diagnostics() {
+        let p = parse(SRC).unwrap();
+        let err = RefineError::NotARefinement {
+            violations: vec![
+                Violation::ModelChanged { task: "ctrl".into() },
+                Violation::HostSetMismatch {
+                    detail: "h2 only in refining".into(),
+                },
+            ],
+        };
+        let diags = refine_error_diagnostics(&p, &err);
+        assert_eq!(diags.len(), 2);
+        let mut sorted = diags.clone();
+        sort_diagnostics(&mut sorted);
+        assert_eq!(diags, sorted);
+        let unknown = refine_error_diagnostics(
+            &p,
+            &RefineError::UnknownTask { id: "t9".into() },
+        );
+        assert_eq!(unknown[0].code, "R009");
+    }
+}

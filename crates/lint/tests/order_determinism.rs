@@ -1,0 +1,124 @@
+//! Order-determinism regression tests for the diagnostic pipeline.
+//!
+//! The incremental engine diffs cached against fresh lint output byte for
+//! byte, so the reported order must be a function of the diagnostics
+//! *set*, never of the emission order of the individual passes. These
+//! tests shuffle diagnostic lists under seeded RNGs and assert that
+//! [`sort_diagnostics`] restores the identical sequence every time —
+//! including for diagnostics that collide on position, code and message
+//! and differ only in severity, labels or help.
+
+use logrel_lang::token::Span;
+use logrel_lint::{lint_source, sort_diagnostics, Diagnostic, Severity};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn span(line: u32, col: u32) -> Span {
+    Span { line, col }
+}
+
+/// A list exercising every tie-break level of the total order: distinct
+/// positions, same position with distinct codes, same code with distinct
+/// messages, and full (span, code, message) collisions that differ only
+/// in severity, labels or help.
+fn adversarial_diags() -> Vec<Diagnostic> {
+    vec![
+        Diagnostic::new("L009", Severity::Warning, span(5, 1), "late"),
+        Diagnostic::new("L001", Severity::Warning, span(2, 3), "alpha"),
+        Diagnostic::new("L002", Severity::Warning, span(2, 3), "alpha"),
+        Diagnostic::new("L001", Severity::Warning, span(2, 3), "beta"),
+        // Same span/code/message, different severity.
+        Diagnostic::new("L003", Severity::Error, span(4, 1), "tied"),
+        Diagnostic::new("L003", Severity::Warning, span(4, 1), "tied"),
+        // Same everything except the label set.
+        Diagnostic::new("L005", Severity::Warning, span(7, 2), "labelled")
+            .with_label(span(9, 1), "first related site"),
+        Diagnostic::new("L005", Severity::Warning, span(7, 2), "labelled")
+            .with_label(span(11, 4), "second related site"),
+        Diagnostic::new("L005", Severity::Warning, span(7, 2), "labelled"),
+        // Same everything except help.
+        Diagnostic::new("L006", Severity::Warning, span(8, 1), "helped")
+            .with_help("do the one thing"),
+        Diagnostic::new("L006", Severity::Warning, span(8, 1), "helped")
+            .with_help("do the other thing"),
+        Diagnostic::new("L006", Severity::Warning, span(8, 1), "helped"),
+    ]
+}
+
+#[test]
+fn sort_is_independent_of_emission_order() {
+    let mut reference = adversarial_diags();
+    sort_diagnostics(&mut reference);
+    // Nothing here is an exact duplicate, so dedup must drop nothing.
+    assert_eq!(reference.len(), adversarial_diags().len());
+
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shuffled = adversarial_diags();
+        shuffled.shuffle(&mut rng);
+        sort_diagnostics(&mut shuffled);
+        assert_eq!(shuffled, reference, "seed {seed} produced a different order");
+    }
+}
+
+#[test]
+fn sort_dedups_exact_duplicates_only() {
+    let mut diags = vec![
+        Diagnostic::new("L001", Severity::Warning, span(1, 1), "dup"),
+        Diagnostic::new("L001", Severity::Warning, span(1, 1), "dup"),
+        Diagnostic::new("L001", Severity::Warning, span(1, 1), "dup").with_help("kept"),
+    ];
+    sort_diagnostics(&mut diags);
+    assert_eq!(diags.len(), 2);
+}
+
+/// End-to-end: a spec tripping several lint passes renders identically no
+/// matter how the passes' findings are permuted before sorting.
+#[test]
+fn real_lint_output_is_permutation_invariant() {
+    // `dead` is written but never read (L002), `ghost` is never accessed
+    // (L001), and mode `idle` is unreachable (L008).
+    let source = r#"
+program shuffled {
+    communicator s : float period 10 sensor;
+    communicator u : float period 10 lrc 0.9;
+    communicator dead : float period 10 init 0.0;
+    communicator ghost : float period 10 init 0.0;
+    module m {
+        start mode main period 10 {
+            invoke ctrl reads s[0] writes u[1], dead[1];
+        }
+        mode idle period 10 {
+            invoke ctrl reads s[0] writes u[1], dead[1];
+        }
+    }
+    architecture {
+        host h1 reliability 0.99;
+        sensor sn reliability 0.999;
+        wcet ctrl on h1 2;
+        wctt ctrl on h1 1;
+    }
+    map {
+        ctrl -> h1;
+        bind s -> sn;
+    }
+}
+"#;
+    let mut reference = lint_source(source);
+    assert!(
+        reference.len() >= 3,
+        "fixture should trip several lints, got {reference:?}"
+    );
+    sort_diagnostics(&mut reference);
+    let rendered: Vec<String> = reference.iter().map(|d| d.render("a.htl")).collect();
+
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shuffled = lint_source(source);
+        shuffled.shuffle(&mut rng);
+        sort_diagnostics(&mut shuffled);
+        let got: Vec<String> = shuffled.iter().map(|d| d.render("a.htl")).collect();
+        assert_eq!(got, rendered, "seed {seed} changed the rendered report");
+    }
+}

@@ -92,6 +92,16 @@ pub mod names {
     pub const RUN_SECONDS: &str = "logrel_run_seconds";
     /// Bit-sliced lane width the campaign ran with (gauge; 1 = scalar).
     pub const BITSLICE_LANES: &str = "logrel_bitslice_lanes";
+    /// Analysis queries evaluated by the incremental engine.
+    pub const QUERY_QUERIES: &str = "logrel_query_queries_total";
+    /// Queries answered from the cache (dependency digest unchanged).
+    pub const QUERY_HITS: &str = "logrel_query_hits_total";
+    /// Queries recomputed because their dependency cone was dirtied.
+    pub const QUERY_RECOMPUTES: &str = "logrel_query_recomputes_total";
+    /// Dirty queries answered by refinement reuse (Proposition 2).
+    pub const QUERY_REFINE_REUSE: &str = "logrel_query_refine_reuse_total";
+    /// Cache loads rejected (corrupt/truncated/version mismatch).
+    pub const QUERY_CACHE_FALLBACK: &str = "logrel_query_cache_fallback_total";
 }
 
 /// Buckets for the delivering-replicas-per-vote histogram.
@@ -196,6 +206,23 @@ pub const CATALOG: &[MetricDef] = &[
     gauge!(
         names::BITSLICE_LANES,
         "Bit-sliced lane width of the campaign run (1 = scalar)"
+    ),
+    counter!(
+        names::QUERY_QUERIES,
+        "Analysis queries evaluated by the incremental engine"
+    ),
+    counter!(names::QUERY_HITS, "Queries answered from the cache"),
+    counter!(
+        names::QUERY_RECOMPUTES,
+        "Queries recomputed after their dependency cone was dirtied"
+    ),
+    counter!(
+        names::QUERY_REFINE_REUSE,
+        "Dirty queries answered by refinement reuse"
+    ),
+    counter!(
+        names::QUERY_CACHE_FALLBACK,
+        "Cache loads rejected as corrupt or version-mismatched"
     ),
 ];
 

@@ -2,8 +2,9 @@
 //!
 //! The build environment has no access to crates.io, so this workspace
 //! vendors the *exact* API subset it consumes: [`rngs::StdRng`],
-//! [`SeedableRng::seed_from_u64`] and the [`Rng`] extension methods
-//! `gen::<f64>()`, `gen_range(Range)`, and `gen_bool(p)`.
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] extension methods
+//! `gen::<f64>()`, `gen_range(Range)`, and `gen_bool(p)`, and
+//! [`seq::SliceRandom::shuffle`].
 //!
 //! The generator is xoshiro256** (Blackman & Vigna) seeded through
 //! splitmix64, the seeding procedure recommended by its authors. It is not
@@ -232,6 +233,27 @@ impl SampleUniform for f64 {
     }
 }
 
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use super::{uniform_u64, Rng};
+
+    /// Extension trait for slices: uniform in-place shuffling.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates, unbiased draws).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_u64(rng, i as u128 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
 pub mod rngs {
     //! Concrete generators.
 
@@ -322,6 +344,30 @@ mod tests {
             let f = r.gen_range(0.5f64..1.0);
             assert!((0.5..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        use super::seq::SliceRandom;
+        let base: Vec<u32> = (0..32).collect();
+        let shuffled = |seed| {
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut v = base.clone();
+            v.shuffle(&mut r);
+            v
+        };
+        assert_eq!(shuffled(5), shuffled(5));
+        assert_ne!(shuffled(5), base);
+        let mut sorted = shuffled(5);
+        sorted.sort_unstable();
+        assert_eq!(sorted, base);
+        // Degenerate lengths are fine.
+        let mut r = StdRng::seed_from_u64(0);
+        let mut empty: [u32; 0] = [];
+        empty.shuffle(&mut r);
+        let mut one = [7u32];
+        one.shuffle(&mut r);
+        assert_eq!(one, [7]);
     }
 
     #[test]

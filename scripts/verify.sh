@@ -88,6 +88,45 @@ grep -q '^logrel_bitslice_lanes 64$' "$METRICS_DIR/sliced.prom"
 diff <(grep -v '^logrel_bitslice_lanes' "$METRICS_DIR/scalar.prom" | grep -v '_seconds') \
      <(grep -v '^logrel_bitslice_lanes' "$METRICS_DIR/sliced.prom" | grep -v '_seconds')
 
+echo "==> incremental-equivalence gate (warm analyze ≡ cold, byte-for-byte)"
+INCR_DIR=$(mktemp -d)
+trap 'rm -rf "$METRICS_DIR" "$INCR_DIR"' EXIT
+cp assets/steer_by_wire.htl "$INCR_DIR/spec.htl"
+# Cold run on the base spec seeds the cache.
+"$HTLC" analyze "$INCR_DIR/spec.htl" > /dev/null 2>&1
+# Edit the spec three ways: a metric tightening (refinement reuse), a
+# metric loosening (recompute), and a module edit (dirties the lint
+# cone). After each, the warm run against the stale cache must be
+# byte-identical to a cold run on the edited spec.
+for edit in 's/wcet torque on ecu_a 5;/wcet torque on ecu_a 4;/' \
+            's/wcet torque on ecu_a 4;/wcet torque on ecu_a 6;/' \
+            's/invoke filter reads angle\[0\]/invoke filter reads  angle[0]/'; do
+    sed -i "$edit" "$INCR_DIR/spec.htl"
+    "$HTLC" analyze "$INCR_DIR/spec.htl" \
+        > "$INCR_DIR/warm.out" 2> "$INCR_DIR/warm.err"
+    rm -f "$INCR_DIR/spec.htl.logrel-cache"
+    "$HTLC" analyze "$INCR_DIR/spec.htl" \
+        > "$INCR_DIR/cold.out" 2> "$INCR_DIR/cold.err"
+    diff "$INCR_DIR/warm.out" "$INCR_DIR/cold.out"
+    diff "$INCR_DIR/warm.err" "$INCR_DIR/cold.err"
+done
+# Same property for the cached whole-command report: lint --incremental
+# must render identically to a cold lint after an edit.
+cp assets/three_tank.htl "$INCR_DIR/lintspec.htl"
+"$HTLC" lint --incremental "$INCR_DIR/lintspec.htl" > /dev/null 2>&1 || true
+sed -i 's/period 500/period 250/' "$INCR_DIR/lintspec.htl"
+"$HTLC" lint --incremental "$INCR_DIR/lintspec.htl" \
+    > "$INCR_DIR/lint_warm.out" 2> "$INCR_DIR/lint_warm.err" || true
+rm -f "$INCR_DIR/lintspec.htl.logrel-cache"
+"$HTLC" lint "$INCR_DIR/lintspec.htl" \
+    > "$INCR_DIR/lint_cold.out" 2> "$INCR_DIR/lint_cold.err" || true
+diff "$INCR_DIR/lint_warm.out" "$INCR_DIR/lint_cold.out"
+diff "$INCR_DIR/lint_warm.err" "$INCR_DIR/lint_cold.err"
+# A corrupt cache must fall back to cold analysis, not fail.
+printf 'garbage' > "$INCR_DIR/spec.htl.logrel-cache"
+"$HTLC" analyze "$INCR_DIR/spec.htl" > "$INCR_DIR/fallback.out" 2> /dev/null
+diff "$INCR_DIR/fallback.out" "$INCR_DIR/cold.out"
+
 echo "==> bench_snapshot regression gate (vs BENCH_baseline.json)"
 cargo run --release -q -p logrel-bench --bin bench_snapshot -- \
     --out "$METRICS_DIR/BENCH_current.json" --compare BENCH_baseline.json > /dev/null

@@ -32,20 +32,34 @@
 //!                                    names resolved
 //! htlc refine <refining> <refined>   check the refinement relation (κ by
 //!                                    task name)
+//! htlc analyze <spec> [--against <db>] [--stats]
+//!                                    incremental joint analysis through the
+//!                                    content-hashed query engine: reuses
+//!                                    green entries of the `.logrel-cache`
+//!                                    database, attempts refinement reuse
+//!                                    (Proposition 2) for a dirty
+//!                                    schedulability query, and recomputes
+//!                                    only the dirtied cone — with output
+//!                                    byte-identical to a cold run
 //! ```
+//!
+//! `lint`, `check` and `verify` additionally accept `--incremental`,
+//! which caches the whole command report in the spec's `.logrel-cache`
+//! and replays it verbatim while the spec is unchanged.
 //!
 //! Exit codes: `0` clean (warnings may have been printed), `1` usage or
 //! I/O error, `2` diagnostics of error severity emitted (`--deny`
 //! promotes warnings). Every failing finding — lints (`L`), E-code
-//! verification (`E`), translation validation (`V`) and analysis verdicts
-//! (`A001` invalid system, `A002` failed refinement, `A003` failed
-//! round-program self-certification) — goes to stderr through the one
-//! shared renderer in the stable greppable form
-//! `code:severity:file:line:col: message`.
+//! verification (`E`), translation validation (`V`), refinement
+//! violations (`R001`–`R009`, spanned against the refining source) and
+//! analysis verdicts (`A001` invalid system, `A003` failed round-program
+//! self-certification) — goes to stderr through the one shared renderer
+//! in the stable greppable form `code:severity:file:line:col: message`.
 
 use logrel::lang::{compile, elaborate_file, parse, parse_file, print_program};
-use logrel::lint::{self, Diagnostic, Severity};
+use logrel::lint::{self, refine_error_diagnostics, Diagnostic, Severity};
 use logrel::obs::MetricsSink as _;
+use logrel::query::Report;
 use logrel::refine::{check_refinement, validate, Kappa, SystemRef};
 use logrel::reliability::architecture_importance;
 use std::process::ExitCode;
@@ -103,8 +117,9 @@ fn compile_path(path: &str) -> Result<logrel::lang::ElaboratedSystem, Failure> {
 }
 
 /// Prints a failed analysis verdict through the shared diagnostic
-/// renderer (A-series codes: `A001` invalid system, `A002` failed
-/// refinement, `A003` failed round-program self-certification) and
+/// renderer (A-series codes: `A001` invalid system, `A003` failed
+/// round-program self-certification; refinement violations use the
+/// spanned R-series via [`refine_error_diagnostics`] instead) and
 /// returns the exit-2 failure.
 fn analysis_failure(file: &str, code: &'static str, message: String) -> Failure {
     eprintln!(
@@ -129,6 +144,183 @@ impl logrel::sim::ScenarioSymbols for Symbols<'_> {
     fn communicator(&self, name: &str) -> Option<logrel::core::CommunicatorId> {
         self.0.spec.find_communicator(name)
     }
+}
+
+/// Removes a boolean `--flag` from `args`, returning whether it was
+/// present.
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Loads a `.logrel-cache` database, failing **closed**: a corrupt,
+/// truncated or version-mismatched file yields a warning plus a cold
+/// analysis (counted as `logrel_query_cache_fallback_total`), never a
+/// panic or stale results. Only a genuinely missing file is silent.
+fn load_cache(
+    sink: &mut dyn logrel::obs::MetricsSink,
+    path: &str,
+) -> Option<logrel::query::QueryDb> {
+    match logrel::query::load(path) {
+        logrel::query::LoadOutcome::Loaded(db) => Some(*db),
+        logrel::query::LoadOutcome::Missing => None,
+        logrel::query::LoadOutcome::Invalid(reason) => {
+            eprintln!("htlc: warning: ignoring cache `{path}`: {reason}");
+            sink.add(logrel::obs::names::QUERY_CACHE_FALLBACK, 1);
+            None
+        }
+    }
+}
+
+/// Persists the refreshed database; cache-write trouble degrades to a
+/// warning — the analysis already succeeded and its output stands.
+fn save_cache(path: &str, db: &logrel::query::QueryDb) {
+    if let Err(e) = logrel::query::save(db, path) {
+        eprintln!("htlc: warning: cannot write cache `{path}`: {e}");
+    }
+}
+
+/// Replays `report` exactly as the non-incremental arm would have
+/// printed it and converts its error count into the exit status.
+fn emit_report(report: &Report) -> Result<(), Failure> {
+    print!("{}", report.stdout);
+    eprint!("{}", report.stderr);
+    if report.errors > 0 {
+        Err(Failure::Diagnostics(report.errors))
+    } else {
+        Ok(())
+    }
+}
+
+/// Runs a whole-command report query through the incremental cache:
+/// loads the spec's `.logrel-cache` (fail-closed), replays a green
+/// report verbatim, otherwise computes cold and persists the refreshed
+/// database.
+fn run_cached(path: &str, source: &str, query: &str, compute: impl FnOnce() -> Report) -> Report {
+    let cache_path = logrel::query::default_cache_path(path);
+    let mut registry = logrel::obs::Registry::new();
+    let prior = load_cache(&mut registry, &cache_path);
+    let (report, db, _hit) =
+        logrel::query::cached_report(source, query, prior.as_ref(), &mut registry, compute);
+    if let Some(db) = db {
+        save_cache(&cache_path, &db);
+    }
+    report
+}
+
+/// The `check` pipeline as a replayable report: byte-for-byte the
+/// stdout/stderr of the original arm.
+fn check_report(path: &str, source: &str) -> Report {
+    let mut out = String::new();
+    let mut err = String::new();
+    let program = match parse(source) {
+        Ok(p) => p,
+        Err(e) => {
+            err.push_str(&format!("{}\n", Diagnostic::from_lang_error(&e).render(path)));
+            return Report { errors: 1, stdout: out, stderr: err };
+        }
+    };
+    let sys = match logrel::lang::elaborate(&program) {
+        Ok(s) => s,
+        Err(e) => {
+            err.push_str(&format!("{}\n", Diagnostic::from_lang_error(&e).render(path)));
+            return Report { errors: 1, stdout: out, stderr: err };
+        }
+    };
+    out.push_str(&format!(
+        "program `{}`: {} communicators, {} tasks, round {}\n",
+        sys.name,
+        sys.spec.communicator_count(),
+        sys.spec.task_count(),
+        sys.spec.round_period()
+    ));
+    // Statically verify the generated E-code of every host before
+    // trusting it to the analysis and the runtime.
+    let ecode_diags = lint::verify_generated(&program, &sys);
+    if !ecode_diags.is_empty() {
+        for d in &ecode_diags {
+            err.push_str(&format!("{}\n", d.render(path)));
+        }
+        return Report { errors: ecode_diags.len(), stdout: out, stderr: err };
+    }
+    out.push_str(&format!(
+        "E-code: statically verified for all {} host(s)\n",
+        sys.arch.host_count()
+    ));
+    match validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp)) {
+        Ok(cert) => {
+            out.push_str("VALID: schedulable and reliable\n\n");
+            out.push_str(&format!("{}\n", cert.verdict.static_report().render(&sys.spec)));
+            out.push_str(&format!(
+                "{}\n",
+                cert.schedule.gantt(
+                    |t| sys.spec.task(t).name().to_owned(),
+                    |h| sys.arch.host(h).name().to_owned(),
+                )
+            ));
+            Report { errors: 0, stdout: out, stderr: err }
+        }
+        Err(e) => {
+            err.push_str(&format!(
+                "{}\n",
+                Diagnostic::new("A001", Severity::Error, Default::default(), format!("INVALID: {e}"))
+                    .render(path)
+            ));
+            Report { errors: 1, stdout: out, stderr: err }
+        }
+    }
+}
+
+/// The `verify` pipeline as a replayable report.
+fn verify_report(path: &str, source: &str) -> Report {
+    let mut out = String::new();
+    let mut err = String::new();
+    let sys = match compile(source) {
+        Ok(s) => s,
+        Err(e) => {
+            err.push_str(&format!("{}\n", Diagnostic::from_lang_error(&e).render(path)));
+            return Report { errors: 1, stdout: out, stderr: err };
+        }
+    };
+    let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
+    match logrel::validate::certify_system(&sys.spec, &sys.arch, &td) {
+        Ok(cert) => {
+            out.push_str(&format!("{cert}\n"));
+            out.push_str(&format!(
+                "VERIFIED: `{}` — compiled artifacts ({}) are isomorphic to the \
+                 specification's round denotation\n",
+                sys.name,
+                cert.artifacts.join(", ")
+            ));
+            Report { errors: 0, stdout: out, stderr: err }
+        }
+        Err(diags) => {
+            for d in &diags {
+                err.push_str(&format!("{}\n", d.render(path)));
+            }
+            Report { errors: diags.len(), stdout: out, stderr: err }
+        }
+    }
+}
+
+/// The per-file `lint` pipeline as a replayable report. `deny` is part
+/// of the query name, so denied and plain runs never share entries.
+fn lint_report(path: &str, source: &str, deny: bool) -> Report {
+    let mut diags = lint::lint_source(source);
+    if deny {
+        lint::deny_warnings(&mut diags);
+    }
+    let mut err = String::new();
+    for d in &diags {
+        err.push_str(&format!("{}\n", d.render(path)));
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    Report { errors, stdout: String::new(), stderr: err }
 }
 
 /// Removes `--flag VALUE` from `args`, returning the value if present.
@@ -249,17 +441,24 @@ fn format_dumps(registry: &logrel::obs::Registry, sys: &logrel::lang::Elaborated
 }
 
 fn run(args: &[String]) -> Result<(), Failure> {
-    let usage = "usage: htlc <check|verify|lint|fmt|graph|ecode|importance|simulate|inject|trace|refine> <args>\n\
+    let usage = "usage: htlc <check|verify|lint|analyze|fmt|graph|ecode|importance|simulate|inject|trace|refine> <args>\n\
                  run `htlc help` for details";
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "help" | "--help" | "-h" => {
             println!(
                 "htlc — logical-reliability compiler\n\n\
-                 htlc check <file>                 joint analysis with SRG table\n\
+                 htlc check [--incremental] <file> joint analysis with SRG table\n\
                  htlc check-file <file>            multi-program file with declared refinements\n\
-                 htlc verify <file>                translation validation of compiled artifacts\n\
-                 htlc lint [--deny] <file>...      specification lints + E-code verification\n\
+                 htlc verify [--incremental] <file> translation validation of compiled artifacts\n\
+                 htlc lint [--deny] [--incremental] <file>...\n\
+                                                   specification lints + E-code verification\n\
+                 htlc analyze <spec> [--against <db>] [--stats]\n\
+                                                   incremental joint analysis: reuses green\n\
+                                                   queries from <spec>.logrel-cache, tries\n\
+                                                   refinement reuse (Prop 2) before\n\
+                                                   recomputing the dirtied cone; output is\n\
+                                                   byte-identical to a cold run\n\
                  htlc fmt <file>                   pretty-print\n\
                  htlc graph <file>                 specification graph (DOT)\n\
                  htlc ecode <file> <host>          E-code disassembly\n\
@@ -281,24 +480,24 @@ fn run(args: &[String]) -> Result<(), Failure> {
             Ok(())
         }
         "lint" => {
-            let deny = args.iter().any(|a| a == "--deny");
-            let files: Vec<&String> = args[1..].iter().filter(|a| *a != "--deny").collect();
-            if files.is_empty() {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let deny = take_bool_flag(&mut rest, "--deny");
+            let incremental = take_bool_flag(&mut rest, "--incremental");
+            if rest.is_empty() {
                 return Err(usage.into());
             }
+            let query = if deny { "lint_full_deny" } else { "lint_full" };
             let mut errors = 0usize;
-            for path in files {
-                let mut diags = lint::lint_source(&read(path)?);
-                if deny {
-                    lint::deny_warnings(&mut diags);
-                }
-                for d in &diags {
-                    eprintln!("{}", d.render(path));
-                }
-                errors += diags
-                    .iter()
-                    .filter(|d| d.severity == Severity::Error)
-                    .count();
+            for path in &rest {
+                let source = read(path)?;
+                let report = if incremental {
+                    run_cached(path, &source, query, || lint_report(path, &source, deny))
+                } else {
+                    lint_report(path, &source, deny)
+                };
+                print!("{}", report.stdout);
+                eprint!("{}", report.stderr);
+                errors += report.errors;
             }
             if errors > 0 {
                 Err(Failure::Diagnostics(errors))
@@ -307,64 +506,55 @@ fn run(args: &[String]) -> Result<(), Failure> {
             }
         }
         "check" => {
-            let path = args.get(1).ok_or(usage)?;
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let incremental = take_bool_flag(&mut rest, "--incremental");
+            let path = rest.first().ok_or(usage)?;
             let source = read(path)?;
-            let program = parse(&source).map_err(|e| lang_failure(path, &e))?;
-            let sys = logrel::lang::elaborate(&program).map_err(|e| lang_failure(path, &e))?;
-            println!(
-                "program `{}`: {} communicators, {} tasks, round {}",
-                sys.name,
-                sys.spec.communicator_count(),
-                sys.spec.task_count(),
-                sys.spec.round_period()
-            );
-            // Statically verify the generated E-code of every host before
-            // trusting it to the analysis and the runtime.
-            let ecode_diags = lint::verify_generated(&program, &sys);
-            if !ecode_diags.is_empty() {
-                for d in &ecode_diags {
-                    eprintln!("{}", d.render(path));
-                }
-                return Err(Failure::Diagnostics(ecode_diags.len()));
-            }
-            println!("E-code: statically verified for all {} host(s)", sys.arch.host_count());
-            match validate(SystemRef::new(&sys.spec, &sys.arch, &sys.imp)) {
-                Ok(cert) => {
-                    println!("VALID: schedulable and reliable\n");
-                    println!("{}", cert.verdict.static_report().render(&sys.spec));
-                    println!(
-                        "{}",
-                        cert.schedule.gantt(
-                            |t| sys.spec.task(t).name().to_owned(),
-                            |h| sys.arch.host(h).name().to_owned(),
-                        )
-                    );
-                    Ok(())
-                }
-                Err(e) => Err(analysis_failure(path, "A001", format!("INVALID: {e}"))),
-            }
+            let report = if incremental {
+                run_cached(path, &source, "check_report", || check_report(path, &source))
+            } else {
+                check_report(path, &source)
+            };
+            emit_report(&report)
         }
         "verify" => {
-            let path = args.get(1).ok_or(usage)?;
-            let sys = compile_path(path)?;
-            let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
-            match logrel::validate::certify_system(&sys.spec, &sys.arch, &td) {
-                Ok(cert) => {
-                    println!("{cert}");
-                    println!(
-                        "VERIFIED: `{}` — compiled artifacts ({}) are isomorphic to the \
-                         specification's round denotation",
-                        sys.name,
-                        cert.artifacts.join(", ")
-                    );
-                    Ok(())
-                }
-                Err(diags) => {
-                    for d in &diags {
-                        eprintln!("{}", d.render(path));
-                    }
-                    Err(Failure::Diagnostics(diags.len()))
-                }
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let incremental = take_bool_flag(&mut rest, "--incremental");
+            let path = rest.first().ok_or(usage)?;
+            let source = read(path)?;
+            let report = if incremental {
+                run_cached(path, &source, "verify_report", || verify_report(path, &source))
+            } else {
+                verify_report(path, &source)
+            };
+            emit_report(&report)
+        }
+        "analyze" => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let stats = take_bool_flag(&mut rest, "--stats");
+            let against = take_flag_value(&mut rest, "--against")?;
+            let path = rest.first().ok_or(usage)?;
+            let source = read(path)?;
+            let cache_path =
+                against.unwrap_or_else(|| logrel::query::default_cache_path(path));
+            let mut registry = logrel::obs::Registry::new();
+            let prior = load_cache(&mut registry, &cache_path);
+            let out = logrel::query::analyze_source(&source, path, prior.as_ref(), &mut registry);
+            print!("{}", out.stdout);
+            eprint!("{}", out.stderr);
+            if stats {
+                println!(
+                    "cache: {} queries, {} hit(s), {} recomputed, {} refinement-reuse(s)",
+                    out.stats.queries, out.stats.hits, out.stats.recomputes, out.stats.refine_reuses
+                );
+            }
+            if let Some(db) = &out.db {
+                save_cache(&cache_path, db);
+            }
+            if out.errors > 0 {
+                Err(Failure::Diagnostics(out.errors))
+            } else {
+                Ok(())
             }
         }
         "check-file" => {
@@ -413,7 +603,15 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     SystemRef::new(&refined.spec, &refined.arch, &refined.imp),
                     &kappa,
                 )
-                .map_err(|e| analysis_failure(path, "A002", format!("refinement failed: {e}")))?;
+                .map_err(|e| {
+                    // R-series diagnostics, spanned against the refining
+                    // program's declarations inside the multi-program file.
+                    let diags = refine_error_diagnostics(&file.programs[r.refining], &e);
+                    for d in &diags {
+                        eprintln!("{}", d.render(path));
+                    }
+                    Failure::Diagnostics(diags.len())
+                })?;
                 println!(
                     "program `{}`: VALID by refinement of `{}` (Proposition 2)",
                     refining.name, refined.name
@@ -761,7 +959,12 @@ fn run(args: &[String]) -> Result<(), Failure> {
         "refine" => {
             let refining_path = args.get(1).ok_or(usage)?;
             let refined_path = args.get(2).ok_or(usage)?;
-            let refining = compile_path(refining_path)?;
+            // Keep the refining AST: refinement violations are rendered as
+            // spanned R-series diagnostics against the refining source.
+            let refining_ast =
+                parse(&read(refining_path)?).map_err(|e| lang_failure(refining_path, &e))?;
+            let refining = logrel::lang::elaborate(&refining_ast)
+                .map_err(|e| lang_failure(refining_path, &e))?;
             let refined = compile_path(refined_path)?;
             let kappa = Kappa::by_name(&refining.spec, &refined.spec);
             match check_refinement(
@@ -773,11 +976,13 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     println!("`{refining_path}` refines `{refined_path}`");
                     Ok(())
                 }
-                Err(e) => Err(analysis_failure(
-                    refining_path,
-                    "A002",
-                    format!("refinement failed: {e}"),
-                )),
+                Err(e) => {
+                    let diags = refine_error_diagnostics(&refining_ast, &e);
+                    for d in &diags {
+                        eprintln!("{}", d.render(refining_path));
+                    }
+                    Err(Failure::Diagnostics(diags.len()))
+                }
             }
         }
         other => Err(Failure::Usage(format!("unknown command `{other}`\n{usage}"))),

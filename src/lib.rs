@@ -13,6 +13,7 @@ pub use logrel_emachine as emachine;
 pub use logrel_lang as lang;
 pub use logrel_lint as lint;
 pub use logrel_obs as obs;
+pub use logrel_query as query;
 pub use logrel_refine as refine;
 pub use logrel_reliability as reliability;
 pub use logrel_sched as sched;

@@ -1,0 +1,181 @@
+//! Property suite for the incremental analysis engine's differential
+//! guarantee: warm (`--against` a prior database) analysis output is
+//! byte-identical to cold analysis after *every* step of a random edit
+//! chain — renames, period changes, replica additions/removals and LRC
+//! tightening/loosening — plus pinned refinement-reuse behaviour for
+//! reliability-weakening edits.
+
+use logrel_obs::NoopSink;
+use logrel_query::{analyze_source, QueryDb};
+use proptest::prelude::*;
+
+/// The parameter space the edit chain walks. Specs are *rendered* from
+/// this configuration rather than patched textually, so every mutation is
+/// well-formed by construction and mutations compose in any order.
+#[derive(Debug, Clone, PartialEq)]
+struct SpecCfg {
+    /// Rename target: the controller task is `ctrl{task_tag}`.
+    task_tag: u32,
+    /// Shared communicator/mode period.
+    period: u64,
+    /// Replication degree of the controller (1..=3 hosts).
+    replicas: usize,
+    /// Index into [`LRC_TABLE`] for communicator `u`.
+    lrc_idx: usize,
+}
+
+/// Loosest to tightest; tighten/loosen move along this table.
+const LRC_TABLE: [&str; 4] = ["0.8", "0.9", "0.95", "0.99"];
+const PERIOD_TABLE: [u64; 3] = [5, 10, 20];
+const HOSTS: [&str; 3] = ["h1", "h2", "h3"];
+
+impl Default for SpecCfg {
+    fn default() -> Self {
+        SpecCfg { task_tag: 0, period: 10, replicas: 2, lrc_idx: 1 }
+    }
+}
+
+fn render(cfg: &SpecCfg) -> String {
+    let task = format!("ctrl{}", cfg.task_tag);
+    let lrc = LRC_TABLE[cfg.lrc_idx];
+    let p = cfg.period;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "program demo {{\n    communicator s : float period {p} sensor;\n    communicator u : float period {p} lrc {lrc};\n"
+    ));
+    out.push_str(&format!(
+        "    module m {{\n        start mode main period {p} {{\n            invoke {task} reads s[0] writes u[1];\n        }}\n    }}\n"
+    ));
+    out.push_str("    architecture {\n");
+    for (i, h) in HOSTS.iter().enumerate() {
+        out.push_str(&format!("        host {h} reliability 0.9{};\n", 9 - i));
+    }
+    out.push_str("        sensor sn reliability 0.999;\n");
+    for h in HOSTS {
+        out.push_str(&format!("        wcet {task} on {h} 2;\n"));
+        out.push_str(&format!("        wctt {task} on {h} 1;\n"));
+    }
+    out.push_str("    }\n    map {\n");
+    let assigned: Vec<&str> = HOSTS[..cfg.replicas].to_vec();
+    out.push_str(&format!("        {task} -> {};\n", assigned.join(", ")));
+    out.push_str("        bind s -> sn;\n    }\n}\n");
+    out
+}
+
+/// The mutation kinds named in the edit-sequence requirement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mutation {
+    Rename,
+    PeriodChange,
+    AddReplica,
+    RemoveReplica,
+    LrcTighten,
+    LrcLoosen,
+}
+
+impl Mutation {
+    /// Applies the mutation; saturates at the parameter-space edges (a
+    /// saturated step regenerates the same source, which exercises the
+    /// fully-green path).
+    fn apply(self, cfg: &mut SpecCfg) {
+        match self {
+            Mutation::Rename => cfg.task_tag += 1,
+            Mutation::PeriodChange => {
+                let i = PERIOD_TABLE.iter().position(|&p| p == cfg.period).unwrap();
+                cfg.period = PERIOD_TABLE[(i + 1) % PERIOD_TABLE.len()];
+            }
+            Mutation::AddReplica => cfg.replicas = (cfg.replicas + 1).min(HOSTS.len()),
+            Mutation::RemoveReplica => cfg.replicas = (cfg.replicas - 1).max(1),
+            Mutation::LrcTighten => cfg.lrc_idx = (cfg.lrc_idx + 1).min(LRC_TABLE.len() - 1),
+            Mutation::LrcLoosen => cfg.lrc_idx = cfg.lrc_idx.saturating_sub(1),
+        }
+    }
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    (0usize..6).prop_map(|i| {
+        [
+            Mutation::Rename,
+            Mutation::PeriodChange,
+            Mutation::AddReplica,
+            Mutation::RemoveReplica,
+            Mutation::LrcTighten,
+            Mutation::LrcLoosen,
+        ][i]
+    })
+}
+
+/// Runs one analysis warm against `db` and once cold, asserting the
+/// differential guarantee, and returns the refreshed database.
+fn step(source: &str, db: Option<&QueryDb>) -> Result<QueryDb, TestCaseError> {
+    let warm = analyze_source(source, "chain.htl", db, &mut NoopSink);
+    let cold = analyze_source(source, "chain.htl", None, &mut NoopSink);
+    prop_assert_eq!(&warm.stdout, &cold.stdout, "stdout diverged");
+    prop_assert_eq!(&warm.stderr, &cold.stderr, "stderr diverged");
+    prop_assert_eq!(warm.errors, cold.errors, "error count diverged");
+    Ok(warm.db.expect("rendered specs always parse"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random chains of up to 12 mutations: after every step, warm
+    /// analysis against the previous step's database is byte-identical
+    /// to a cold run on the same source.
+    #[test]
+    fn edit_chains_preserve_differential_guarantee(
+        chain in proptest::collection::vec(mutation_strategy(), 1..13),
+    ) {
+        let mut cfg = SpecCfg::default();
+        let mut db = step(&render(&cfg), None)?;
+        for m in chain {
+            m.apply(&mut cfg);
+            db = step(&render(&cfg), Some(&db))?;
+        }
+    }
+}
+
+/// Removing a replica weakens the delivered reliability, so the edited
+/// spec cannot refine the cached parent (its mapping differs): refinement
+/// reuse must be refused and the schedulability cone recomputed — while
+/// untouched queries still hit.
+#[test]
+fn replica_removal_fails_refinement_reuse_and_recomputes() {
+    let parent = SpecCfg::default();
+    let cold = analyze_source(&render(&parent), "chain.htl", None, &mut NoopSink);
+    let db = cold.db.unwrap();
+
+    let mut weakened = parent;
+    Mutation::RemoveReplica.apply(&mut weakened);
+    let src = render(&weakened);
+    let warm = analyze_source(&src, "chain.htl", Some(&db), &mut NoopSink);
+    let fresh = analyze_source(&src, "chain.htl", None, &mut NoopSink);
+    assert_eq!(warm.stdout, fresh.stdout);
+    assert_eq!(warm.stderr, fresh.stderr);
+    assert_eq!(warm.stats.refine_reuses, 0, "weakened spec must not reuse by refinement");
+    assert!(warm.stats.recomputes >= 1);
+    assert!(warm.stats.hits > 0, "untouched queries should stay green");
+    assert!(warm.stats.recomputes < warm.stats.queries);
+}
+
+/// The acceptance-criterion counter shape for a single-task metric edit:
+/// the dirtied cone is exactly the schedulability query, answered by
+/// refinement reuse (a WCET decrease refines the parent), so the warm run
+/// recomputes nothing.
+#[test]
+fn single_task_wcet_edit_reruns_only_dirty_cone() {
+    let base = render(&SpecCfg::default());
+    let cold = analyze_source(&base, "chain.htl", None, &mut NoopSink);
+    let db = cold.db.unwrap();
+
+    let edited = base.replace("wcet ctrl0 on h1 2;", "wcet ctrl0 on h1 1;");
+    assert_ne!(edited, base);
+    let warm = analyze_source(&edited, "chain.htl", Some(&db), &mut NoopSink);
+    let fresh = analyze_source(&edited, "chain.htl", None, &mut NoopSink);
+    assert_eq!(warm.stdout, fresh.stdout);
+    assert_eq!(warm.stderr, fresh.stderr);
+    assert!(warm.stats.hits > 0);
+    assert!(warm.stats.recomputes < warm.stats.queries);
+    assert_eq!(warm.stats.refine_reuses, 1);
+    assert_eq!(warm.stats.recomputes, 0);
+}
