@@ -102,6 +102,18 @@ pub mod names {
     pub const QUERY_REFINE_REUSE: &str = "logrel_query_refine_reuse_total";
     /// Cache loads rejected (corrupt/truncated/version mismatch).
     pub const QUERY_CACHE_FALLBACK: &str = "logrel_query_cache_fallback_total";
+    /// RNG seed the campaign ran with (gauge; echoed for replayability).
+    pub const CAMPAIGN_SEED: &str = "logrel_campaign_seed";
+    /// Fuzzer candidate scenarios executed (including invalid mutants).
+    pub const FUZZ_ITERS: &str = "logrel_fuzz_iters_total";
+    /// Fuzzer candidates with a novel coverage signature (kept in corpus).
+    pub const FUZZ_NOVEL: &str = "logrel_fuzz_novel_total";
+    /// Fuzzer monitor misses found (µ-violation with no prior alarm).
+    pub const FUZZ_MONITOR_MISS: &str = "logrel_fuzz_monitor_miss_total";
+    /// Shrinking passes applied to monitor-miss reproducers.
+    pub const FUZZ_SHRINK_STEPS: &str = "logrel_fuzz_shrink_steps_total";
+    /// Distinct coverage signatures seen by the fuzzer (gauge).
+    pub const FUZZ_SIGNATURES: &str = "logrel_fuzz_signatures";
 }
 
 /// Buckets for the delivering-replicas-per-vote histogram.
@@ -223,6 +235,30 @@ pub const CATALOG: &[MetricDef] = &[
     counter!(
         names::QUERY_CACHE_FALLBACK,
         "Cache loads rejected as corrupt or version-mismatched"
+    ),
+    gauge!(
+        names::CAMPAIGN_SEED,
+        "RNG seed the campaign ran with (echoed for replayability)"
+    ),
+    counter!(
+        names::FUZZ_ITERS,
+        "Fuzzer candidate scenarios executed (including invalid mutants)"
+    ),
+    counter!(
+        names::FUZZ_NOVEL,
+        "Fuzzer candidates kept for a novel coverage signature"
+    ),
+    counter!(
+        names::FUZZ_MONITOR_MISS,
+        "Monitor misses found (LRC violation with no prior alarm)"
+    ),
+    counter!(
+        names::FUZZ_SHRINK_STEPS,
+        "Shrinking passes applied to monitor-miss reproducers"
+    ),
+    gauge!(
+        names::FUZZ_SIGNATURES,
+        "Distinct coverage signatures seen by the fuzzer"
     ),
 ];
 

@@ -44,12 +44,13 @@ use crate::behavior::BehaviorMap;
 use crate::environment::Environment;
 use crate::fault::FaultInjector;
 use crate::kernel::{
-    drop_counter, vote_counter, warm_after_rejoin, SimOutput, Simulation, TaskStats,
+    drop_counter, task_audiences, vote_counter, warm_after_rejoin, SimOutput, Simulation,
+    TaskStats,
 };
 use crate::monitor::{NoSupervisor, Supervisor};
 use crate::trace::Trace;
 use logrel_core::roundprog::UpdateOp;
-use logrel_core::{CommunicatorId, FailureModel, Specification, TaskId, Tick, Value};
+use logrel_core::{CommunicatorId, FailureModel, HostId, Specification, TaskId, Tick, Value};
 use logrel_obs::{names, DropReason, MetricsSink, NoopSink, ObsEvent, VoteOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -294,6 +295,17 @@ impl<'a> Simulation<'a> {
         // no-ops, so the per-lane hook loops below can be skipped.
         let passive_env = lanes.iter().all(|l| l.environment.is_passive());
         let passive_sup = lanes.iter().all(|l| l.supervisor.is_passive());
+        // Correlated-failure gates: the partition delivery check and the
+        // adaptive vote echo are pure (no RNG draws), so lanes with a
+        // plain injector see exactly their scalar call sequence whether
+        // or not another lane partitions or adapts.
+        let partitioned = lanes.iter().any(|l| l.injector.partitions());
+        let adaptive = lanes.iter().any(|l| l.injector.adaptive());
+        let audiences = if partitioned {
+            task_audiences(spec, self.imp.phases())
+        } else {
+            Vec::new()
+        };
 
         let comm_count = spec.communicator_count();
         let mut trace = PackedTrace::new(comm_count);
@@ -337,6 +349,7 @@ impl<'a> Simulation<'a> {
         let mut lane_rep_vals = vec![Value::Unreliable; prog.max_replicas * max_out];
         let mut lane_rep_ok = vec![false; prog.max_replicas];
         let mut voted_buf = vec![Value::Unreliable; max_out];
+        let mut delivered_hosts: Vec<HostId> = Vec::with_capacity(prog.max_replicas);
 
         // Observation state, per lane. With `NoopSink` this is constant
         // `false` and the obs blocks below monomorphize away.
@@ -543,7 +556,11 @@ impl<'a> Simulation<'a> {
                             // Sample both draws for every replica, as in
                             // the scalar kernel.
                             let host_ok = lane.injector.host_ok(h, now, &mut lane.rng);
-                            let bc_ok = lane.injector.broadcast_ok(h, now, &mut lane.rng);
+                            let bc_ok = lane.injector.broadcast_ok(h, now, &mut lane.rng)
+                                && (!partitioned
+                                    || audiences[t]
+                                        .iter()
+                                        .all(|&rcv| lane.injector.delivers(h, rcv, now)));
                             let warm = !tt.stateful
                                 || warm_after_rejoin(lane.injector.rejoined_at(h, now), now, round);
                             let excluded =
@@ -679,6 +696,30 @@ impl<'a> Simulation<'a> {
                         }
                     }
                     result_delivered[parity][t] = delivered_mask;
+
+                    // Adaptive vote echo: lane `li`'s delivering hosts are
+                    // the replicas whose ok-mask has bit `li` set, so the
+                    // fast path needs no materialized replica rows.
+                    if adaptive {
+                        for (li, lane) in lanes.iter_mut().enumerate() {
+                            if !lane.injector.adaptive() {
+                                continue;
+                            }
+                            let bit = 1u64 << li;
+                            delivered_hosts.clear();
+                            for (i, &h) in hosts_of.iter().enumerate() {
+                                if ok_masks[i] & bit != 0 {
+                                    delivered_hosts.push(h);
+                                }
+                            }
+                            lane.injector.observe_vote(
+                                TaskId::new(ti),
+                                now,
+                                &delivered_hosts,
+                                hosts_of.len(),
+                            );
+                        }
+                    }
 
                     if any_obs {
                         for (li, lane) in lanes.iter_mut().enumerate() {

@@ -91,6 +91,16 @@ pub struct CommunicatorReport {
     pub alarms_raised: u64,
     /// Total cleared alarms across replications.
     pub alarms_cleared: u64,
+    /// Replications whose full-window mean dipped below µ_c by at least
+    /// half the Hoeffding band — the ground-truth µ-violations
+    /// ([`LrcMonitor::first_dip`]).
+    pub violations: u64,
+    /// Among `violations`, the replications where the monitor caught the
+    /// dip: an alarm was raised no later than one window of updates
+    /// after it ([`LrcMonitor::dip_alarmed`]). `violations > 0` with
+    /// `alarms_before_violation == 0` means the monitor slept through
+    /// every ground-truth violation — the fuzzer's headline objective.
+    pub alarms_before_violation: u64,
 }
 
 /// The full campaign report for one scenario.
@@ -110,6 +120,10 @@ struct RepStats {
     first_violation: Vec<Option<u64>>,
     raised: Vec<u64>,
     cleared: Vec<u64>,
+    first_dip: Vec<Option<u64>>,
+    /// Per communicator: a dip occurred *and* the monitor alarmed within
+    /// one window of it.
+    alarmed_dip: Vec<bool>,
 }
 
 /// Reduces one replication's output and monitor to its [`RepStats`] —
@@ -123,12 +137,16 @@ fn rep_stats(spec: &Specification, out: &SimOutput, monitor: &LrcMonitor) -> Rep
         first_violation: vec![None; comm_count],
         raised: vec![0; comm_count],
         cleared: vec![0; comm_count],
+        first_dip: vec![None; comm_count],
+        alarmed_dip: vec![false; comm_count],
     };
     for c in spec.communicator_ids() {
         let bits = out.trace.abstraction(c);
         stats.updates[c.index()] = bits.len() as u64;
         stats.reliable[c.index()] = bits.iter().filter(|&&b| b).count() as u64;
         stats.first_violation[c.index()] = monitor.first_violation(c).map(Tick::as_u64);
+        stats.first_dip[c.index()] = monitor.first_dip(c).map(Tick::as_u64);
+        stats.alarmed_dip[c.index()] = monitor.dip_alarmed(c);
     }
     for alarm in monitor.alarms() {
         match alarm.kind {
@@ -354,6 +372,14 @@ where
                     .count() as u64,
                 alarms_raised: per_rep.iter().map(|(s, _)| s.raised[i]).sum(),
                 alarms_cleared: per_rep.iter().map(|(s, _)| s.cleared[i]).sum(),
+                violations: per_rep
+                    .iter()
+                    .filter(|(s, _)| s.first_dip[i].is_some())
+                    .count() as u64,
+                alarms_before_violation: per_rep
+                    .iter()
+                    .filter(|(s, _)| s.alarmed_dip[i])
+                    .count() as u64,
             }
         })
         .collect();

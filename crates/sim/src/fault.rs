@@ -17,7 +17,7 @@
 //! every channel, including a host that crashed earlier in the same
 //! instant.
 
-use logrel_core::{Architecture, HostId, SensorId, Tick};
+use logrel_core::{Architecture, HostId, SensorId, TaskId, Tick};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -63,6 +63,39 @@ pub trait FaultInjector {
     fn corrupts(&self) -> bool {
         true
     }
+    /// Does the broadcast `sender` sent at `now` reach `receiver`?
+    ///
+    /// Network partitions make broadcast delivery *per-receiver* instead
+    /// of all-or-nothing. The query is **pure** — scripted membership,
+    /// never a random draw — so calling it (or not) cannot shift the
+    /// injector's draw sequence. Default: everything is delivered.
+    fn delivers(&self, sender: HostId, receiver: HostId, now: Tick) -> bool {
+        let _ = (sender, receiver, now);
+        true
+    }
+    /// Whether [`FaultInjector::delivers`] may ever return `false`.
+    ///
+    /// Returning `false` is a contract that `delivers` is constantly
+    /// `true`, so the kernels may skip the per-receiver audience check
+    /// entirely. The default is `false` (no partitions).
+    fn partitions(&self) -> bool {
+        false
+    }
+    /// Reports a vote's outcome back to the injector: the hosts whose
+    /// replicas of `task` delivered into the vote at `now`, out of
+    /// `total` assigned replicas. Adaptive adversaries use this feedback
+    /// to pick their next target; the hook **must not draw randomness**
+    /// (it is only called when [`FaultInjector::adaptive`] is `true`, so
+    /// passive injectors keep bit-identical streams). Default: ignored.
+    fn observe_vote(&mut self, task: TaskId, now: Tick, delivered: &[HostId], total: usize) {
+        let _ = (task, now, delivered, total);
+    }
+    /// Whether this injector wants [`FaultInjector::observe_vote`]
+    /// feedback. `false` (the default) is a contract that `observe_vote`
+    /// is a no-op, so the kernels skip collecting delivered-host lists.
+    fn adaptive(&self) -> bool {
+        false
+    }
 }
 
 /// Forwarding so wrappers can hold type-erased inner injectors (the
@@ -91,6 +124,18 @@ impl FaultInjector for Box<dyn FaultInjector + '_> {
     }
     fn corrupts(&self) -> bool {
         (**self).corrupts()
+    }
+    fn delivers(&self, sender: HostId, receiver: HostId, now: Tick) -> bool {
+        (**self).delivers(sender, receiver, now)
+    }
+    fn partitions(&self) -> bool {
+        (**self).partitions()
+    }
+    fn observe_vote(&mut self, task: TaskId, now: Tick, delivered: &[HostId], total: usize) {
+        (**self).observe_vote(task, now, delivered, total);
+    }
+    fn adaptive(&self) -> bool {
+        (**self).adaptive()
     }
 }
 
@@ -161,6 +206,20 @@ impl<S: HostSilencer> FaultInjector for S {
     fn corrupts(&self) -> bool {
         // Silencing only suppresses corruption; it never introduces it.
         self.inner_ref().corrupts()
+    }
+    // Partition membership and vote feedback are orthogonal to host
+    // silencing; forward them so wrapped scenario injectors keep working.
+    fn delivers(&self, sender: HostId, receiver: HostId, now: Tick) -> bool {
+        self.inner_ref().delivers(sender, receiver, now)
+    }
+    fn partitions(&self) -> bool {
+        self.inner_ref().partitions()
+    }
+    fn observe_vote(&mut self, task: TaskId, now: Tick, delivered: &[HostId], total: usize) {
+        self.inner().observe_vote(task, now, delivered, total);
+    }
+    fn adaptive(&self) -> bool {
+        self.inner_ref().adaptive()
     }
 }
 
@@ -293,6 +352,18 @@ impl<I: FaultInjector> FaultInjector for CorruptingFaults<I> {
         // Even with `corruption == 0.0` the corrupt hook consumes one
         // draw per delivered replica, so the call can never be skipped.
         true
+    }
+    fn delivers(&self, sender: HostId, receiver: HostId, now: Tick) -> bool {
+        self.inner.delivers(sender, receiver, now)
+    }
+    fn partitions(&self) -> bool {
+        self.inner.partitions()
+    }
+    fn observe_vote(&mut self, task: TaskId, now: Tick, delivered: &[HostId], total: usize) {
+        self.inner.observe_vote(task, now, delivered, total);
+    }
+    fn adaptive(&self) -> bool {
+        self.inner.adaptive()
     }
 }
 

@@ -39,8 +39,8 @@ use crate::fault::FaultInjector;
 use crate::trace::Trace;
 use logrel_core::roundprog::UpdateOp;
 use logrel_core::{
-    Architecture, Calendar, CommunicatorId, FailureModel, RoundProgram, Specification, TaskId,
-    Tick, TimeDependentImplementation, Value,
+    Architecture, Calendar, CommunicatorId, FailureModel, HostId, RoundProgram, Specification,
+    TaskId, Tick, TimeDependentImplementation, Value,
 };
 use logrel_obs::{names, DropReason, MetricsSink, NoopSink, ObsEvent, Span};
 use rand::rngs::StdRng;
@@ -143,7 +143,7 @@ impl std::error::Error for SimBuildError {}
 /// A prepared simulation of one system.
 pub struct Simulation<'a> {
     pub(crate) spec: &'a Specification,
-    imp: &'a TimeDependentImplementation,
+    pub(crate) imp: &'a TimeDependentImplementation,
     pub(crate) voting: crate::voting::VotingStrategy,
     /// The per-round event schedule, retained for
     /// [`Simulation::run_reference`] and exposed via
@@ -341,6 +341,20 @@ impl<'a> Simulation<'a> {
         let mut replica_vals = vec![Value::Unreliable; prog.max_replicas * prog.max_outputs];
         let mut replica_ok = vec![false; prog.max_replicas];
 
+        // Correlated-failure hooks. Both gates are constant over a run:
+        // with a partition-free injector the audience tables are never
+        // built and the delivery check vanishes; with a non-adaptive
+        // injector the vote is never echoed back. Neither hook draws from
+        // the RNG, so gated and ungated runs share one fault-draw stream.
+        let parts = injector.partitions();
+        let adaptive = injector.adaptive();
+        let audiences = if parts {
+            task_audiences(spec, self.imp.phases())
+        } else {
+            Vec::new()
+        };
+        let mut delivered_hosts: Vec<HostId> = Vec::with_capacity(prog.max_replicas);
+
         // Observation-only state. `obs` is a constant `false` for
         // `NoopSink`, so with the default sink all the `if obs` blocks
         // below vanish after monomorphization. Counters and histogram
@@ -464,9 +478,16 @@ impl<'a> Simulation<'a> {
                     let mut delivered = false;
                     for (i, &h) in hosts.iter().enumerate() {
                         // Sample both draws for every replica so the
-                        // process is order-independent.
+                        // process is order-independent. The partition
+                        // check is pure and folds into the broadcast
+                        // outcome: a replica cut off from any audience
+                        // host counts as a broadcast drop.
                         let host_ok = injector.host_ok(h, now, &mut rng);
-                        let bc_ok = injector.broadcast_ok(h, now, &mut rng);
+                        let bc_ok = injector.broadcast_ok(h, now, &mut rng)
+                            && (!parts
+                                || audiences[t]
+                                    .iter()
+                                    .all(|&rcv| injector.delivers(h, rcv, now)));
                         let warm = !tt.stateful
                             || warm_after_rejoin(injector.rejoined_at(h, now), now, round);
                         let excluded = supervisor.exclude_replica(TaskId::new(ti), h, now);
@@ -539,6 +560,15 @@ impl<'a> Simulation<'a> {
                         self.voting,
                         &mut result_vals[parity][tt.out_base..tt.out_base + tt.n_out],
                     );
+                    if adaptive {
+                        delivered_hosts.clear();
+                        for (i, &h) in hosts.iter().enumerate() {
+                            if replica_ok[i] {
+                                delivered_hosts.push(h);
+                            }
+                        }
+                        injector.observe_vote(TaskId::new(ti), now, &delivered_hosts, hosts.len());
+                    }
                     task_stats[t].invocations += 1;
                     if delivered {
                         task_stats[t].delivered += 1;
@@ -611,6 +641,18 @@ impl<'a> Simulation<'a> {
             .map(|t| vec![Value::Unreliable; spec.task(t).inputs().len()])
             .collect();
         let mut task_stats = vec![TaskStats::default(); spec.task_count()];
+
+        // Correlated-failure hooks, mirroring `run_observed` exactly
+        // (same gates, same pure delivery check, same vote echo) so the
+        // two interpreters stay bit-identical under partitions and
+        // adaptive adversaries.
+        let parts = injector.partitions();
+        let adaptive = injector.adaptive();
+        let audiences = if parts {
+            task_audiences(spec, self.imp.phases())
+        } else {
+            Vec::new()
+        };
 
         for r in 0..config.rounds {
             let phase = self.imp.at_iteration(r);
@@ -703,9 +745,15 @@ impl<'a> Simulation<'a> {
                             Vec::with_capacity(phase.hosts_of(t).len());
                         for &h in phase.hosts_of(t) {
                             // Sample both draws for every replica so the
-                            // process is order-independent.
+                            // process is order-independent; the pure
+                            // partition check folds into the broadcast
+                            // outcome as in `run_observed`.
                             let host_ok = injector.host_ok(h, now, &mut rng);
-                            let bc_ok = injector.broadcast_ok(h, now, &mut rng);
+                            let bc_ok = injector.broadcast_ok(h, now, &mut rng)
+                                && (!parts
+                                    || audiences[t.index()]
+                                        .iter()
+                                        .all(|&rcv| injector.delivers(h, rcv, now)));
                             let warm = !stateful
                                 || warm_after_rejoin(injector.rejoined_at(h, now), now, round);
                             if executes && host_ok && bc_ok && warm {
@@ -722,6 +770,15 @@ impl<'a> Simulation<'a> {
                             decl.outputs().len(),
                             self.voting,
                         );
+                        if adaptive {
+                            let delivered_hosts: Vec<HostId> = phase
+                                .hosts_of(t)
+                                .iter()
+                                .zip(&replica_outputs)
+                                .filter_map(|(&h, o)| o.is_some().then_some(h))
+                                .collect();
+                            injector.observe_vote(t, now, &delivered_hosts, replica_outputs.len());
+                        }
                         task_stats[t.index()].invocations += 1;
                         if delivered {
                             task_stats[t.index()].delivered += 1;
@@ -871,6 +928,41 @@ pub(crate) fn warm_after_rejoin(rejoined: Option<Tick>, now: Tick, round: u64) -
         None => true,
         Some(rj) => now.as_u64() >= rj.as_u64().div_ceil(round) * round + round,
     }
+}
+
+/// The partition *audience* of every task: the hosts running any task
+/// that reads a communicator this task writes, unioned over all mapping
+/// phases (a result written in one phase may be read under another).
+///
+/// Under a partitioned injector ([`FaultInjector::partitions`]) a replica
+/// only enters the vote when its broadcast reaches the *whole* audience —
+/// the model keeps one logical copy per communicator, so a partial
+/// delivery cannot be represented and is classified as a broadcast drop.
+/// The check is pure (no RNG draws), so partitions never perturb the
+/// fault-draw stream.
+pub(crate) fn task_audiences(
+    spec: &Specification,
+    phases: &[logrel_core::Implementation],
+) -> Vec<Vec<HostId>> {
+    let mut readers: Vec<Vec<TaskId>> = vec![Vec::new(); spec.communicator_count()];
+    for t in spec.task_ids() {
+        for a in spec.task(t).inputs() {
+            readers[a.comm.index()].push(t);
+        }
+    }
+    spec.task_ids()
+        .map(|t| {
+            let mut set = std::collections::BTreeSet::new();
+            for a in spec.task(t).outputs() {
+                for &rt in &readers[a.comm.index()] {
+                    for phase in phases {
+                        set.extend(phase.hosts_of(rt).iter().copied());
+                    }
+                }
+            }
+            set.into_iter().collect()
+        })
+        .collect()
 }
 
 /// The per-reason replica-drop counter.

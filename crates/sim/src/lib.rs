@@ -16,7 +16,12 @@
 //!   architecture's reliabilities, scheduled "unplug" events, and
 //!   compositions;
 //! * [`scenario`] — scripted fault timelines (crash/rejoin, flaky hosts,
-//!   burst broadcast loss, stuck sensors) with a replayable text format;
+//!   burst broadcast loss, stuck sensors, common-cause host groups,
+//!   network partitions, Weibull wear-out, adaptive adversaries) with a
+//!   replayable, versioned text format;
+//! * [`fuzz`] — coverage-guided mutation fuzzing of scenario timelines,
+//!   hunting monitor misses (µ-violations the LRC monitor slept
+//!   through) and shrinking them to minimal `.scn` reproducers;
 //! * [`monitor`] — online LRC monitoring with Hoeffding bands and
 //!   graceful-degradation supervisors;
 //! * [`montecarlo`] — deterministic parallel Monte-Carlo batches: derived
@@ -34,7 +39,10 @@
 //! replicas of a task produce identical outputs, all replications of a
 //! communicator hold identical values at read time — so the kernel keeps
 //! one logical copy per communicator, and per-replica state reduces to
-//! success/failure of each invocation.
+//! success/failure of each invocation. Network partitions refine this
+//! without breaking it: a replica cut off from *any* host that reads its
+//! outputs counts as silent for the round (its broadcast did not reach
+//! the full audience), so delivered values remain identical everywhere.
 //!
 //! [`TaskBehavior`]: behavior::TaskBehavior
 
@@ -45,6 +53,7 @@ pub mod cosim;
 pub mod emrun;
 pub mod environment;
 pub mod fault;
+pub mod fuzz;
 pub mod kernel;
 pub mod monitor;
 pub mod montecarlo;
@@ -63,6 +72,7 @@ pub use fault::{
     CorruptingFaults, FaultInjector, HostSilencer, NoFaults, PermanentFaults,
     ProbabilisticFaults, UnplugAt,
 };
+pub use fuzz::{run_fuzz, FuzzArtifact, FuzzConfig, FuzzOutcome};
 pub use kernel::{SimBuildError, SimConfig, SimOutput, Simulation};
 pub use monitor::{
     Alarm, AlarmKind, DegradationRule, Degrader, LrcMonitor, MonitorConfig, NoSupervisor,
@@ -73,7 +83,7 @@ pub use montecarlo::{
     run_supervised_replications, BatchConfig, ReplicationContext,
 };
 pub use scenario::{
-    Scenario, ScenarioEnvironment, ScenarioError, ScenarioEvent, ScenarioInjector,
+    HostSet, Scenario, ScenarioEnvironment, ScenarioError, ScenarioEvent, ScenarioInjector,
     ScenarioSymbols,
 };
 pub use trace::Trace;

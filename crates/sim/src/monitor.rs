@@ -137,6 +137,22 @@ struct CommWindow {
     window: SlidingMean,
     active: bool,
     first_violation: Option<Tick>,
+    /// First instant the full-window mean dipped below µ_c by at least
+    /// *half* the Hoeffding band — the ground-truth violation the alarm
+    /// is supposed to catch. The half-band margin keeps single-failure
+    /// noise out: for tight constraints (µ_c > 1 − 1/window) a lone
+    /// failed update already puts the plain mean under µ_c, which would
+    /// make every finite run a "violation". A dip the monitor never
+    /// alarmed on within one window is a monitor miss (the fuzzer's
+    /// headline objective).
+    first_dip: Option<Tick>,
+    /// Updates observed so far (the clock [`CommWindow::dip_update`] and
+    /// [`CommWindow::alarm_update`] are measured on).
+    updates: u64,
+    /// Update index of `first_dip`.
+    dip_update: Option<u64>,
+    /// Update index of the first raised alarm.
+    alarm_update: Option<u64>,
 }
 
 /// The online LRC monitor: one sliding window per communicator carrying
@@ -167,6 +183,10 @@ impl LrcMonitor {
                         window: SlidingMean::new(config.window),
                         active: false,
                         first_violation: None,
+                        first_dip: None,
+                        updates: 0,
+                        dip_update: None,
+                        alarm_update: None,
                     })
                 })
                 .collect(),
@@ -198,6 +218,33 @@ impl LrcMonitor {
             .as_ref()
             .and_then(|w| w.first_violation)
     }
+
+    /// The first instant the full-window mean for `comm` dipped below
+    /// µ_c by at least half the Hoeffding band, if it ever did — the
+    /// empirical µ-violation the alarm is supposed to catch. When
+    /// `first_dip` is `Some` and [`LrcMonitor::dip_alarmed`] is `false`,
+    /// the monitor *missed* the violation.
+    pub fn first_dip(&self, comm: CommunicatorId) -> Option<Tick> {
+        self.windows[comm.index()].as_ref().and_then(|w| w.first_dip)
+    }
+
+    /// Whether the dip on `comm` was caught: an alarm was raised no
+    /// later than one full window of updates after [`first_dip`]. Under
+    /// a monotone decay the dip threshold (half band) is necessarily
+    /// crossed a few updates before the alarm threshold (full band), so
+    /// a promptly trailing alarm still counts as catching the violation;
+    /// only a monitor that stayed silent for a whole further window — or
+    /// forever — has missed it. `false` when there was no dip.
+    ///
+    /// [`first_dip`]: LrcMonitor::first_dip
+    pub fn dip_alarmed(&self, comm: CommunicatorId) -> bool {
+        self.windows[comm.index()].as_ref().is_some_and(|w| {
+            match (w.dip_update, w.alarm_update) {
+                (Some(d), Some(a)) => a <= d + self.config.window as u64,
+                _ => false,
+            }
+        })
+    }
 }
 
 impl Supervisor for LrcMonitor {
@@ -206,12 +253,22 @@ impl Supervisor for LrcMonitor {
             return;
         };
         w.window.push(value.is_reliable());
+        w.updates += 1;
         let mean = w.window.mean();
         let epsilon = hoeffding_epsilon(w.window.len(), self.config.confidence);
+        if w.first_dip.is_none() && w.window.len() >= self.config.window && mean + epsilon / 2.0 < w.lrc
+        {
+            // The full-window mean is under µ_c by half the band: a
+            // ground-truth violation, whether or not the full band makes
+            // it confident enough to alarm.
+            w.first_dip = Some(now);
+            w.dip_update = Some(w.updates);
+        }
         if !w.active && mean + epsilon < w.lrc {
             // Even the optimistic end of the confidence band is below
             // µ_c: the violation is statistically confident.
             w.active = true;
+            w.alarm_update.get_or_insert(w.updates);
             w.first_violation.get_or_insert(now);
             self.alarms.push(Alarm {
                 comm,
@@ -460,6 +517,52 @@ mod tests {
         assert_eq!(m.alarms()[1].kind, AlarmKind::Cleared);
         // first_violation is sticky across the clear.
         assert_eq!(m.first_violation(u), Some(first));
+    }
+
+    #[test]
+    fn near_threshold_dip_is_a_monitor_miss() {
+        // window 50, confidence 0.99: ε ≈ 0.2302, half band ≈ 0.1151.
+        // A sustained mean around 0.75 is a ground-truth violation of
+        // µ = 0.9 (below µ by more than ε/2) that the full band never
+        // makes confident — the monitor sleeps through it.
+        let (spec, u) = spec_with_lrc(0.9);
+        let cfg = MonitorConfig {
+            window: 50,
+            confidence: 0.99,
+        };
+        let mut m = LrcMonitor::new(&spec, cfg);
+        for i in 0..200u64 {
+            let v = if i % 4 == 0 { Value::Unreliable } else { Value::Float(1.0) };
+            m.observe(u, Tick::new(i * 10), v);
+        }
+        assert!(m.first_dip(u).is_some());
+        assert!(m.alarms().is_empty(), "band never confident");
+        assert!(!m.dip_alarmed(u), "dip with no alarm = miss");
+
+        // A lone failure is noise, not a violation: the mean stays well
+        // inside the half band.
+        let mut m = LrcMonitor::new(&spec, cfg);
+        for i in 0..200u64 {
+            let v = if i == 100 { Value::Unreliable } else { Value::Float(1.0) };
+            m.observe(u, Tick::new(i * 10), v);
+        }
+        assert_eq!(m.first_dip(u), None);
+        assert!(!m.dip_alarmed(u));
+
+        // A hard outage decays through the dip threshold a few updates
+        // before the alarm threshold; the promptly trailing alarm still
+        // counts as catching the violation.
+        let mut m = LrcMonitor::new(&spec, cfg);
+        for i in 0..60u64 {
+            m.observe(u, Tick::new(i * 10), Value::Float(1.0));
+        }
+        for i in 60..120u64 {
+            m.observe(u, Tick::new(i * 10), Value::Unreliable);
+        }
+        let dip = m.first_dip(u).expect("outage dips");
+        let raised = m.alarms().iter().find(|a| a.kind == AlarmKind::Raised).unwrap();
+        assert!(dip < raised.at, "half band crossed first");
+        assert!(m.dip_alarmed(u), "alarm within one window catches it");
     }
 
     #[test]

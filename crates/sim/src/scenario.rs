@@ -1,20 +1,24 @@
 //! Scripted fault scenarios with deterministic, replayable timelines.
 //!
 //! A [`Scenario`] is a list of [`ScenarioEvent`]s — host crashes and
-//! rejoins, intermittent ("flaky") host windows, stuck-at sensor windows
-//! and correlated broadcast burst loss via a Gilbert–Elliott two-state
-//! channel — that layers over any inner [`FaultInjector`] through
-//! [`ScenarioInjector`] and over any [`Environment`] through
-//! [`ScenarioEnvironment`]. Scenarios serialize to a small line-oriented
-//! text format (see [`Scenario::parse`]); the canonical rendering
-//! round-trips exactly, so a replay from the serialized form is
-//! bit-identical to the original run.
+//! rejoins, intermittent ("flaky") host windows, stuck-at sensor windows,
+//! correlated broadcast burst loss via a Gilbert–Elliott two-state
+//! channel, common-cause group outages, network partitions, Weibull
+//! wear-out and an adaptive vote-pivot adversary — that layers over any
+//! inner [`FaultInjector`] through [`ScenarioInjector`] and over any
+//! [`Environment`] through [`ScenarioEnvironment`]. Scenarios serialize
+//! to a small line-oriented text format (see [`Scenario::parse`]); the
+//! canonical rendering round-trips exactly, so a replay from the
+//! serialized form is bit-identical to the original run.
 //!
 //! # Text format
 //!
-//! One event per line, `#` starts a comment, blank lines are ignored:
+//! An optional `scn v2` version header, then one event per line; `#`
+//! starts a comment, blank lines are ignored. Headerless input is
+//! accepted as v1 for back-compat; unknown versions are rejected:
 //!
 //! ```text
+//! scn v2
 //! # crash host 1 at instant 125000, bring it back at 200000
 //! crash host=1 at=125000
 //! rejoin host=1 at=200000
@@ -24,24 +28,101 @@
 //! stuck comm=0 from=1000 until=2000
 //! # Gilbert–Elliott burst loss on the broadcast channel
 //! burst from=0 until=100000 enter=0.01 exit=0.2 loss=0.9
+//! # one draw downs hosts 0 and 1 *together* (correlated outage)
+//! common hosts=0,1 from=0 until=50000 p=0.02
+//! # the network splits: {0,2} vs everyone else
+//! partition hosts=0,2 from=10000 until=20000
+//! # host 1 wears out along a Weibull hazard over the window
+//! wearout host=1 from=0 until=100000 shape=2 scale=40000
+//! # adversary knocks out the vote pivot for 500 ticks at a time
+//! adversary from=0 until=100000 hold=500
 //! ```
 //!
 //! Instants are ticks; windows are half-open `[from, until)`. Crashed
 //! hosts are fail-silent on every channel (no execution, no broadcast,
 //! no corruption) until their `rejoin`; the kernel then applies the
-//! warm-up rule via [`FaultInjector::rejoined_at`]. Flaky windows are
-//! transient — they never trigger warm-up. All scenario randomness is
-//! drawn from the simulation's seeded RNG in a fixed order (one flaky
-//! draw per host and instant, one chain-advance plus one loss draw per
-//! burst window and broadcast instant), so runs remain bit-reproducible
-//! and the inner injector's draw sequence is unperturbed.
+//! warm-up rule via [`FaultInjector::rejoined_at`]. Flaky, common-cause,
+//! wear-out and adversary windows are transient — they never trigger
+//! warm-up. All scenario randomness is drawn from the simulation's
+//! seeded RNG in a fixed order (one flaky draw per host and instant, one
+//! chain-advance plus one loss draw per burst window and broadcast
+//! instant, one draw per common-cause group and instant made by the
+//! first member queried, one draw per wear-out window per host and
+//! instant; partitions and the adversary are draw-free), so runs remain
+//! bit-reproducible and the inner injector's draw sequence is
+//! unperturbed.
 
 use crate::environment::Environment;
 use crate::fault::FaultInjector;
-use logrel_core::{CommunicatorId, HostId, SensorId, Tick, Value};
+use logrel_core::{CommunicatorId, HostId, SensorId, TaskId, Tick, Value};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt;
+
+/// A set of hosts identified by index, packed as a bitmask. Scenario
+/// events that name host *groups* (common-cause outages, partitions)
+/// support host indices `0..64` — far beyond any modelled architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostSet(u64);
+
+impl HostSet {
+    /// The empty set.
+    pub const EMPTY: HostSet = HostSet(0);
+
+    /// Builds a set from host ids; fails with the offending id if an
+    /// index is `≥ 64`.
+    pub fn from_hosts(hosts: impl IntoIterator<Item = HostId>) -> Result<Self, HostId> {
+        let mut set = HostSet(0);
+        for h in hosts {
+            if h.index() >= 64 {
+                return Err(h);
+            }
+            set.0 |= 1 << h.index();
+        }
+        Ok(set)
+    }
+
+    /// Whether `host` is a member (indices `≥ 64` never are).
+    #[must_use]
+    pub fn contains(self, host: HostId) -> bool {
+        host.index() < 64 && self.0 & (1 << host.index()) != 0
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set has no members.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The members in ascending index order.
+    pub fn iter(self) -> impl Iterator<Item = HostId> {
+        (0..64u32).filter(move |i| self.0 & (1 << i) != 0).map(HostId::new)
+    }
+
+    /// The largest member index, if any.
+    #[must_use]
+    pub fn max_index(self) -> Option<usize> {
+        (self.0 != 0).then(|| 63 - self.0.leading_zeros() as usize)
+    }
+}
+
+impl fmt::Display for HostSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, h) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", h.index())?;
+        }
+        Ok(())
+    }
+}
 
 /// One scripted fault event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,6 +180,66 @@ pub enum ScenarioEvent {
         /// Loss probability per broadcast while in the Bad state.
         loss: f64,
     },
+    /// During `[from, until)`, one *common-cause* draw per instant downs
+    /// every host in `hosts` together with probability `p`. Each
+    /// member's marginal per-instant availability stays `1 − p` (as an
+    /// independent flaky window would give it), but the failures are
+    /// perfectly correlated — the independence assumption behind
+    /// Proposition 1 is deliberately violated. Transient (no warm-up).
+    CommonCause {
+        /// The correlated host group.
+        hosts: HostSet,
+        /// Window start (inclusive).
+        from: Tick,
+        /// Window end (exclusive).
+        until: Tick,
+        /// Per-instant probability that the whole group goes down.
+        p: f64,
+    },
+    /// During `[from, until)`, the network splits into two sides: the
+    /// listed `hosts` and everyone else. A broadcast is delivered only
+    /// between hosts on the same side. Membership is scripted and
+    /// draw-free; the kernels consult it through
+    /// [`FaultInjector::delivers`].
+    Partition {
+        /// One side of the split (the complement is the other side).
+        hosts: HostSet,
+        /// Window start (inclusive).
+        from: Tick,
+        /// Window end (exclusive).
+        until: Tick,
+    },
+    /// During `[from, until)`, `host` wears out along a Weibull hazard:
+    /// at age `τ = now − from` it answers each instant only with
+    /// survival probability `exp(−(τ/scale)^shape)`. Transient (no
+    /// warm-up); `shape > 1` models ageing, `shape < 1` infant
+    /// mortality.
+    Wearout {
+        /// The wearing host.
+        host: HostId,
+        /// Window start (inclusive) — the age origin.
+        from: Tick,
+        /// Window end (exclusive).
+        until: Tick,
+        /// Weibull shape parameter `k > 0`.
+        shape: f64,
+        /// Weibull scale parameter `λ > 0`, in ticks.
+        scale: f64,
+    },
+    /// During `[from, until)`, an adaptive adversary watches every vote
+    /// (via [`FaultInjector::observe_vote`]); whenever a vote sits at
+    /// the minimal strict majority — losing any one replica would flip
+    /// it — the lowest-indexed delivering host is knocked out for the
+    /// next `hold` ticks. Entirely draw-free, so it perturbs no RNG
+    /// stream.
+    Adversary {
+        /// Window start (inclusive).
+        from: Tick,
+        /// Window end (exclusive).
+        until: Tick,
+        /// How many ticks a targeted host stays down after the vote.
+        hold: u64,
+    },
 }
 
 impl fmt::Display for ScenarioEvent {
@@ -144,6 +285,48 @@ impl fmt::Display for ScenarioEvent {
                 p_enter,
                 p_exit,
                 loss
+            ),
+            ScenarioEvent::CommonCause {
+                hosts,
+                from,
+                until,
+                p,
+            } => write!(
+                f,
+                "common hosts={} from={} until={} p={}",
+                hosts,
+                from.as_u64(),
+                until.as_u64(),
+                p
+            ),
+            ScenarioEvent::Partition { hosts, from, until } => write!(
+                f,
+                "partition hosts={} from={} until={}",
+                hosts,
+                from.as_u64(),
+                until.as_u64()
+            ),
+            ScenarioEvent::Wearout {
+                host,
+                from,
+                until,
+                shape,
+                scale,
+            } => write!(
+                f,
+                "wearout host={} from={} until={} shape={} scale={}",
+                host.index(),
+                from.as_u64(),
+                until.as_u64(),
+                shape,
+                scale
+            ),
+            ScenarioEvent::Adversary { from, until, hold } => write!(
+                f,
+                "adversary from={} until={} hold={}",
+                from.as_u64(),
+                until.as_u64(),
+                hold
             ),
         }
     }
@@ -254,12 +437,68 @@ impl<'a> LineParser<'a> {
 
     fn host(&self, key: &str) -> Result<HostId, ScenarioError> {
         let v = self.get(key)?;
+        self.resolve_host(v)
+    }
+
+    fn resolve_host(&self, v: &str) -> Result<HostId, ScenarioError> {
         if let Ok(i) = v.parse::<u32>() {
             return Ok(HostId::new(i));
         }
         self.symbols
             .host(v)
             .ok_or_else(|| err(self.line, format!("unknown host `{v}`")))
+    }
+
+    /// A comma-separated, non-empty host list packed into a [`HostSet`].
+    fn hosts(&self, key: &str) -> Result<HostSet, ScenarioError> {
+        let v = self.get(key)?;
+        let mut set = HostSet::EMPTY;
+        for part in v.split(',') {
+            if part.is_empty() {
+                return Err(err(
+                    self.line,
+                    format!("field `{key}`: empty host in list `{v}`"),
+                ));
+            }
+            let h = self.resolve_host(part)?;
+            set = HostSet::from_hosts(set.iter().chain([h])).map_err(|h| {
+                err(
+                    self.line,
+                    format!(
+                        "field `{key}`: host {} exceeds the group limit of 64",
+                        h.index()
+                    ),
+                )
+            })?;
+        }
+        Ok(set)
+    }
+
+    /// A strictly positive, finite number (Weibull shape/scale).
+    fn positive(&self, key: &str) -> Result<f64, ScenarioError> {
+        let v = self.get(key)?;
+        let x: f64 = v
+            .parse()
+            .map_err(|_| err(self.line, format!("field `{key}`: `{v}` is not a number")))?;
+        if !(x.is_finite() && x > 0.0) {
+            return Err(err(
+                self.line,
+                format!("field `{key}`: {x} is not a positive number"),
+            ));
+        }
+        Ok(x)
+    }
+
+    /// A strictly positive integer (tick counts).
+    fn count(&self, key: &str) -> Result<u64, ScenarioError> {
+        let v = self.get(key)?;
+        let n: u64 = v
+            .parse()
+            .map_err(|_| err(self.line, format!("field `{key}`: `{v}` is not a count")))?;
+        if n == 0 {
+            return Err(err(self.line, format!("field `{key}` must be at least 1")));
+        }
+        Ok(n)
     }
 
     fn comm(&self, key: &str) -> Result<CommunicatorId, ScenarioError> {
@@ -312,6 +551,7 @@ impl Scenario {
         symbols: &dyn ScenarioSymbols,
     ) -> Result<Self, ScenarioError> {
         let mut events = Vec::new();
+        let mut significant_lines = 0usize;
         for (i, raw) in text.lines().enumerate() {
             let line = i + 1;
             let trimmed = match raw.split_once('#') {
@@ -321,7 +561,24 @@ impl Scenario {
             if trimmed.is_empty() {
                 continue;
             }
+            significant_lines += 1;
             let (verb, rest) = trimmed.split_once(char::is_whitespace).unwrap_or((trimmed, ""));
+            // Version directive: `scn v2` as the first significant line.
+            // Headerless input is v1 (the original, pre-versioned format).
+            if verb == "scn" {
+                if significant_lines != 1 {
+                    return Err(err(line, "version directive must be the first line"));
+                }
+                match rest.trim() {
+                    "v1" | "v2" => continue,
+                    other => {
+                        return Err(err(
+                            line,
+                            format!("unsupported scenario version `{other}` (expected v1 or v2)"),
+                        ))
+                    }
+                }
+            }
             let p = LineParser {
                 fields: fields(rest, line)?,
                 line,
@@ -369,6 +626,41 @@ impl Scenario {
                         loss: p.prob("loss")?,
                     }
                 }
+                "common" => {
+                    p.known_keys(&["hosts", "from", "until", "p"])?;
+                    ScenarioEvent::CommonCause {
+                        hosts: p.hosts("hosts")?,
+                        from: p.tick("from")?,
+                        until: p.tick("until")?,
+                        p: p.prob("p")?,
+                    }
+                }
+                "partition" => {
+                    p.known_keys(&["hosts", "from", "until"])?;
+                    ScenarioEvent::Partition {
+                        hosts: p.hosts("hosts")?,
+                        from: p.tick("from")?,
+                        until: p.tick("until")?,
+                    }
+                }
+                "wearout" => {
+                    p.known_keys(&["host", "from", "until", "shape", "scale"])?;
+                    ScenarioEvent::Wearout {
+                        host: p.host("host")?,
+                        from: p.tick("from")?,
+                        until: p.tick("until")?,
+                        shape: p.positive("shape")?,
+                        scale: p.positive("scale")?,
+                    }
+                }
+                "adversary" => {
+                    p.known_keys(&["from", "until", "hold"])?;
+                    ScenarioEvent::Adversary {
+                        from: p.tick("from")?,
+                        until: p.tick("until")?,
+                        hold: p.count("hold")?,
+                    }
+                }
                 other => return Err(err(line, format!("unknown event `{other}`"))),
             };
             events.push(event);
@@ -376,9 +668,10 @@ impl Scenario {
         Self::from_events(events)
     }
 
-    /// Timeline validation: windows must be non-empty, and each host's
-    /// crash/rejoin events must strictly alternate in increasing time
-    /// order starting with a crash.
+    /// Timeline validation: windows must be non-empty, host groups must
+    /// have members, probabilities and Weibull parameters must be sane,
+    /// and each host's crash/rejoin events must strictly alternate in
+    /// increasing time order starting with a crash.
     fn validate(&self) -> Result<(), ScenarioError> {
         let mut max_host = 0usize;
         for e in &self.events {
@@ -392,9 +685,41 @@ impl Scenario {
                 ScenarioEvent::Flaky { from, until, .. }
                 | ScenarioEvent::StuckSensor { from, until, .. }
                 | ScenarioEvent::Burst { from, until, .. }
+                | ScenarioEvent::CommonCause { from, until, .. }
+                | ScenarioEvent::Partition { from, until, .. }
+                | ScenarioEvent::Wearout { from, until, .. }
+                | ScenarioEvent::Adversary { from, until, .. }
                     if from >= until =>
                 {
                     return Err(err(0, format!("empty window in `{e}`")));
+                }
+                _ => {}
+            }
+            match *e {
+                ScenarioEvent::CommonCause { hosts, p, .. } => {
+                    if hosts.is_empty() {
+                        return Err(err(0, format!("empty host group in `{e}`")));
+                    }
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(err(0, format!("probability out of [0, 1] in `{e}`")));
+                    }
+                }
+                ScenarioEvent::Partition { hosts, .. } if hosts.is_empty() => {
+                    return Err(err(0, format!("empty host group in `{e}`")));
+                }
+                ScenarioEvent::Wearout { shape, scale, .. }
+                    if !(shape.is_finite()
+                        && shape > 0.0
+                        && scale.is_finite()
+                        && scale > 0.0) =>
+                {
+                    return Err(err(
+                        0,
+                        format!("wearout shape/scale must be positive in `{e}`"),
+                    ));
+                }
+                ScenarioEvent::Adversary { hold: 0, .. } => {
+                    return Err(err(0, format!("adversary hold must be at least 1 in `{e}`")));
                 }
                 _ => {}
             }
@@ -461,7 +786,26 @@ impl Scenario {
                         ));
                     }
                 }
-                ScenarioEvent::Burst { .. } => {}
+                ScenarioEvent::Wearout { host, .. } => {
+                    if host.index() >= host_count {
+                        return Err(err(
+                            0,
+                            format!("host {} out of range (have {host_count})", host.index()),
+                        ));
+                    }
+                }
+                ScenarioEvent::CommonCause { hosts, .. }
+                | ScenarioEvent::Partition { hosts, .. } => {
+                    if let Some(max) = hosts.max_index() {
+                        if max >= host_count {
+                            return Err(err(
+                                0,
+                                format!("host {max} out of range (have {host_count})"),
+                            ));
+                        }
+                    }
+                }
+                ScenarioEvent::Burst { .. } | ScenarioEvent::Adversary { .. } => {}
             }
         }
         Ok(())
@@ -504,6 +848,7 @@ impl Scenario {
 
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scn v2")?;
         for e in &self.events {
             writeln!(f, "{e}")?;
         }
@@ -539,6 +884,21 @@ pub struct ScenarioInjector<I> {
     flaky_cache: Vec<(u64, bool)>,
     bursts: Vec<(u64, u64, f64, f64, f64)>,
     ge: Vec<GeState>,
+    /// Common-cause groups: (from, until, p, members), in event order.
+    commons: Vec<(u64, u64, f64, HostSet)>,
+    /// Cached group decision: (instant + 1, down) — 0 = no cache. The
+    /// first member queried at an instant draws for the whole group.
+    common_cache: Vec<(u64, bool)>,
+    /// Per host: wear-out windows (from, until, shape, scale).
+    wearouts: Vec<Vec<(u64, u64, f64, f64)>>,
+    /// Cached wear decision per host: (instant + 1, up) — 0 = no cache.
+    wear_cache: Vec<(u64, bool)>,
+    /// Partition windows: (from, until, one side). Draw-free.
+    splits: Vec<(u64, u64, HostSet)>,
+    /// Adversary windows: (from, until, hold). Draw-free.
+    adversaries: Vec<(u64, u64, u64)>,
+    /// Per host: adversary-imposed downtime — down while `now < until`.
+    adv_until: Vec<u64>,
 }
 
 impl<I: FaultInjector> ScenarioInjector<I> {
@@ -554,6 +914,10 @@ impl<I: FaultInjector> ScenarioInjector<I> {
         let mut transitions = vec![Vec::new(); host_count];
         let mut flaky = vec![Vec::new(); host_count];
         let mut bursts = Vec::new();
+        let mut commons = Vec::new();
+        let mut wearouts = vec![Vec::new(); host_count];
+        let mut splits = Vec::new();
+        let mut adversaries = Vec::new();
         for e in scenario.events() {
             match *e {
                 ScenarioEvent::Crash { host, at } => {
@@ -576,6 +940,25 @@ impl<I: FaultInjector> ScenarioInjector<I> {
                     loss,
                 } => bursts.push((from.as_u64(), until.as_u64(), p_enter, p_exit, loss)),
                 ScenarioEvent::StuckSensor { .. } => {} // environment-side
+                ScenarioEvent::CommonCause {
+                    hosts,
+                    from,
+                    until,
+                    p,
+                } => commons.push((from.as_u64(), until.as_u64(), p, hosts)),
+                ScenarioEvent::Partition { hosts, from, until } => {
+                    splits.push((from.as_u64(), until.as_u64(), hosts));
+                }
+                ScenarioEvent::Wearout {
+                    host,
+                    from,
+                    until,
+                    shape,
+                    scale,
+                } => wearouts[host.index()].push((from.as_u64(), until.as_u64(), shape, scale)),
+                ScenarioEvent::Adversary { from, until, hold } => {
+                    adversaries.push((from.as_u64(), until.as_u64(), hold));
+                }
             }
         }
         for t in &mut transitions {
@@ -595,6 +978,13 @@ impl<I: FaultInjector> ScenarioInjector<I> {
                 bursts.len()
             ],
             bursts,
+            common_cache: vec![(0, false); commons.len()],
+            commons,
+            wearouts,
+            wear_cache: vec![(0, true); host_count],
+            splits,
+            adversaries,
+            adv_until: vec![0; host_count],
         })
     }
 
@@ -649,6 +1039,85 @@ impl<I: FaultInjector> ScenarioInjector<I> {
         }
     }
 
+    /// The common-cause decision for `(host, now)`: every group that
+    /// contains `host` and whose window contains `now` draws once per
+    /// instant — made by the first member queried, cached for the rest —
+    /// so all members fail *together*. Zero draws outside windows.
+    fn common_down(&mut self, host: HostId, now: u64, rng: &mut StdRng) -> bool {
+        let mut down = false;
+        for (i, &(from, until, p, members)) in self.commons.iter().enumerate() {
+            if !members.contains(host) || !(from..until).contains(&now) {
+                continue;
+            }
+            let cache = &mut self.common_cache[i];
+            if cache.0 != now + 1 {
+                *cache = (now + 1, rng.gen_bool(p));
+            }
+            if cache.1 {
+                down = true;
+            }
+        }
+        down
+    }
+
+    /// Pure variant of [`Self::common_down`] for corruption suppression:
+    /// uses cached decisions only (a group never sampled this instant
+    /// delivered nothing anyway).
+    fn common_down_cached(&self, host: HostId, now: u64) -> bool {
+        self.commons.iter().enumerate().any(|(i, &(from, until, _, members))| {
+            members.contains(host)
+                && (from..until).contains(&now)
+                && self.common_cache[i] == (now + 1, true)
+        })
+    }
+
+    /// The Weibull wear-out decision for `(host, now)`, one unconditional
+    /// draw per active window per new instant with survival probability
+    /// `exp(−(τ/scale)^shape)` at window age `τ`. Cached per instant like
+    /// the flaky decision; zero draws outside windows.
+    fn wear_up(&mut self, host: HostId, now: u64, rng: &mut StdRng) -> bool {
+        let h = host.index();
+        if self.wear_cache[h].0 == now + 1 {
+            return self.wear_cache[h].1;
+        }
+        let mut up = true;
+        for &(from, until, shape, scale) in &self.wearouts[h] {
+            if (from..until).contains(&now) {
+                let x = (now - from) as f64 / scale;
+                // The canonical shapes — exponential (1) and Rayleigh
+                // (2) — skip the libm powf; this is the per-instant hot
+                // path of every wearing host.
+                let hazard = if shape == 2.0 {
+                    x * x
+                } else if shape == 1.0 {
+                    x
+                } else {
+                    x.powf(shape)
+                };
+                if !rng.gen_bool((-hazard).exp()) {
+                    up = false;
+                }
+            }
+        }
+        self.wear_cache[h] = (now + 1, up);
+        up
+    }
+
+    /// Pure variant of [`Self::wear_up`] for corruption suppression.
+    fn wear_up_cached(&self, host: HostId, now: u64) -> bool {
+        let h = host.index();
+        if self.wear_cache[h].0 == now + 1 {
+            self.wear_cache[h].1
+        } else {
+            true
+        }
+    }
+
+    /// Whether the adversary currently holds `host` down. Pure.
+    fn adv_down(&self, host: HostId, now: u64) -> bool {
+        now < self.adv_until[host.index()]
+    }
+
     /// Advances every burst chain whose window contains `now` (once per
     /// instant) and reports whether the broadcast at `now` survives all
     /// of them. Exactly two draws per active window per new instant
@@ -688,7 +1157,14 @@ impl<I: FaultInjector> FaultInjector for ScenarioInjector<I> {
         let inner_ok = self.inner.host_ok(host, now, rng);
         let t = now.as_u64();
         let flaky_up = self.flaky_up(host, t, rng);
-        inner_ok && flaky_up && !self.crash_down(host, t)
+        let common_down = self.common_down(host, t, rng);
+        let wear_up = self.wear_up(host, t, rng);
+        inner_ok
+            && flaky_up
+            && !common_down
+            && wear_up
+            && !self.crash_down(host, t)
+            && !self.adv_down(host, t)
     }
 
     fn sensor_ok(&mut self, sensor: SensorId, now: Tick, rng: &mut StdRng) -> bool {
@@ -700,7 +1176,15 @@ impl<I: FaultInjector> FaultInjector for ScenarioInjector<I> {
         let t = now.as_u64();
         let burst_ok = self.burst_ok(t, rng);
         let flaky_up = self.flaky_up(host, t, rng);
-        inner_ok && burst_ok && flaky_up && !self.crash_down(host, t)
+        let common_down = self.common_down(host, t, rng);
+        let wear_up = self.wear_up(host, t, rng);
+        inner_ok
+            && burst_ok
+            && flaky_up
+            && !common_down
+            && wear_up
+            && !self.crash_down(host, t)
+            && !self.adv_down(host, t)
     }
 
     fn corrupt(
@@ -711,8 +1195,14 @@ impl<I: FaultInjector> FaultInjector for ScenarioInjector<I> {
         rng: &mut StdRng,
     ) {
         let t = now.as_u64();
-        // A crashed or flaked-out host is fail-silent: no corruption.
-        if !self.crash_down(host, t) && self.flaky_up_cached(host, t) {
+        // A host silenced by any scripted process is fail-silent: no
+        // corruption. The cached variants are pure, so no draws shift.
+        if !self.crash_down(host, t)
+            && self.flaky_up_cached(host, t)
+            && !self.common_down_cached(host, t)
+            && self.wear_up_cached(host, t)
+            && !self.adv_down(host, t)
+        {
             self.inner.corrupt(host, now, outputs, rng);
         }
     }
@@ -729,6 +1219,39 @@ impl<I: FaultInjector> FaultInjector for ScenarioInjector<I> {
         // The scenario layer only *suppresses* inner corruption (crashed
         // or flaked-out hosts are fail-silent); it never corrupts itself.
         self.inner.corrupts()
+    }
+
+    fn delivers(&self, sender: HostId, receiver: HostId, now: Tick) -> bool {
+        let t = now.as_u64();
+        self.splits.iter().all(|&(from, until, side)| {
+            !(from..until).contains(&t) || side.contains(sender) == side.contains(receiver)
+        }) && self.inner.delivers(sender, receiver, now)
+    }
+
+    fn partitions(&self) -> bool {
+        !self.splits.is_empty() || self.inner.partitions()
+    }
+
+    fn observe_vote(&mut self, task: TaskId, now: Tick, delivered: &[HostId], total: usize) {
+        self.inner.observe_vote(task, now, delivered, total);
+        let t = now.as_u64();
+        // The pivot: the vote holds exactly the minimal strict majority,
+        // so losing any one delivering replica flips it. Target the
+        // lowest-indexed delivering host (deterministic, draw-free).
+        if delivered.is_empty() || delivered.len() != total / 2 + 1 {
+            return;
+        }
+        let target = delivered.iter().copied().min().expect("non-empty");
+        for &(from, until, hold) in &self.adversaries {
+            if (from..until).contains(&t) {
+                let u = &mut self.adv_until[target.index()];
+                *u = (*u).max(t + 1 + hold);
+            }
+        }
+    }
+
+    fn adaptive(&self) -> bool {
+        !self.adversaries.is_empty() || self.inner.adaptive()
     }
 }
 
@@ -823,16 +1346,38 @@ rejoin host=1 at=200000
 flaky host=2 from=0 until=50000 up=0.8
 stuck comm=0 from=1000 until=2000
 burst from=0 until=100000 enter=0.01 exit=0.2 loss=0.9
+common hosts=0,2 from=5000 until=9000 p=0.25
+partition hosts=1 from=3000 until=4000
+wearout host=2 from=60000 until=90000 shape=2 scale=10000
+adversary from=0 until=20000 hold=50
 ";
 
     #[test]
     fn parse_display_roundtrip_is_canonical() {
+        // Headerless input is v1; the canonical rendering carries the
+        // `scn v2` header and is a parse/display fixpoint.
         let s = Scenario::parse(EXAMPLE).unwrap();
-        assert_eq!(s.events().len(), 5);
+        assert_eq!(s.events().len(), 9);
         let canon = s.to_string();
+        assert!(canon.starts_with("scn v2\n"), "canon: {canon}");
         let s2 = Scenario::parse(&canon).unwrap();
         assert_eq!(s, s2);
         assert_eq!(canon, s2.to_string());
+    }
+
+    #[test]
+    fn version_directive_is_checked() {
+        for ok in ["scn v1\ncrash host=0 at=5\n", "scn v2\ncrash host=0 at=5\n"] {
+            assert_eq!(Scenario::parse(ok).unwrap().events().len(), 1, "{ok}");
+        }
+        // Comments and blank lines may precede the directive.
+        assert!(Scenario::parse("# hi\n\nscn v2\ncrash host=0 at=5\n").is_ok());
+        let e = Scenario::parse("scn v3\ncrash host=0 at=5\n").unwrap_err();
+        assert!(e.to_string().contains("unsupported scenario version `v3`"), "{e}");
+        assert_eq!(e.line, 1);
+        let e = Scenario::parse("crash host=0 at=5\nscn v2\n").unwrap_err();
+        assert!(e.to_string().contains("must be the first line"), "{e}");
+        assert_eq!(e.line, 2);
     }
 
     #[test]
@@ -848,6 +1393,15 @@ burst from=0 until=100000 enter=0.01 exit=0.2 loss=0.9
             ("crash host=0 at=9\nrejoin host=0 at=9", "must increase"),
             ("crash host=0 at=1\ncrash host=0 at=2", "repeated crash"),
             ("flaky host=0 from=10 until=10 up=0.5", "empty window"),
+            ("common hosts= from=0 until=5 p=0.5", "empty host"),
+            ("common hosts=0,1 from=0 until=5 p=1.5", "probability"),
+            ("common hosts=0,1 from=0 until=5", "missing field `p`"),
+            ("partition hosts=0 from=5 until=5", "empty window"),
+            ("partition hosts=0,70 from=0 until=5", "group limit of 64"),
+            ("wearout host=0 from=0 until=9 shape=0 scale=5", "positive"),
+            ("wearout host=0 from=0 until=9 shape=1 scale=nan", "positive"),
+            ("adversary from=0 until=5 hold=0", "at least 1"),
+            ("adversary from=0 until=5 hold=1 p=0.5", "unknown field"),
         ] {
             let e = Scenario::parse(text).unwrap_err();
             assert!(
@@ -865,6 +1419,11 @@ burst from=0 until=100000 enter=0.01 exit=0.2 loss=0.9
         let s = Scenario::parse("stuck comm=4 from=0 until=5").unwrap();
         assert!(s.check_bounds(1, 4).is_err());
         assert!(ScenarioInjector::new(NoFaults, &s, 1, 4).is_err());
+        let s = Scenario::parse("common hosts=0,9 from=0 until=5 p=0.1").unwrap();
+        assert!(s.check_bounds(3, 0).is_err());
+        assert!(s.check_bounds(10, 0).is_ok());
+        let s = Scenario::parse("wearout host=5 from=0 until=5 shape=1 scale=1").unwrap();
+        assert!(s.check_bounds(5, 0).is_err());
     }
 
     #[test]
@@ -939,6 +1498,142 @@ burst from=0 until=100000 enter=0.01 exit=0.2 loss=0.9
             assert!(inj.host_ok(h, Tick::new(t), &mut r));
         }
         assert!(inj.broadcast_ok(h, Tick::new(20), &mut r));
+    }
+
+    #[test]
+    fn common_cause_downs_the_group_together() {
+        let s = Scenario::parse("common hosts=0,1 from=0 until=100000 p=0.3").unwrap();
+        let mut inj = ScenarioInjector::new(NoFaults, &s, 3, 0).unwrap();
+        let mut r = rng();
+        let n = 50_000u64;
+        let mut down = 0u64;
+        for t in 0..n {
+            let a = inj.host_ok(HostId::new(0), Tick::new(t), &mut r);
+            let b = inj.host_ok(HostId::new(1), Tick::new(t), &mut r);
+            // One draw per instant for the whole group: members always
+            // agree — the failures are perfectly correlated.
+            assert_eq!(a, b, "t={t}");
+            // Broadcast of the same instant reuses the cached decision.
+            assert_eq!(a, inj.broadcast_ok(HostId::new(0), Tick::new(t), &mut r));
+            // A host outside the group is untouched.
+            assert!(inj.host_ok(HostId::new(2), Tick::new(t), &mut r));
+            down += u64::from(!a);
+        }
+        // The marginal per-instant failure rate of each member matches
+        // the group probability (what an independent flaky window with
+        // up = 1 − p would give it).
+        let rate = down as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn wearout_hazard_grows_with_age() {
+        // shape=2, scale=1000: survival exp(−(τ/1000)²) — certain at age
+        // 0, astronomically unlikely by age 5000.
+        let s = Scenario::parse("wearout host=0 from=100 until=10000 shape=2 scale=1000").unwrap();
+        let mut inj = ScenarioInjector::new(NoFaults, &s, 1, 0).unwrap();
+        let mut r = rng();
+        let h = HostId::new(0);
+        // Outside the window: untouched (and draw-free, checked below).
+        assert!(inj.host_ok(h, Tick::new(99), &mut r));
+        // Age 0: survival probability exactly 1.
+        assert!(inj.host_ok(h, Tick::new(100), &mut r));
+        // Execution and broadcast of one instant agree via the cache.
+        for t in 100..200 {
+            let a = inj.host_ok(h, Tick::new(t), &mut r);
+            assert_eq!(a, inj.broadcast_ok(h, Tick::new(t), &mut r), "t={t}");
+        }
+        // Deep into wear-out the host is effectively gone.
+        let up = (5000..5100)
+            .filter(|&t| inj.host_ok(h, Tick::new(t), &mut r))
+            .count();
+        assert_eq!(up, 0, "survivals at age 4900+: {up}");
+        // Wear-out is transient (no rejoin bookkeeping).
+        assert_eq!(inj.rejoined_at(h, Tick::new(9999)), None);
+    }
+
+    #[test]
+    fn partition_masks_cross_side_delivery_only() {
+        let s = Scenario::parse("partition hosts=0 from=10 until=20").unwrap();
+        let mut inj = ScenarioInjector::new(NoFaults, &s, 3, 0).unwrap();
+        assert!(inj.partitions());
+        let (a, b, c) = (HostId::new(0), HostId::new(1), HostId::new(2));
+        // Inside the window: the listed side {0} is cut off from {1, 2},
+        // both directions; same-side pairs still deliver.
+        for t in 10..20 {
+            let now = Tick::new(t);
+            assert!(!inj.delivers(a, b, now), "t={t}");
+            assert!(!inj.delivers(b, a, now), "t={t}");
+            assert!(inj.delivers(b, c, now), "t={t}");
+            assert!(inj.delivers(a, a, now), "t={t}");
+        }
+        // Outside: everything delivers.
+        for t in [0, 9, 20, 100] {
+            assert!(inj.delivers(a, b, Tick::new(t)), "t={t}");
+        }
+        // Partitions never touch execution or broadcast draws.
+        let mut r = rng();
+        for t in 0..40 {
+            assert!(inj.host_ok(a, Tick::new(t), &mut r));
+            assert!(inj.broadcast_ok(a, Tick::new(t), &mut r));
+        }
+        let mut fresh = rng();
+        assert_eq!(r.gen::<f64>(), fresh.gen::<f64>());
+    }
+
+    #[test]
+    fn adversary_holds_the_vote_pivot_down() {
+        let s = Scenario::parse("adversary from=0 until=100 hold=5").unwrap();
+        let mut inj = ScenarioInjector::new(NoFaults, &s, 3, 0).unwrap();
+        assert!(inj.adaptive());
+        let mut r = rng();
+        let (a, b, c) = (HostId::new(0), HostId::new(1), HostId::new(2));
+        let task = TaskId::new(0);
+        // Unanimous vote (3/3): no pivot, nothing happens.
+        inj.observe_vote(task, Tick::new(10), &[a, b, c], 3);
+        assert!(inj.host_ok(a, Tick::new(11), &mut r));
+        // Below majority (1/3): the vote already failed, nothing to flip.
+        inj.observe_vote(task, Tick::new(10), &[b], 3);
+        assert!(inj.host_ok(b, Tick::new(11), &mut r));
+        // Minimal strict majority (2/3): the lowest-indexed delivering
+        // host is held down for `hold` instants starting next instant.
+        inj.observe_vote(task, Tick::new(10), &[b, c], 3);
+        for t in 11..16 {
+            assert!(!inj.host_ok(b, Tick::new(t), &mut r), "t={t}");
+            assert!(!inj.broadcast_ok(b, Tick::new(t), &mut r), "t={t}");
+        }
+        assert!(inj.host_ok(b, Tick::new(16), &mut r));
+        assert!(inj.host_ok(c, Tick::new(12), &mut r), "non-pivot untouched");
+        // Outside the adversary window the hook is inert.
+        inj.observe_vote(task, Tick::new(500), &[b, c], 3);
+        assert!(inj.host_ok(b, Tick::new(501), &mut r));
+        // The whole adversary machinery is draw-free.
+        let mut fresh = rng();
+        assert_eq!(r.gen::<f64>(), fresh.gen::<f64>());
+    }
+
+    #[test]
+    fn new_events_draw_nothing_outside_windows() {
+        // Same discipline as crash/rejoin: with every window in the
+        // future, the composite consumes no randomness at all.
+        let s = Scenario::parse(
+            "common hosts=0,1 from=1000 until=2000 p=0.5\n\
+             wearout host=0 from=1000 until=2000 shape=1 scale=10\n\
+             partition hosts=0 from=1000 until=2000\n\
+             adversary from=1000 until=2000 hold=5",
+        )
+        .unwrap();
+        let mut inj = ScenarioInjector::new(NoFaults, &s, 2, 0).unwrap();
+        let mut r = rng();
+        for t in 0..100 {
+            for h in [HostId::new(0), HostId::new(1)] {
+                assert!(inj.host_ok(h, Tick::new(t), &mut r));
+                assert!(inj.broadcast_ok(h, Tick::new(t), &mut r));
+            }
+            inj.delivers(HostId::new(0), HostId::new(1), Tick::new(t));
+        }
+        let mut fresh = rng();
+        assert_eq!(r.gen::<f64>(), fresh.gen::<f64>());
     }
 
     #[test]
@@ -1042,10 +1737,17 @@ burst from=0 until=100000 enter=0.01 exit=0.2 loss=0.9
                 let a = chunk[0];
                 let b = chunk.get(1).copied().unwrap_or(17);
                 let c = chunk.get(2).copied().unwrap_or(29);
-                let host = HostId::new((a / 4 % u64::from(hosts)) as u32);
+                let host = HostId::new((a / 8 % u64::from(hosts)) as u32);
                 let h = host.index();
                 let prob = |x: u64| (x % 101) as f64 / 100.0;
-                match a % 4 {
+                // A non-empty group of 1–2 in-range hosts.
+                let group = HostSet::from_hosts(
+                    [host, HostId::new((b % u64::from(hosts)) as u32)]
+                        .into_iter()
+                        .take(1 + (c % 2) as usize),
+                )
+                .unwrap();
+                match a % 8 {
                     0 if !closed[h] => {
                         let start = clock[h] + 1 + b % 1000;
                         events.push(ScenarioEvent::Crash {
@@ -1074,12 +1776,35 @@ burst from=0 until=100000 enter=0.01 exit=0.2 loss=0.9
                         from: Tick::new(b % 10_000),
                         until: Tick::new(b % 10_000 + 1 + c % 1000),
                     }),
-                    _ => events.push(ScenarioEvent::Burst {
+                    3 => events.push(ScenarioEvent::Burst {
                         from: Tick::new(b % 10_000),
                         until: Tick::new(b % 10_000 + 1 + c % 1000),
                         p_enter: prob(c),
                         p_exit: prob(c / 101),
                         loss: prob(c / 10_201),
+                    }),
+                    4 => events.push(ScenarioEvent::CommonCause {
+                        hosts: group,
+                        from: Tick::new(b % 10_000),
+                        until: Tick::new(b % 10_000 + 1 + c % 1000),
+                        p: prob(c),
+                    }),
+                    5 => events.push(ScenarioEvent::Partition {
+                        hosts: group,
+                        from: Tick::new(b % 10_000),
+                        until: Tick::new(b % 10_000 + 1 + c % 1000),
+                    }),
+                    6 => events.push(ScenarioEvent::Wearout {
+                        host,
+                        from: Tick::new(b % 10_000),
+                        until: Tick::new(b % 10_000 + 1 + c % 1000),
+                        shape: (c % 40 + 1) as f64 / 10.0,
+                        scale: (b % 5000 + 1) as f64,
+                    }),
+                    _ => events.push(ScenarioEvent::Adversary {
+                        from: Tick::new(b % 10_000),
+                        until: Tick::new(b % 10_000 + 1 + c % 1000),
+                        hold: 1 + c % 500,
                     }),
                 }
             }

@@ -69,6 +69,7 @@ echo "==> htlc trace smoke (flight recorder)"
 echo "==> scenario engine tests (parser proptests + determinism)"
 cargo test -q -p logrel-sim scenario > /dev/null
 cargo test -q --test fault_scenarios > /dev/null
+cargo test -q --test fuzz_determinism > /dev/null
 
 echo "==> observability tests (pinned metrics + thread-count invariance)"
 cargo test -q --test observability > /dev/null
@@ -88,9 +89,39 @@ grep -q '^logrel_bitslice_lanes 64$' "$METRICS_DIR/sliced.prom"
 diff <(grep -v '^logrel_bitslice_lanes' "$METRICS_DIR/scalar.prom" | grep -v '_seconds') \
      <(grep -v '^logrel_bitslice_lanes' "$METRICS_DIR/sliced.prom" | grep -v '_seconds')
 
+echo "==> htlc inject smoke (partition + wear-out scenarios)"
+"$HTLC" inject examples/htl/infusion_pump.htl examples/scenarios/partition.scn 400 7 2 \
+    > /dev/null
+"$HTLC" inject examples/htl/infusion_pump.htl examples/scenarios/wearout.scn 400 7 2 \
+    > /dev/null
+
+echo "==> htlc fuzz smoke (deterministic coverage-guided campaign)"
+FUZZ_DIR=$(mktemp -d)
+trap 'rm -rf "$METRICS_DIR" "$FUZZ_DIR"' EXIT
+"$HTLC" fuzz assets/steer_by_wire.htl --iters 200 --seed 7 \
+    --corpus "$FUZZ_DIR/a" > /dev/null
+"$HTLC" fuzz assets/steer_by_wire.htl --iters 200 --seed 7 \
+    --corpus "$FUZZ_DIR/b" > /dev/null
+# Same seed, byte-identical artifacts.
+diff -r "$FUZZ_DIR/a" "$FUZZ_DIR/b"
+# The corpus grew beyond the seed scenario and found at least one miss.
+test "$(ls "$FUZZ_DIR/a" | grep -c '^cov-')" -ge 2
+test "$(ls "$FUZZ_DIR/a" | grep -c '^miss-')" -ge 1
+# The shrunk reproducer replays as a monitor miss through htlc inject:
+# some communicator row shows ground-truth violations with zero dips
+# caught in time (last two columns: viol > 0, pre-alarm == 0).
+"$HTLC" inject assets/steer_by_wire.htl "$FUZZ_DIR/a/miss-000.scn" 400 12648430 4 \
+    | awk 'NF >= 2 && $(NF-1) ~ /^[0-9]+$/ && $NF ~ /^[0-9]+$/ && $(NF-1) > 0 && $NF == 0 {found=1}
+           END {exit !found}'
+# The committed example reproducer stays a live miss as well.
+"$HTLC" inject assets/steer_by_wire.htl examples/scenarios/steer_monitor_miss.scn \
+    400 12648430 4 \
+    | awk 'NF >= 2 && $(NF-1) ~ /^[0-9]+$/ && $NF ~ /^[0-9]+$/ && $(NF-1) > 0 && $NF == 0 {found=1}
+           END {exit !found}'
+
 echo "==> incremental-equivalence gate (warm analyze ≡ cold, byte-for-byte)"
 INCR_DIR=$(mktemp -d)
-trap 'rm -rf "$METRICS_DIR" "$INCR_DIR"' EXIT
+trap 'rm -rf "$METRICS_DIR" "$FUZZ_DIR" "$INCR_DIR"' EXIT
 cp assets/steer_by_wire.htl "$INCR_DIR/spec.htl"
 # Cold run on the base spec seeds the cache.
 "$HTLC" analyze "$INCR_DIR/spec.htl" > /dev/null 2>&1
@@ -128,7 +159,11 @@ printf 'garbage' > "$INCR_DIR/spec.htl.logrel-cache"
 diff "$INCR_DIR/fallback.out" "$INCR_DIR/cold.out"
 
 echo "==> bench_snapshot regression gate (vs BENCH_baseline.json)"
+# Absolute throughput swings up to 2x between phases on the shared VM,
+# so the absolute gate runs wide (coarse smoke alarm); the paired-ratio
+# floors/ceilings inside bench_snapshot are drift-immune and stay tight.
 cargo run --release -q -p logrel-bench --bin bench_snapshot -- \
-    --out "$METRICS_DIR/BENCH_current.json" --compare BENCH_baseline.json > /dev/null
+    --out "$METRICS_DIR/BENCH_current.json" --compare BENCH_baseline.json \
+    --tolerance 0.40 > /dev/null
 
 echo "verify: OK"

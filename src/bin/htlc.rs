@@ -14,22 +14,39 @@
 //! htlc ecode <file> <host>           disassemble one host's E-code
 //! htlc importance <file> <comm>      rank components by Birnbaum importance
 //! htlc simulate <file> [rounds [seed]]  fault-injected simulation summary
-//! htlc inject [--metrics PATH] [--lanes N|off|auto] <file> <scenario> [rounds [seed [reps]]]
+//! htlc inject [--metrics PATH] [--lanes N|off|auto] [--seed N] <file> <scenario> [rounds [seed [reps]]]
 //!                                    scenario campaign with online LRC
 //!                                    monitoring (crash/rejoin, flaky
-//!                                    hosts, burst loss, stuck sensors);
+//!                                    hosts, burst loss, stuck sensors,
+//!                                    common-cause groups, partitions,
+//!                                    wear-out, adaptive adversaries);
 //!                                    --metrics exports the aggregated
 //!                                    registry (Prometheus text at PATH,
 //!                                    JSON at PATH.json, `-` for stdout);
 //!                                    --lanes selects the bit-sliced
 //!                                    Monte-Carlo path (up to 64
-//!                                    replications per u64 word)
-//! htlc trace <file> <scenario> [rounds [seed]]
+//!                                    replications per u64 word); --seed
+//!                                    overrides the positional seed, and
+//!                                    the effective seed is echoed in
+//!                                    stdout and as the
+//!                                    `logrel_campaign_seed` gauge
+//! htlc trace [--seed N] <file> <scenario> [rounds [seed]]
 //!                                    single-replication run with the
 //!                                    flight recorder attached: counter
 //!                                    summary plus every recorded dump
 //!                                    (alarm-triggered and final) with
 //!                                    names resolved
+//! htlc fuzz <file> [--iters N] [--seed S] [--corpus DIR]
+//!                                    coverage-guided scenario fuzzing:
+//!                                    mutates `.scn` timelines, keeps
+//!                                    candidates with novel coverage
+//!                                    signatures, hunts monitor misses
+//!                                    (µ-violations the LRC monitor never
+//!                                    alarmed on) and shrinks them to
+//!                                    minimal reproducers; --corpus
+//!                                    writes the corpus and reproducer
+//!                                    `.scn` files; fully deterministic
+//!                                    in --seed
 //! htlc refine <refining> <refined>   check the refinement relation (κ by
 //!                                    task name)
 //! htlc analyze <spec> [--against <db>] [--stats]
@@ -441,7 +458,7 @@ fn format_dumps(registry: &logrel::obs::Registry, sys: &logrel::lang::Elaborated
 }
 
 fn run(args: &[String]) -> Result<(), Failure> {
-    let usage = "usage: htlc <check|verify|lint|analyze|fmt|graph|ecode|importance|simulate|inject|trace|refine> <args>\n\
+    let usage = "usage: htlc <check|verify|lint|analyze|fmt|graph|ecode|importance|simulate|inject|trace|fuzz|refine> <args>\n\
                  run `htlc help` for details";
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
@@ -465,14 +482,21 @@ fn run(args: &[String]) -> Result<(), Failure> {
                  htlc latency <file>               worst-case data ages\n\
                  htlc importance <file> <comm>     component importance ranking\n\
                  htlc simulate <file> [rounds [seed]]  fault-injected run\n\
-                 htlc inject [--metrics PATH] [--lanes N|off|auto] <file> <scenario> [rounds [seed [reps]]]\n\
+                 htlc inject [--metrics PATH] [--lanes N|off|auto] [--seed N] <file> <scenario> [rounds [seed [reps]]]\n\
                                                    scenario campaign; --metrics exports the\n\
                                                    aggregated registry (Prometheus text at\n\
                                                    PATH, JSON at PATH.json, `-` for stdout);\n\
                                                    --lanes packs up to N replications per\n\
                                                    u64 word (default auto = 64, `off` for\n\
-                                                   the scalar path; results are identical)\n\
-                 htlc trace <file> <scenario> [rounds [seed]]  flight-recorder trace\n\
+                                                   the scalar path; results are identical);\n\
+                                                   --seed overrides the positional seed\n\
+                 htlc trace [--seed N] <file> <scenario> [rounds [seed]]  flight-recorder trace\n\
+                 htlc fuzz <file> [--iters N] [--seed S] [--corpus DIR]\n\
+                                                   coverage-guided scenario fuzzing: mutate\n\
+                                                   fault timelines, keep novel coverage\n\
+                                                   signatures, shrink monitor misses to\n\
+                                                   minimal .scn reproducers (deterministic\n\
+                                                   in --seed; --corpus writes artifacts)\n\
                  htlc refine <refining> <refined>  refinement check\n\n\
                  exit codes: 0 clean, 1 usage/IO error, 2 diagnostics emitted\n\
                  diagnostics: code:severity:file:line:col: message (stderr)"
@@ -740,6 +764,11 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     logrel::sim::LaneMode::Width(n)
                 }
             };
+            // `--seed N` overrides the positional seed; both forms stay
+            // accepted so existing invocations keep working.
+            let seed_flag: Option<u64> = take_flag_value(&mut rest, "--seed")?
+                .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                .transpose()?;
             let path = rest.first().ok_or(usage)?;
             let scenario_path = rest.get(1).ok_or(usage)?;
             let rounds: u64 = rest
@@ -747,11 +776,12 @@ fn run(args: &[String]) -> Result<(), Failure> {
                 .map(|s| s.parse().map_err(|_| format!("bad round count `{s}`")))
                 .transpose()?
                 .unwrap_or(4_000);
-            let seed: u64 = rest
-                .get(3)
-                .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
-                .transpose()?
-                .unwrap_or(0xC0FFEE);
+            let seed: u64 = seed_flag.unwrap_or(
+                rest.get(3)
+                    .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                    .transpose()?
+                    .unwrap_or(0xC0FFEE),
+            );
             let reps: u64 = rest
                 .get(4)
                 .map(|s| s.parse().map_err(|_| format!("bad replication count `{s}`")))
@@ -787,9 +817,11 @@ fn run(args: &[String]) -> Result<(), Failure> {
                 monitor: logrel::sim::MonitorConfig::default(),
                 lanes,
             };
-            // Echo the execution path in the export so downstream tooling
-            // can tell bit-sliced runs from scalar ones.
+            // Echo the execution path and the effective seed in the export
+            // so downstream tooling can tell bit-sliced runs from scalar
+            // ones and can replay the campaign exactly.
             registry.set_gauge(logrel::obs::names::BITSLICE_LANES, lanes.width() as f64);
+            registry.set_gauge(logrel::obs::names::CAMPAIGN_SEED, seed as f64);
             let setup = |_rep| logrel::sim::montecarlo::ReplicationContext {
                 behaviors: logrel::sim::BehaviorMap::new(),
                 environment: Box::new(logrel::sim::ConstantEnvironment::new(
@@ -845,13 +877,22 @@ fn run(args: &[String]) -> Result<(), Failure> {
             }
             println!();
             println!(
-                "{:<14} {:>10} {:>10} {:>8} {:>7} {:>7} {:>12} {:>7}",
-                "communicator", "empirical", "analytic", "eps", "within", "lrc", "1st-violation", "alarms"
+                "{:<14} {:>10} {:>10} {:>8} {:>7} {:>7} {:>12} {:>7} {:>5} {:>9}",
+                "communicator",
+                "empirical",
+                "analytic",
+                "eps",
+                "within",
+                "lrc",
+                "1st-violation",
+                "alarms",
+                "viol",
+                "pre-alarm"
             );
             for r in &report.comms {
                 let c = r.comm;
                 println!(
-                    "{:<14} {:>10.6} {:>10.6} {:>8.5} {:>7} {:>7} {:>12} {:>7}",
+                    "{:<14} {:>10.6} {:>10.6} {:>8.5} {:>7} {:>7} {:>12} {:>7} {:>5} {:>9}",
                     sys.spec.communicator(c).name(),
                     r.empirical,
                     r.analytic.unwrap_or(f64::NAN),
@@ -865,6 +906,8 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     r.first_violation
                         .map_or("-".to_owned(), |t| t.as_u64().to_string()),
                     format!("{}/{}", r.alarms_raised, r.alarms_cleared),
+                    r.violations,
+                    r.alarms_before_violation,
                 );
             }
             if let Some(target) = &metrics {
@@ -876,24 +919,30 @@ fn run(args: &[String]) -> Result<(), Failure> {
             Ok(())
         }
         "trace" => {
-            let path = args.get(1).ok_or(usage)?;
-            let scenario_path = args.get(2).ok_or(usage)?;
-            let rounds: u64 = args
-                .get(3)
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let seed_flag: Option<u64> = take_flag_value(&mut rest, "--seed")?
+                .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                .transpose()?;
+            let path = rest.first().ok_or(usage)?;
+            let scenario_path = rest.get(1).ok_or(usage)?;
+            let rounds: u64 = rest
+                .get(2)
                 .map(|s| s.parse().map_err(|_| format!("bad round count `{s}`")))
                 .transpose()?
                 .unwrap_or(2_000);
-            let seed: u64 = args
-                .get(4)
-                .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
-                .transpose()?
-                .unwrap_or(0xC0FFEE);
+            let seed: u64 = seed_flag.unwrap_or(
+                rest.get(3)
+                    .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                    .transpose()?
+                    .unwrap_or(0xC0FFEE),
+            );
             let sys = compile_path(path)?;
             let scenario =
                 logrel::sim::Scenario::parse_with(&read(scenario_path)?, &Symbols(&sys))
                     .map_err(|e| Failure::Usage(format!("{scenario_path}: {e}")))?;
             let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
             let mut registry = logrel::obs::Registry::with_recorder(FLIGHT_RING);
+            registry.set_gauge(logrel::obs::names::CAMPAIGN_SEED, seed as f64);
             let sim =
                 logrel::sim::Simulation::try_new_observed(&sys.spec, &sys.arch, &td, &mut registry)
                     .map_err(|e| analysis_failure(path, "A003", format!("{e}")))?;
@@ -955,6 +1004,103 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     std::panic::resume_unwind(payload);
                 }
             }
+        }
+        "fuzz" => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let iters: u64 = take_flag_value(&mut rest, "--iters")?
+                .map(|s| s.parse().map_err(|_| format!("bad iteration count `{s}`")))
+                .transpose()?
+                .unwrap_or(200);
+            let seed: u64 = take_flag_value(&mut rest, "--seed")?
+                .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                .transpose()?
+                .unwrap_or(0xF022);
+            let corpus_dir = take_flag_value(&mut rest, "--corpus")?;
+            let path = rest.first().ok_or(usage)?;
+            let sys = compile_path(path)?;
+            let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
+            let sim = logrel::sim::Simulation::try_new(&sys.spec, &sys.arch, &td)
+                .map_err(|e| analysis_failure(path, "A003", format!("{e}")))?;
+            // One short, fixed campaign evaluates every candidate — the
+            // same base seed throughout, so a reproducer replays through
+            // `htlc inject` with exactly the parameters echoed below.
+            let campaign = logrel::sim::CampaignConfig {
+                batch: logrel::sim::montecarlo::BatchConfig {
+                    replications: 4,
+                    rounds: 400,
+                    base_seed: 0xC0FFEE,
+                    threads: 0,
+                },
+                monitor: logrel::sim::MonitorConfig::default(),
+                lanes: logrel::sim::LaneMode::Auto,
+            };
+            let b = campaign.batch;
+            let config = logrel::sim::FuzzConfig {
+                iters,
+                seed,
+                campaign,
+                echo: vec![
+                    format!("spec: {path}"),
+                    format!(
+                        "replay: htlc inject {path} <this-file> {} {} {}",
+                        b.rounds, b.base_seed, b.replications
+                    ),
+                ],
+                ..Default::default()
+            };
+            let setup = |_rep| logrel::sim::montecarlo::ReplicationContext {
+                behaviors: logrel::sim::BehaviorMap::new(),
+                environment: Box::new(logrel::sim::ConstantEnvironment::new(
+                    logrel::core::Value::Float(1.0),
+                )),
+                injector: Box::new(logrel::sim::ProbabilisticFaults::from_architecture(
+                    &sys.arch,
+                )),
+            };
+            let mut registry = logrel::obs::Registry::new();
+            let outcome = logrel::sim::run_fuzz(
+                &sim,
+                &sys.spec,
+                &logrel::sim::Scenario::default(),
+                sys.arch.host_count(),
+                &config,
+                setup,
+                &mut registry,
+            )
+            .map_err(|e| Failure::Usage(e.to_string()))?;
+            println!(
+                "{} iteration(s), fuzz seed {seed}, campaign {} replication(s) x {} rounds (seed {})",
+                outcome.iters, b.replications, b.rounds, b.base_seed
+            );
+            println!(
+                "coverage: {} signature(s), {} novel candidate(s) kept, {} invalid mutant(s)",
+                outcome.signatures, outcome.novel, outcome.invalid
+            );
+            println!(
+                "monitor misses: {} found, {} unique reproducer(s), {} shrink step(s)",
+                outcome.monitor_misses,
+                outcome.reproducers.len(),
+                outcome.shrink_steps
+            );
+            if let Some(dir) = &corpus_dir {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| Failure::Io(format!("cannot create `{dir}`: {e}")))?;
+                for a in outcome.corpus.iter().chain(&outcome.reproducers) {
+                    let file = format!("{dir}/{}", a.name);
+                    std::fs::write(&file, &a.contents)
+                        .map_err(|e| Failure::Io(format!("cannot write `{file}`: {e}")))?;
+                }
+                println!(
+                    "corpus: {} file(s) written to `{dir}`",
+                    outcome.corpus.len() + outcome.reproducers.len()
+                );
+                for r in &outcome.reproducers {
+                    println!("  reproducer {dir}/{}", r.name);
+                }
+            } else {
+                println!("(pass --corpus DIR to write the corpus and reproducer files)");
+            }
+            Ok(())
         }
         "refine" => {
             let refining_path = args.get(1).ok_or(usage)?;

@@ -1,16 +1,17 @@
 //! Differential tests of the bit-sliced kernel: every lane of
 //! `Simulation::run_bitsliced` must be bit-identical to the scalar
 //! `Simulation::run` of the same seed, injector and environment — under
-//! all five scenario event kinds (crash/rejoin, flaky windows, GE bursts,
-//! stuck sensors, unplug), under value corruption (the slow voting path),
-//! on the 3TS and steer-by-wire systems, and on randomly generated
-//! pipeline systems.
+//! every scenario event kind (crash/rejoin, flaky windows, GE bursts,
+//! stuck sensors, unplug, common-cause groups, partitions, Weibull
+//! wear-out, adaptive adversaries), under value corruption (the slow
+//! voting path), on the 3TS and steer-by-wire systems, and on randomly
+//! generated pipeline systems.
 
 use logrel_core::prelude::*;
 use logrel_core::TimeDependentImplementation;
 use logrel_sim::bitslice::LaneContext;
 use logrel_sim::{
-    BehaviorMap, ConstantEnvironment, CorruptingFaults, ProbabilisticFaults, Scenario,
+    BehaviorMap, ConstantEnvironment, CorruptingFaults, HostSet, ProbabilisticFaults, Scenario,
     ScenarioEnvironment, ScenarioEvent, ScenarioInjector, SimConfig, SimOutput, Simulation,
     UnplugAt, VotingStrategy,
 };
@@ -19,8 +20,10 @@ use logrel_threetank::behaviors::build_behaviors;
 use logrel_threetank::{PlantParams, Scenario as Deployment, ThreeTankSystem};
 use proptest::prelude::*;
 
-/// A scenario exercising crash/rejoin, flaky windows, a stuck sensor and
-/// a Gilbert–Elliott burst at once (3TS ids).
+/// A scenario exercising every event kind at once (3TS ids): crash and
+/// rejoin, a flaky window, a stuck sensor, a Gilbert–Elliott burst, a
+/// common-cause group, a partition, Weibull wear-out and an adaptive
+/// adversary.
 fn full_scenario(sys: &ThreeTankSystem) -> Scenario {
     Scenario::from_events(vec![
         ScenarioEvent::Crash {
@@ -48,6 +51,29 @@ fn full_scenario(sys: &ThreeTankSystem) -> Scenario {
             p_enter: 0.05,
             p_exit: 0.2,
             loss: 0.9,
+        },
+        ScenarioEvent::CommonCause {
+            hosts: HostSet::from_hosts([sys.ids.h1, sys.ids.h3]).unwrap(),
+            from: Tick::new(45_000),
+            until: Tick::new(90_000),
+            p: 0.1,
+        },
+        ScenarioEvent::Partition {
+            hosts: HostSet::from_hosts([sys.ids.h2]).unwrap(),
+            from: Tick::new(32_000),
+            until: Tick::new(44_000),
+        },
+        ScenarioEvent::Wearout {
+            host: sys.ids.h3,
+            from: Tick::new(60_000),
+            until: Tick::new(100_000),
+            shape: 2.0,
+            scale: 25_000.0,
+        },
+        ScenarioEvent::Adversary {
+            from: Tick::new(0),
+            until: Tick::new(100_000),
+            hold: 25,
         },
     ])
     .unwrap()

@@ -1,15 +1,18 @@
 //! End-to-end fault-scenario tests on the 3TS: crash-then-rejoin with the
 //! warm-up rule, online LRC monitoring, campaign reports against the
 //! analytic SRGs, serialized-scenario replay, thread-count determinism,
-//! and the compiled-vs-reference differential under the scenario layer.
+//! the compiled-vs-reference differential under the scenario layer, and
+//! the correlated-failure ecology (common-cause groups that break the
+//! ε-band with unchanged marginals, plus thread/lane determinism for
+//! every new event kind).
 
 use logrel_core::{Tick, TimeDependentImplementation, Value};
 use logrel_reliability::compute_srgs;
 use logrel_sim::{
     run_campaign, run_replications, AlarmKind, BatchConfig, BehaviorMap, CampaignConfig,
-    ConstantEnvironment, LaneMode, LrcMonitor, MonitorConfig, NoFaults, ProbabilisticFaults,
-    ReplicationContext, Scenario, ScenarioEnvironment, ScenarioEvent, ScenarioInjector, SimConfig,
-    SimOutput, Simulation,
+    ConstantEnvironment, FaultInjector, HostSet, LaneMode, LrcMonitor, MonitorConfig, NoFaults,
+    ProbabilisticFaults, ReplicationContext, Scenario, ScenarioEnvironment, ScenarioEvent,
+    ScenarioInjector, SimConfig, SimOutput, Simulation,
 };
 use logrel_threetank::behaviors::build_behaviors;
 use logrel_threetank::{PlantParams, Scenario as Deployment, ThreeTankEnvironment, ThreeTankSystem};
@@ -310,6 +313,29 @@ fn compiled_and_reference_kernels_agree_under_scenarios() {
             p_exit: 0.2,
             loss: 0.9,
         },
+        ScenarioEvent::CommonCause {
+            hosts: HostSet::from_hosts([sys.ids.h1, sys.ids.h3]).unwrap(),
+            from: Tick::new(45_000),
+            until: Tick::new(90_000),
+            p: 0.1,
+        },
+        ScenarioEvent::Partition {
+            hosts: HostSet::from_hosts([sys.ids.h2]).unwrap(),
+            from: Tick::new(25_000),
+            until: Tick::new(42_000),
+        },
+        ScenarioEvent::Wearout {
+            host: sys.ids.h3,
+            from: Tick::new(60_000),
+            until: Tick::new(100_000),
+            shape: 2.0,
+            scale: 25_000.0,
+        },
+        ScenarioEvent::Adversary {
+            from: Tick::new(0),
+            until: Tick::new(100_000),
+            hold: 25,
+        },
     ])
     .unwrap();
 
@@ -426,5 +452,218 @@ fn exp_unplug_output_is_seed_stable() {
     for (deployment, unplug, expected) in pins {
         let got = format!("{:.12e}", run(deployment, unplug));
         assert_eq!(got, expected, "{deployment:?} unplug={unplug}");
+    }
+}
+
+/// The correlated-failure acceptance check: a common-cause group over
+/// both controller hosts and an *independent* flaky baseline give each
+/// host the same marginal availability (0.95 per instant), yet only the
+/// correlated scenario defeats replication — its empirical λ̂ for the
+/// replicated controller output falls below the analytic SRG's ε-band,
+/// while the independent baseline stays inside it. This is Proposition
+/// 1's independence assumption made falsifiable.
+#[test]
+fn common_cause_breaks_the_epsilon_band_with_matching_marginals() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let sys = ThreeTankSystem::new(Deployment::ReplicatedControllers);
+    let params = PlantParams::default();
+    let imp = TimeDependentImplementation::from(sys.imp.clone());
+    let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
+    let comms = sys.spec.communicator_count();
+    const HORIZON: u64 = 1_000_000; // 2 000 rounds × 500 ticks
+
+    let correlated = Scenario::from_events(vec![ScenarioEvent::CommonCause {
+        hosts: HostSet::from_hosts([sys.ids.h1, sys.ids.h2]).unwrap(),
+        from: Tick::new(0),
+        until: Tick::new(HORIZON),
+        p: 0.05,
+    }])
+    .unwrap();
+    let independent = Scenario::from_events(vec![
+        ScenarioEvent::Flaky {
+            host: sys.ids.h1,
+            from: Tick::new(0),
+            until: Tick::new(HORIZON),
+            up: 0.95,
+        },
+        ScenarioEvent::Flaky {
+            host: sys.ids.h2,
+            from: Tick::new(0),
+            until: Tick::new(HORIZON),
+            up: 0.95,
+        },
+    ])
+    .unwrap();
+
+    // Both scenarios give h1 and h2 the same per-instant marginal
+    // availability; only the joint distribution differs.
+    let marginals = |scn: &Scenario| -> [f64; 2] {
+        let mut inj = ScenarioInjector::new(NoFaults, scn, sys.arch.host_count(), comms).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut up = [0u32; 2];
+        const SAMPLES: u64 = 20_000;
+        for t in 0..SAMPLES {
+            for (i, h) in [sys.ids.h1, sys.ids.h2].into_iter().enumerate() {
+                up[i] += u32::from(inj.host_ok(h, Tick::new(t), &mut rng));
+            }
+        }
+        up.map(|u| f64::from(u) / SAMPLES as f64)
+    };
+    let corr_marginal = marginals(&correlated);
+    let indep_marginal = marginals(&independent);
+    for i in 0..2 {
+        assert!(
+            (corr_marginal[i] - indep_marginal[i]).abs() < 0.01,
+            "host {i} marginals diverge: {corr_marginal:?} vs {indep_marginal:?}"
+        );
+        assert!((corr_marginal[i] - 0.95).abs() < 0.01);
+    }
+
+    let srgs = compute_srgs(&sys.spec, &sys.arch, &sys.imp).unwrap();
+    let analytic: Vec<Option<f64>> = sys
+        .spec
+        .communicator_ids()
+        .map(|c| Some(srgs.communicator(c).get()))
+        .collect();
+    let run = |scn: &Scenario| {
+        let config = CampaignConfig {
+            batch: BatchConfig {
+                replications: 4,
+                rounds: 2_000,
+                base_seed: 0xCC0,
+                threads: 0,
+            },
+            monitor: MonitorConfig::default(),
+            lanes: LaneMode::default(),
+        };
+        run_campaign(
+            &sim,
+            &sys.spec,
+            scn,
+            sys.arch.host_count(),
+            &config,
+            |_rep| ReplicationContext {
+                behaviors: build_behaviors(&sys, &params),
+                environment: Box::new(ConstantEnvironment::new(Value::Float(0.25))),
+                injector: Box::new(ProbabilisticFaults::from_architecture(&sys.arch)),
+            },
+            &analytic,
+        )
+        .unwrap()
+    };
+
+    let corr = &run(&correlated).comms[sys.ids.u1.index()].clone();
+    let indep = &run(&independent).comms[sys.ids.u1.index()].clone();
+
+    // Replication absorbs independent flakiness: both replicas must fail
+    // in the same instant (p ≈ 0.0025), well inside ε ≈ 0.008.
+    assert_eq!(
+        indep.within_epsilon,
+        Some(true),
+        "independent λ̂ {} vs {:?} (ε {})",
+        indep.empirical,
+        indep.analytic,
+        indep.epsilon
+    );
+    // The same marginals, perfectly correlated, take the whole replica
+    // set down at once (p = 0.05) and blow through the band.
+    assert_eq!(
+        corr.within_epsilon,
+        Some(false),
+        "correlated λ̂ {} vs {:?} (ε {})",
+        corr.empirical,
+        corr.analytic,
+        corr.epsilon
+    );
+    assert!(corr.empirical < corr.analytic.unwrap() - corr.epsilon);
+    assert!(corr.empirical < indep.empirical - 0.02, "correlation costs λ̂");
+}
+
+/// Every new event kind replays bit-identically across thread counts and
+/// lane modes: the campaign report is a pure function of the scenario and
+/// the seed, whether replications run on 1 or 8 threads, scalar or
+/// bit-sliced.
+#[test]
+fn new_event_kinds_replay_bit_identically_across_threads_and_lanes() {
+    let sys = ThreeTankSystem::new(Deployment::ReplicatedControllers);
+    let imp = TimeDependentImplementation::from(sys.imp.clone());
+    let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
+    const HORIZON: u64 = 40_000; // 80 rounds × 500 ticks
+
+    let scenarios = [
+        (
+            "common",
+            Scenario::from_events(vec![ScenarioEvent::CommonCause {
+                hosts: HostSet::from_hosts([sys.ids.h1, sys.ids.h2]).unwrap(),
+                from: Tick::new(0),
+                until: Tick::new(HORIZON),
+                p: 0.2,
+            }])
+            .unwrap(),
+        ),
+        (
+            "partition",
+            Scenario::from_events(vec![ScenarioEvent::Partition {
+                hosts: HostSet::from_hosts([sys.ids.h1]).unwrap(),
+                from: Tick::new(5_000),
+                until: Tick::new(30_000),
+            }])
+            .unwrap(),
+        ),
+        (
+            "wearout",
+            Scenario::from_events(vec![ScenarioEvent::Wearout {
+                host: sys.ids.h2,
+                from: Tick::new(0),
+                until: Tick::new(HORIZON),
+                shape: 2.0,
+                scale: 15_000.0,
+            }])
+            .unwrap(),
+        ),
+        (
+            "adversary",
+            Scenario::from_events(vec![ScenarioEvent::Adversary {
+                from: Tick::new(0),
+                until: Tick::new(HORIZON),
+                hold: 100,
+            }])
+            .unwrap(),
+        ),
+    ];
+
+    for (name, scn) in &scenarios {
+        let run = |threads: usize, lanes: LaneMode| {
+            let config = CampaignConfig {
+                batch: BatchConfig {
+                    replications: 66,
+                    rounds: 80,
+                    base_seed: 0xEC0,
+                    threads,
+                },
+                monitor: MonitorConfig::default(),
+                lanes,
+            };
+            run_campaign(
+                &sim,
+                &sys.spec,
+                scn,
+                sys.arch.host_count(),
+                &config,
+                |_rep| ReplicationContext {
+                    behaviors: BehaviorMap::default(),
+                    environment: Box::new(ConstantEnvironment::new(Value::Float(0.25))),
+                    injector: Box::new(ProbabilisticFaults::from_architecture(&sys.arch)),
+                },
+                &[],
+            )
+            .unwrap()
+        };
+        let scalar = run(1, LaneMode::Off);
+        assert_eq!(scalar, run(8, LaneMode::Off), "{name}: threads under Off");
+        assert_eq!(scalar, run(1, LaneMode::Auto), "{name}: scalar vs lanes");
+        assert_eq!(scalar, run(8, LaneMode::Auto), "{name}: threads under Auto");
     }
 }
