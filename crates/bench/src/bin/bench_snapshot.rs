@@ -22,8 +22,11 @@
 //!   wear-out, adaptive adversary) — `scenario_overhead` is the
 //!   correlated/plain slowdown, floor-gated at ≤1.2x under `--compare`;
 //! * `compute_srgs` on the 3TS (ns per full report);
+//! * full static reliability certification on the 3TS
+//!   (`certify_specs_per_sec` — interval SRGs, symbolic sensitivities and
+//!   per-component margins per spec);
 //! * the incremental analysis engine on the steer-by-wire study:
-//!   `analyze_cold_specs_per_sec` runs all six queries from scratch,
+//!   `analyze_cold_specs_per_sec` runs all seven queries from scratch,
 //!   `analyze_warm_specs_per_sec` re-analyses after a single-task WCET
 //!   decrease against the cold database (only the dirtied cone runs;
 //!   schedulability transfers by refinement reuse) — their ratio is
@@ -89,6 +92,7 @@ const GATES: &[(&str, bool)] = &[
     ("kernel_scenario_correlated_rounds_per_sec", true),
     ("reference_rounds_per_sec", true),
     ("compute_srgs_3ts_ns", false),
+    ("certify_specs_per_sec", true),
     ("analyze_cold_specs_per_sec", true),
     ("analyze_warm_specs_per_sec", true),
     ("greedy_ms", false),
@@ -339,7 +343,7 @@ fn main() -> ExitCode {
     // workloads: its samples are tens of microseconds and measurably
     // degrade on the heap and cache state those leave behind.
     // Incremental-analysis workload: cold is a from-scratch run of all
-    // six queries on the steer-by-wire study; warm re-analyses after a
+    // seven queries on the steer-by-wire study; warm re-analyses after a
     // single-task WCET decrease against the cold database — only the
     // dirtied cone runs (schedulability transfers by refinement reuse,
     // everything else is green).
@@ -547,6 +551,19 @@ fn main() -> ExitCode {
         std::hint::black_box(compute_srgs(&sys.spec, &sys.arch, &sys.imp).expect("memory-free"));
     });
 
+    // Full certification (interval SRGs + symbolic polynomials + margins)
+    // is ~100x the plain SRG fixpoint; a small inner batch still keeps
+    // each timed sample above timer granularity.
+    const CERTIFY_BATCH: usize = 8;
+    let certify_secs = best_secs(|| {
+        for _ in 0..CERTIFY_BATCH {
+            std::hint::black_box(
+                logrel_reliability::certify(&sys.spec, &sys.arch, &sys.imp, None)
+                    .expect("memory-free"),
+            );
+        }
+    }) / CERTIFY_BATCH as f64;
+
     let (spec, arch, base) = synthesis_system();
     let opts = SynthesisOptions::default();
     let greedy_secs = best_secs(|| {
@@ -582,7 +599,9 @@ fn main() -> ExitCode {
          \"reference_events_per_sec\": {:.0},\n    \
          \"kernel_speedup_over_reference\": {:.2},\n    \
          \"bitsliced_speedup_over_kernel\": {:.2}\n  }},\n  \
-         \"srg\": {{ \"compute_srgs_3ts_ns\": {:.0} }},\n  \
+         \"srg\": {{\n    \
+         \"compute_srgs_3ts_ns\": {:.0},\n    \
+         \"certify_specs_per_sec\": {:.1}\n  }},\n  \
          \"query\": {{\n    \
          \"analyze_workload\": \"steer-by-wire, warm = single-task WCET decrease vs cold db\",\n    \
          \"analyze_cold_specs_per_sec\": {:.1},\n    \
@@ -604,6 +623,7 @@ fn main() -> ExitCode {
         reference_secs / kernel_secs,
         bitsliced_rps * kernel_secs / SIM_ROUNDS as f64,
         srg_secs * 1e9,
+        1.0 / certify_secs,
         1.0 / analyze_cold_secs,
         1.0 / analyze_warm_secs,
         analyze_speedup,

@@ -172,6 +172,88 @@ pub fn deny_warnings(diags: &mut [Diagnostic]) {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+///
+/// Hand-rolled (the workspace deliberately carries no serde) but complete:
+/// quotes, backslashes and all control characters are escaped, so any
+/// diagnostic message round-trips through strict parsers.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// The diagnostic as a single-line JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let labels = self
+            .labels
+            .iter()
+            .map(|l| {
+                format!(
+                    r#"{{"line":{},"col":{},"message":"{}"}}"#,
+                    l.span.line,
+                    l.span.col,
+                    json_escape(&l.message)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let help = match &self.help {
+            Some(h) => format!(r#""{}""#, json_escape(h)),
+            None => String::from("null"),
+        };
+        format!(
+            r#"{{"code":"{}","severity":"{}","line":{},"col":{},"message":"{}","labels":[{}],"help":{}}}"#,
+            self.code,
+            self.severity,
+            self.span.line,
+            self.span.col,
+            json_escape(&self.message),
+            labels,
+            help
+        )
+    }
+}
+
+/// Renders a diagnostic list as the stable `logrel-diagnostics-v1` JSON
+/// document consumed by CI (`htlc lint --format json`). The rendering is
+/// deterministic: callers pass the diagnostics already sorted by
+/// [`sort_diagnostics`], and every field appears in a fixed order.
+pub fn diagnostics_json(file: &str, diags: &[Diagnostic]) -> String {
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"logrel-diagnostics-v1\",\n");
+    out.push_str(&format!("  \"file\": \"{}\",\n", json_escape(file)));
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"warnings\": {warnings},\n"));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&d.to_json());
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +304,44 @@ mod tests {
         sort_diagnostics(&mut diags);
         assert_eq!(diags.len(), 2);
         assert_eq!(diags[0].span.line, 2);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn diagnostic_json_is_single_line_and_complete() {
+        let d = Diagnostic::new("L003", Severity::Error, Span { line: 2, col: 5 }, "boom")
+            .with_label(Span { line: 9, col: 1 }, "declared here")
+            .with_help("add a host");
+        let j = d.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.contains(r#""code":"L003""#));
+        assert!(j.contains(r#""severity":"error""#));
+        assert!(j.contains(r#""labels":[{"line":9,"col":1,"message":"declared here"}]"#));
+        assert!(j.contains(r#""help":"add a host""#));
+        let none = Diagnostic::new("L001", Severity::Warning, Span::default(), "w");
+        assert!(none.to_json().contains(r#""help":null"#));
+    }
+
+    #[test]
+    fn diagnostics_json_counts_and_stays_parseable() {
+        let diags = vec![
+            Diagnostic::new("L001", Severity::Warning, Span { line: 1, col: 1 }, "w"),
+            Diagnostic::new("L003", Severity::Error, Span { line: 2, col: 1 }, "e"),
+        ];
+        let doc = diagnostics_json("a.htl", &diags);
+        assert!(doc.contains("\"schema\": \"logrel-diagnostics-v1\""));
+        assert!(doc.contains("\"errors\": 1"));
+        assert!(doc.contains("\"warnings\": 1"));
+        // Empty list renders a closed array, not a dangling bracket.
+        let empty = diagnostics_json("a.htl", &[]);
+        assert!(empty.contains("\"diagnostics\": []"));
     }
 
     #[test]

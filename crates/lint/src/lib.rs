@@ -17,12 +17,18 @@
 //! parses, elaborates, lints, generates E-code for every host (modal code
 //! when the program has several modes) and verifies it.
 
+pub mod certify_diag;
 pub mod diagnostic;
 pub mod ecode;
 pub mod refine_diag;
 pub mod spec_lints;
 
-pub use diagnostic::{deny_warnings, sort_diagnostics, Diagnostic, Label, Severity};
+pub use certify_diag::{
+    certificate_json, certify_diagnostics, certify_error_diagnostic, render_certificate,
+};
+pub use diagnostic::{
+    deny_warnings, diagnostics_json, json_escape, sort_diagnostics, Diagnostic, Label, Severity,
+};
 pub use ecode::{verify, verify_instructions, ModeCtx, VerifyCtx};
 pub use refine_diag::{refine_error_diagnostics, violation_diagnostic};
 pub use spec_lints::{lint_time_dependent, spanned_restriction_checks, spec_lints};

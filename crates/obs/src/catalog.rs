@@ -104,6 +104,16 @@ pub mod names {
     pub const QUERY_CACHE_FALLBACK: &str = "logrel_query_cache_fallback_total";
     /// RNG seed the campaign ran with (gauge; echoed for replayability).
     pub const CAMPAIGN_SEED: &str = "logrel_campaign_seed";
+    /// Specs put through static reliability certification.
+    pub const CERTIFY_SPECS: &str = "logrel_certify_specs_total";
+    /// LRC constraints certified (interval lower bound clears µ).
+    pub const CERTIFY_LRC_CERTIFIED: &str = "logrel_certify_lrc_certified_total";
+    /// LRC constraints refuted (interval upper bound below µ).
+    pub const CERTIFY_LRC_REFUTED: &str = "logrel_certify_lrc_refuted_total";
+    /// LRC constraints left indeterminate (enclosure straddles µ).
+    pub const CERTIFY_LRC_INDETERMINATE: &str = "logrel_certify_lrc_indeterminate_total";
+    /// Smallest certification slack `lo − µ` over all LRCs (gauge).
+    pub const CERTIFY_MIN_SLACK: &str = "logrel_certify_min_slack";
     /// Fuzzer candidate scenarios executed (including invalid mutants).
     pub const FUZZ_ITERS: &str = "logrel_fuzz_iters_total";
     /// Fuzzer candidates with a novel coverage signature (kept in corpus).
@@ -239,6 +249,26 @@ pub const CATALOG: &[MetricDef] = &[
     gauge!(
         names::CAMPAIGN_SEED,
         "RNG seed the campaign ran with (echoed for replayability)"
+    ),
+    counter!(
+        names::CERTIFY_SPECS,
+        "Specs put through static reliability certification"
+    ),
+    counter!(
+        names::CERTIFY_LRC_CERTIFIED,
+        "LRC constraints certified by the interval analysis"
+    ),
+    counter!(
+        names::CERTIFY_LRC_REFUTED,
+        "LRC constraints refuted by the interval analysis"
+    ),
+    counter!(
+        names::CERTIFY_LRC_INDETERMINATE,
+        "LRC constraints left indeterminate by the interval analysis"
+    ),
+    gauge!(
+        names::CERTIFY_MIN_SLACK,
+        "Smallest certification slack (lower bound minus LRC) observed"
     ),
     counter!(
         names::FUZZ_ITERS,

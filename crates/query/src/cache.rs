@@ -302,7 +302,7 @@ program p {
         let text = to_text(&sample_db());
         // Forge a consistent file with a wrong engine version: even with a
         // valid checksum it must be rejected.
-        let body = text.replace("engine 1\n", "engine 999\n");
+        let body = text.replace(&format!("engine {ENGINE_VERSION}\n"), "engine 999\n");
         let body = &body[..body.rfind("checksum ").unwrap()];
         let forged = format!("{body}checksum {:016x}\n", fnv1a(body.as_bytes()));
         let err = parse_text(&forged).unwrap_err();

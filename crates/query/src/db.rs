@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 
 /// Version of the query engine. Participates in every dependency digest
 /// and in the cache header: bumping it invalidates all caches at once.
-pub const ENGINE_VERSION: u32 = 1;
+pub const ENGINE_VERSION: u32 = 2;
 
 /// One cached query result.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +128,10 @@ pub fn depends_on(query: &str, unit: &str) -> bool {
             unit != "comms_lrc" && unit != "layout" && !unit.starts_with("metrics:")
         }
         "sched" => unit != "comms_lrc" && unit != "arch_rel" && unit != "layout",
+        // Certification reads the SRG inputs *plus* the declared LRCs, but
+        // renders no spans (its payload carries counters only), ignores the
+        // program name and never reads execution metrics.
+        "certify" => unit != "layout" && unit != "name" && !unit.starts_with("metrics:"),
         "tv" | "lint" => !unit.starts_with("metrics:"),
         "header" => {
             // Name, communicator count, task count and the round period

@@ -1,6 +1,7 @@
-//! The demand-driven analysis engine: evaluates the six analysis queries
-//! over a spec, reusing green cache entries and attempting refinement
-//! reuse for the schedulability query before recomputing.
+//! The demand-driven analysis engine: evaluates the seven analysis
+//! queries over a spec, reusing green cache entries and attempting
+//! refinement reuse for the schedulability and certification queries
+//! before recomputing.
 //!
 //! # The differential guarantee
 //!
@@ -13,16 +14,21 @@
 //!   by the same code, on both paths;
 //! * a cache entry is reused only when its dependency digest proves all
 //!   its inputs unchanged (see [`crate::db`]);
-//! * refinement reuse answers only the schedulability query, and only
-//!   with the constant `ok` payload: when the edited spec refines the
-//!   cached parent (Proposition 2) and the parent was schedulable,
-//!   Lemma 1 guarantees a fresh run would also answer `ok`.
+//! * refinement reuse answers only the schedulability and certification
+//!   queries, and only with constant fully-`ok` payloads: for `sched`,
+//!   when the edited spec refines the cached parent (Proposition 2) and
+//!   the parent was schedulable, Lemma 1 guarantees a fresh run would
+//!   also answer `ok`; for `certify`, when every unit the certification
+//!   reads except the LRC declarations is byte-identical to the parent's
+//!   and every LRC was only weakened, the fresh run would recompute the
+//!   bit-identical certified enclosures against thresholds that only
+//!   moved down — so a fully certified parent verdict transfers.
 
-use crate::db::{dep_digest, CacheStats, QueryDb, QueryEntry};
+use crate::db::{dep_digest, depends_on, CacheStats, QueryDb, QueryEntry};
 use crate::payload::{store_diags, Payload, StoredDiag};
 use logrel_core::TimeDependentImplementation;
 use logrel_lang::ast::Program;
-use logrel_lang::subspec::{split_units, units_digest};
+use logrel_lang::subspec::{split_units, units_digest, SubspecUnit};
 use logrel_lang::{elaborate, parse, ElaboratedSystem, LangError};
 use logrel_lint::{sort_diagnostics, Diagnostic};
 use logrel_obs::{names, MetricsSink};
@@ -30,7 +36,7 @@ use logrel_refine::{check_refinement, Kappa, SystemRef};
 use std::fmt::Write as _;
 
 /// The analysis queries, in evaluation (and report) order.
-const QUERIES: [&str; 6] = ["header", "lint", "ecode", "tv", "srg", "sched"];
+const QUERIES: [&str; 7] = ["header", "lint", "ecode", "tv", "srg", "certify", "sched"];
 
 /// Result of one engine run.
 #[derive(Debug, Clone)]
@@ -126,6 +132,22 @@ fn compute(query: &str, program: &Program, sys: &ElaboratedSystem) -> Payload {
             },
             Err(e) => Payload::Srg { ok: false, message: e.to_string(), values: Vec::new() },
         },
+        "certify" => match logrel_reliability::certify(&sys.spec, &sys.arch, &sys.imp, None) {
+            Ok(cert) => Payload::Cert {
+                ok: true,
+                message: String::new(),
+                certified: cert.overall == logrel_reliability::CertStatus::Certified,
+                refuted: cert.count(logrel_reliability::CertStatus::Refuted) as u64,
+                indeterminate: cert.count(logrel_reliability::CertStatus::Indeterminate) as u64,
+            },
+            Err(e) => Payload::Cert {
+                ok: false,
+                message: e.to_string(),
+                certified: false,
+                refuted: 0,
+                indeterminate: 0,
+            },
+        },
         "sched" => match logrel_sched::analyze(&sys.spec, &sys.arch, &sys.imp) {
             Ok(_) => Payload::Sched { ok: true, message: String::new() },
             Err(e) => Payload::Sched { ok: false, message: e.to_string() },
@@ -152,6 +174,59 @@ fn try_refine_reuse(prior: &QueryDb, sys: &ElaboratedSystem) -> Option<Payload> 
     )
     .ok()?;
     Some(Payload::Sched { ok: true, message: String::new() })
+}
+
+/// Attempts refinement reuse for the dirty certification query. Reuse is
+/// sound — and *byte-identical* to a cold run — under two structural
+/// conditions:
+///
+/// * every unit the certification depends on **except** `comms_lrc` has
+///   the same content hash in the edited program as in the cached parent,
+///   so a fresh run would recompute bit-identical certified enclosures
+///   (the interval analysis is deterministic in those units);
+/// * every LRC in the edited program is at most the parent's LRC on the
+///   same-named communicator — pointwise weakening.
+///
+/// A fully certified parent verdict then transfers: each enclosure's
+/// lower bound still clears a threshold that only moved down, and the
+/// reused payload (`certified`, zero refuted/indeterminate counters) is
+/// exactly what the fresh run would produce.
+fn try_certify_reuse(
+    prior: &QueryDb,
+    units: &[SubspecUnit],
+    sys: &ElaboratedSystem,
+) -> Option<Payload> {
+    match &prior.queries.get("certify")?.payload {
+        Payload::Cert { ok: true, certified: true, refuted: 0, indeterminate: 0, .. } => {}
+        _ => return None,
+    }
+    fn lrc_free(us: &[SubspecUnit]) -> impl Iterator<Item = (&str, u64)> {
+        us.iter()
+            .filter(|u| depends_on("certify", &u.name) && u.name != "comms_lrc")
+            .map(|u| (u.name.as_str(), u.hash))
+    }
+    if !lrc_free(units).eq(lrc_free(&prior.units)) {
+        return None;
+    }
+    let parent = prior.parent_sys()?;
+    for c in sys.spec.communicator_ids() {
+        let comm = sys.spec.communicator(c);
+        let Some(mu) = comm.lrc() else { continue };
+        let weakened = parent.spec.communicator_ids().any(|p| {
+            let pc = parent.spec.communicator(p);
+            pc.name() == comm.name() && pc.lrc().is_some_and(|pm| pm.get() >= mu.get())
+        });
+        if !weakened {
+            return None;
+        }
+    }
+    Some(Payload::Cert {
+        ok: true,
+        message: String::new(),
+        certified: true,
+        refuted: 0,
+        indeterminate: 0,
+    })
 }
 
 /// A front-end failure rendered the same way cold and warm.
@@ -238,6 +313,14 @@ pub fn analyze_source(
             };
             if query == "sched" {
                 if let Some(p) = prior.and_then(|pr| try_refine_reuse(pr, current)) {
+                    stats.refine_reuses += 1;
+                    Answer::Fresh(p)
+                } else {
+                    stats.recomputes += 1;
+                    Answer::Fresh(compute(query, &program, current))
+                }
+            } else if query == "certify" {
+                if let Some(p) = prior.and_then(|pr| try_certify_reuse(pr, &units, current)) {
                     stats.refine_reuses += 1;
                     Answer::Fresh(p)
                 } else {
@@ -361,6 +444,20 @@ fn render(
             }
         } else {
             invalid.push(format!("reliability analysis failed: {message}"));
+        }
+    }
+    if let Payload::Cert { ok, message, certified, refuted, indeterminate } = get("certify") {
+        if !*ok {
+            // The SRG block above already records the underlying analysis
+            // failure as an invalid reason; avoid a duplicate A001.
+            let _ = writeln!(stdout, "certified: unavailable ({message})");
+        } else if *certified {
+            let _ = writeln!(stdout, "certified: yes");
+        } else {
+            let _ = writeln!(
+                stdout,
+                "certified: NO ({refuted} refuted, {indeterminate} indeterminate)"
+            );
         }
     }
     if let Payload::Sched { ok, message } = get("sched") {

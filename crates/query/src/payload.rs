@@ -112,6 +112,20 @@ pub enum Payload {
         /// `(communicator name, f64 bit pattern)` in specification order.
         values: Vec<(String, u64)>,
     },
+    /// Static reliability certification summary (interval SRG verdicts).
+    Cert {
+        /// `false` if certification could not run (cycles, unbound
+        /// inputs); the counters are then meaningless.
+        ok: bool,
+        /// Error message when `!ok`.
+        message: String,
+        /// `true` when every constrained communicator is CERTIFIED.
+        certified: bool,
+        /// Number of REFUTED communicators.
+        refuted: u64,
+        /// Number of INDETERMINATE communicators.
+        indeterminate: u64,
+    },
     /// Schedulability analysis outcome.
     Sched {
         /// `true` if schedulable.
@@ -146,6 +160,7 @@ impl Payload {
         match self {
             Payload::Diags(_) => "diags",
             Payload::Srg { .. } => "srg",
+            Payload::Cert { .. } => "cert",
             Payload::Sched { .. } => "sched",
             Payload::Tv { .. } => "tv",
             Payload::Report { .. } => "report",
@@ -271,6 +286,17 @@ pub fn to_lines(payload: &Payload) -> Vec<String> {
                 out.push(format!("F {bits:016x} {name}"));
             }
         }
+        Payload::Cert { ok, message, certified, refuted, indeterminate } => {
+            if *ok {
+                out.push("S ok".to_owned());
+            } else {
+                out.push(format!("S fail {}", escape(message)));
+            }
+            out.push(format!(
+                "C {} {refuted} {indeterminate}",
+                if *certified { "yes" } else { "no" }
+            ));
+        }
         Payload::Sched { ok, message } => {
             if *ok {
                 out.push("S ok".to_owned());
@@ -309,6 +335,23 @@ pub fn from_lines(kind: &str, lines: &[&str]) -> Option<Payload> {
                 values.push((name.to_owned(), u64::from_str_radix(bits, 16).ok()?));
             }
             Some(Payload::Srg { ok, message, values })
+        }
+        "cert" => {
+            let [outcome, counts] = lines else { return None };
+            let (ok, message) = parse_outcome(outcome)?;
+            let mut it = counts.strip_prefix("C ")?.splitn(3, ' ');
+            let certified = match it.next()? {
+                "yes" => true,
+                "no" => false,
+                _ => return None,
+            };
+            Some(Payload::Cert {
+                ok,
+                message,
+                certified,
+                refuted: it.next()?.parse().ok()?,
+                indeterminate: it.next()?.parse().ok()?,
+            })
         }
         "sched" => {
             let [line] = lines else { return None };
@@ -381,6 +424,27 @@ mod tests {
             Payload::Srg { ok: false, message: "cycle".into(), values: vec![] },
             Payload::Sched { ok: true, message: String::new() },
             Payload::Sched { ok: false, message: "overload on h1".into() },
+            Payload::Cert {
+                ok: true,
+                message: String::new(),
+                certified: true,
+                refuted: 0,
+                indeterminate: 0,
+            },
+            Payload::Cert {
+                ok: true,
+                message: String::new(),
+                certified: false,
+                refuted: 1,
+                indeterminate: 2,
+            },
+            Payload::Cert {
+                ok: false,
+                message: "cycle through `c`".into(),
+                certified: false,
+                refuted: 0,
+                indeterminate: 0,
+            },
             Payload::Tv { cert: Some("certificate round=10".into()), diags: vec![] },
             Payload::Tv { cert: None, diags: vec![diag()] },
             Payload::Report {
@@ -402,6 +466,9 @@ mod tests {
         assert_eq!(from_lines("diags", &["L 1 2 orphan label"]), None);
         assert_eq!(from_lines("sched", &["S maybe"]), None);
         assert_eq!(from_lines("srg", &[]), None);
+        assert_eq!(from_lines("cert", &["S ok"]), None);
+        assert_eq!(from_lines("cert", &["S ok", "C maybe 0 0"]), None);
+        assert_eq!(from_lines("cert", &["S ok", "C yes 0"]), None);
         assert_eq!(from_lines("report", &["N 1", "O x"]), None);
         assert_eq!(from_lines("nope", &[]), None);
     }

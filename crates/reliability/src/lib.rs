@@ -18,21 +18,37 @@
 //! * [`longrun`] — limit averages of reliability-abstract traces and
 //!   SLLN-style empirical checks with Hoeffding confidence bounds;
 //! * [`synthesis`] — replication synthesis: searching for a minimal
-//!   replication mapping that satisfies every LRC.
+//!   replication mapping that satisfies every LRC;
+//! * [`interval`] — interval SRG evaluation with outward directed
+//!   rounding: sound `[lo, hi]` enclosures and three-valued LRC verdicts;
+//! * [`symbolic`] — symbolic SRGs as polynomials over component symbols,
+//!   with exact derivatives and pinned Birnbaum importance;
+//! * [`certify`] — the static certification report combining the three:
+//!   verdicts, slacks, degradation margins and bottleneck attribution.
 
 pub mod analysis;
+pub mod certify;
 pub mod error;
 pub mod fault_tree;
 pub mod importance;
+pub mod interval;
 pub mod longrun;
 pub mod mission;
 pub mod netrel;
 pub mod rbd;
 pub mod srg;
+pub mod symbolic;
 pub mod synthesis;
 
 pub use analysis::{check, check_time_dependent, LrcViolation, ReliabilityVerdict};
+pub use certify::{certify, Certificate, CommCertificate, ComponentMargin, NEAR_THRESHOLD_SLACK};
 pub use error::ReliabilityError;
+pub use interval::{
+    compute_degraded_srgs, compute_interval_srgs, CertStatus, Interval, IntervalSrgReport,
+};
+pub use symbolic::{
+    compute_symbolic_srgs, pinned_birnbaum, standard_assignment, Poly, Sym, SymbolicSrgReport,
+};
 pub use fault_tree::Gate;
 pub use importance::{architecture_importance, block_importance, ComponentImportance};
 pub use longrun::{

@@ -190,7 +190,9 @@ pub fn compute_srgs(
 }
 
 /// The communicator analysis order, with cycles reported as errors.
-fn analysis_order(spec: &Specification) -> Result<Vec<CommunicatorId>, ReliabilityError> {
+pub(crate) fn analysis_order(
+    spec: &Specification,
+) -> Result<Vec<CommunicatorId>, ReliabilityError> {
     CommDependencyGraph::new(spec)
         .analysis_order()
         .map_err(|cyclic| ReliabilityError::CyclicDependencies {

@@ -1,0 +1,450 @@
+//! Symbolic SRGs: exact polynomial expressions over component symbols.
+//!
+//! The §3 induction is re-run with a polynomial [`Poly`] in place of every
+//! `f64`, over one symbol per *replica unit* (`task@host`, carrying the
+//! derated reliability `hrel · brel`) and per *sensor*. This symbol
+//! granularity deliberately matches the unit names of
+//! [`crate::importance::architecture_importance`], so the pinned Birnbaum
+//! measure computed here is term-for-term comparable with the numeric RBD
+//! measure (the crate tests enforce the equality on the shipped examples).
+//!
+//! Two subtleties the polynomial view makes explicit:
+//!
+//! * Like the paper's induction (and the RBD expansion it mirrors), inputs
+//!   reaching a task along several paths are treated as independent — a
+//!   shared replica symbol then appears with exponent > 1, and the
+//!   polynomial is *not* multilinear. [`Poly::is_multilinear`] reports
+//!   this; DESIGN.md §13 discusses the consequences.
+//! * Because of possible higher powers, Birnbaum importance is defined as
+//!   the pinned difference `f(x := 1) − f(x := 0)` ([`pinned_birnbaum`]),
+//!   which coincides with `∂f/∂x` exactly when the polynomial is
+//!   multilinear in `x` and with the RBD pinning semantics always.
+
+use crate::error::ReliabilityError;
+use crate::srg::analysis_order;
+use logrel_core::{
+    Architecture, CommunicatorId, FailureModel, HostId, Implementation, SensorId, Specification,
+    TaskId,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A reliability symbol: one replica unit or one sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sym {
+    /// The replica of `task` on `host`, valued at `hrel(host) · brel`.
+    Replica(TaskId, HostId),
+    /// A sensor, valued at `srel`.
+    Sensor(SensorId),
+}
+
+impl Sym {
+    /// The unit label used by diagnostics, matching the RBD unit names of
+    /// [`crate::srg::communicator_block`] (`task@host` / sensor name).
+    pub fn label(self, spec: &Specification, arch: &Architecture) -> String {
+        match self {
+            Sym::Replica(t, h) => {
+                format!("{}@{}", spec.task(t).name(), arch.host(h).name())
+            }
+            Sym::Sensor(s) => arch.sensor(s).name().to_owned(),
+        }
+    }
+
+    /// The declared reliability of the underlying component alone (`hrel`
+    /// for a replica, `srel` for a sensor) — the quantity a degradation
+    /// margin is measured against.
+    pub fn component_reliability(self, arch: &Architecture) -> f64 {
+        match self {
+            Sym::Replica(_, h) => arch.host(h).reliability().get(),
+            Sym::Sensor(s) => arch.sensor(s).reliability().get(),
+        }
+    }
+}
+
+/// A monomial: symbol → exponent (empty map is the constant monomial).
+pub type Monomial = BTreeMap<Sym, u32>;
+
+/// A polynomial with `f64` coefficients over [`Sym`] variables.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, f64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: f64) -> Poly {
+        let mut terms = BTreeMap::new();
+        if c != 0.0 {
+            terms.insert(Monomial::new(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial `x` for a single symbol.
+    pub fn var(sym: Sym) -> Poly {
+        let mut m = Monomial::new();
+        m.insert(sym, 1);
+        Poly { terms: BTreeMap::from([(m, 1.0)]) }
+    }
+
+    fn insert_term(terms: &mut BTreeMap<Monomial, f64>, m: Monomial, c: f64) {
+        use std::collections::btree_map::Entry;
+        // Exact-zero coefficients are dropped so the representation stays
+        // canonical and `PartialEq` is meaningful.
+        match terms.entry(m) {
+            Entry::Vacant(v) => {
+                if c != 0.0 {
+                    v.insert(c);
+                }
+            }
+            Entry::Occupied(mut o) => {
+                let sum = o.get() + c;
+                if sum == 0.0 {
+                    o.remove();
+                } else {
+                    *o.get_mut() = sum;
+                }
+            }
+        }
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut terms = self.terms.clone();
+        for (m, &c) in &other.terms {
+            Poly::insert_term(&mut terms, m.clone(), c);
+        }
+        Poly { terms }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f64) -> Poly {
+        if k == 0.0 {
+            return Poly::zero();
+        }
+        Poly {
+            terms: self.terms.iter().map(|(m, c)| (m.clone(), c * k)).collect(),
+        }
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut terms = BTreeMap::new();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &other.terms {
+                let mut m = ma.clone();
+                for (&s, &e) in mb {
+                    *m.entry(s).or_insert(0) += e;
+                }
+                Poly::insert_term(&mut terms, m, ca * cb);
+            }
+        }
+        Poly { terms }
+    }
+
+    /// `1 − p`.
+    pub fn one_minus(&self) -> Poly {
+        Poly::constant(1.0).add(&self.scale(-1.0))
+    }
+
+    /// Series combination `Π p_i` (empty product is `1`).
+    pub fn series<'a, I: IntoIterator<Item = &'a Poly>>(items: I) -> Poly {
+        items
+            .into_iter()
+            .fold(Poly::constant(1.0), |acc, p| acc.mul(p))
+    }
+
+    /// Parallel combination `1 − Π (1 − p_i)`.
+    pub fn parallel<'a, I: IntoIterator<Item = &'a Poly>>(items: I) -> Poly {
+        items
+            .into_iter()
+            .fold(Poly::constant(1.0), |acc, p| acc.mul(&p.one_minus()))
+            .one_minus()
+    }
+
+    /// Evaluates under an assignment of symbol values.
+    pub fn eval(&self, assign: &impl Fn(Sym) -> f64) -> f64 {
+        self.terms
+            .iter()
+            .map(|(m, c)| {
+                c * m
+                    .iter()
+                    .map(|(&s, &e)| assign(s).powi(e as i32))
+                    .product::<f64>()
+            })
+            .sum()
+    }
+
+    /// Substitutes a constant for one symbol, eliminating it.
+    pub fn substitute(&self, sym: Sym, value: f64) -> Poly {
+        let mut terms = BTreeMap::new();
+        for (m, &c) in &self.terms {
+            let mut m = m.clone();
+            let coeff = match m.remove(&sym) {
+                Some(e) => c * value.powi(e as i32),
+                None => c,
+            };
+            if coeff != 0.0 {
+                Poly::insert_term(&mut terms, m, coeff);
+            }
+        }
+        Poly { terms }
+    }
+
+    /// The exact partial derivative `∂p/∂sym`.
+    pub fn partial(&self, sym: Sym) -> Poly {
+        let mut terms = BTreeMap::new();
+        for (m, &c) in &self.terms {
+            let mut m = m.clone();
+            if let Some(e) = m.remove(&sym) {
+                if e > 1 {
+                    m.insert(sym, e - 1);
+                }
+                Poly::insert_term(&mut terms, m, c * f64::from(e));
+            }
+        }
+        Poly { terms }
+    }
+
+    /// All symbols occurring with a non-zero coefficient.
+    pub fn symbols(&self) -> BTreeSet<Sym> {
+        self.terms.keys().flat_map(|m| m.keys().copied()).collect()
+    }
+
+    /// The largest exponent of `sym` across all terms.
+    pub fn degree_in(&self, sym: Sym) -> u32 {
+        self.terms
+            .keys()
+            .filter_map(|m| m.get(&sym).copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every symbol occurs with exponent ≤ 1 — the condition under
+    /// which box extrema lie exactly at corners and the pinned Birnbaum
+    /// difference equals the partial derivative.
+    pub fn is_multilinear(&self) -> bool {
+        self.terms.keys().all(|m| m.values().all(|&e| e <= 1))
+    }
+
+    /// Number of terms (for diagnostics on expression blowup).
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// Birnbaum importance as the pinned difference `f(x := 1) − f(x := 0)`,
+/// matching the RBD pinning semantics of [`crate::importance`] even when
+/// the polynomial is not multilinear in `sym`.
+pub fn pinned_birnbaum(poly: &Poly, sym: Sym, assign: &impl Fn(Sym) -> f64) -> f64 {
+    poly.substitute(sym, 1.0).eval(assign) - poly.substitute(sym, 0.0).eval(assign)
+}
+
+/// The standard assignment: a replica symbol is worth `hrel · brel`, a
+/// sensor symbol `srel`.
+pub fn standard_assignment(arch: &Architecture) -> impl Fn(Sym) -> f64 + '_ {
+    let brel = arch.broadcast_reliability().get();
+    move |sym| match sym {
+        Sym::Replica(_, h) => arch.host(h).reliability().get() * brel,
+        Sym::Sensor(s) => arch.sensor(s).reliability().get(),
+    }
+}
+
+/// Symbolic SRG expressions for every task and communicator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicSrgReport {
+    task: Vec<Poly>,
+    comm: Vec<Poly>,
+}
+
+impl SymbolicSrgReport {
+    /// The symbolic `λ_t`.
+    pub fn task(&self, t: TaskId) -> &Poly {
+        &self.task[t.index()]
+    }
+
+    /// The symbolic `λ_c`.
+    pub fn communicator(&self, c: CommunicatorId) -> &Poly {
+        &self.comm[c.index()]
+    }
+}
+
+/// Runs the §3 induction symbolically. Only the *structure* (mappings,
+/// bindings, failure models) is consulted; architecture reliabilities
+/// enter later through an assignment such as [`standard_assignment`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::srg::compute_srgs`].
+pub fn compute_symbolic_srgs(
+    spec: &Specification,
+    imp: &Implementation,
+) -> Result<SymbolicSrgReport, ReliabilityError> {
+    let mut task = Vec::with_capacity(spec.task_count());
+    for t in spec.task_ids() {
+        let replicas: Vec<Poly> = imp
+            .hosts_of(t)
+            .iter()
+            .map(|&h| Poly::var(Sym::Replica(t, h)))
+            .collect();
+        if replicas.is_empty() {
+            return Err(ReliabilityError::Structure {
+                detail: format!("task `{}` has no replicas", spec.task(t).name()),
+            });
+        }
+        task.push(Poly::parallel(&replicas));
+    }
+    let order = analysis_order(spec)?;
+    let mut comm: Vec<Option<Poly>> = vec![None; spec.communicator_count()];
+    for &c in &order {
+        let lambda = if spec.is_sensor_input(c) {
+            let sensors = imp.sensors_of(c);
+            if sensors.is_empty() {
+                return Err(ReliabilityError::UnboundInput {
+                    communicator: spec.communicator(c).name().to_owned(),
+                });
+            }
+            let vars: Vec<Poly> = sensors.iter().map(|&s| Poly::var(Sym::Sensor(s))).collect();
+            Poly::parallel(&vars)
+        } else if let Some(t) = spec.writer(c) {
+            let lt = &task[t.index()];
+            match spec.task(t).failure_model() {
+                FailureModel::Independent => lt.clone(),
+                FailureModel::Series => {
+                    let inputs: Vec<Poly> = spec
+                        .task(t)
+                        .input_comm_set()
+                        .into_iter()
+                        .map(|c2| comm[c2.index()].clone().expect("topological order"))
+                        .collect();
+                    Poly::series(std::iter::once(lt).chain(inputs.iter()))
+                }
+                FailureModel::Parallel => {
+                    let inputs: Vec<Poly> = spec
+                        .task(t)
+                        .input_comm_set()
+                        .into_iter()
+                        .map(|c2| comm[c2.index()].clone().expect("topological order"))
+                        .collect();
+                    let any_input = Poly::parallel(&inputs);
+                    Poly::series([lt, &any_input])
+                }
+            }
+        } else {
+            Poly::constant(1.0)
+        };
+        comm[c.index()] = Some(lambda);
+    }
+    Ok(SymbolicSrgReport {
+        task,
+        comm: comm.into_iter().map(|p| p.expect("all computed")).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Sym {
+        Sym::Sensor(SensorId::new(i))
+    }
+
+    #[test]
+    fn constant_and_var_round_trip() {
+        let assign = |_: Sym| 0.5;
+        assert_eq!(Poly::constant(3.0).eval(&assign), 3.0);
+        assert_eq!(Poly::var(s(0)).eval(&assign), 0.5);
+        assert_eq!(Poly::zero().eval(&assign), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_matches_numeric_evaluation() {
+        let x = Poly::var(s(0));
+        let y = Poly::var(s(1));
+        let expr = x.mul(&y).add(&x.one_minus().scale(0.25));
+        let assign = |sym: Sym| if sym == s(0) { 0.9 } else { 0.8 };
+        let expect = 0.9 * 0.8 + (1.0 - 0.9) * 0.25;
+        assert!((expr.eval(&assign) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cancelling_terms_are_removed() {
+        let x = Poly::var(s(0));
+        let zero = x.add(&x.scale(-1.0));
+        assert_eq!(zero, Poly::zero());
+        assert_eq!(zero.term_count(), 0);
+    }
+
+    #[test]
+    fn partial_derivative_is_exact() {
+        // p = x²y + 2x: ∂p/∂x = 2xy + 2, ∂p/∂y = x².
+        let x = Poly::var(s(0));
+        let y = Poly::var(s(1));
+        let p = x.mul(&x).mul(&y).add(&x.scale(2.0));
+        let assign = |sym: Sym| if sym == s(0) { 0.5 } else { 0.25 };
+        assert!((p.partial(s(0)).eval(&assign) - (2.0 * 0.5 * 0.25 + 2.0)).abs() < 1e-15);
+        assert!((p.partial(s(1)).eval(&assign) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn substitute_eliminates_symbol() {
+        let x = Poly::var(s(0));
+        let y = Poly::var(s(1));
+        let p = x.mul(&x).mul(&y);
+        let q = p.substitute(s(0), 0.5);
+        assert!(!q.symbols().contains(&s(0)));
+        assert!((q.eval(&|_| 0.8) - 0.25 * 0.8).abs() < 1e-15);
+        // Substituting zero kills every term containing the symbol.
+        assert_eq!(p.substitute(s(0), 0.0), Poly::zero());
+    }
+
+    #[test]
+    fn multilinearity_detection() {
+        let x = Poly::var(s(0));
+        let y = Poly::var(s(1));
+        assert!(x.mul(&y).is_multilinear());
+        assert!(!x.mul(&x).is_multilinear());
+        assert_eq!(x.mul(&x).degree_in(s(0)), 2);
+        assert_eq!(x.mul(&y).degree_in(s(0)), 1);
+        assert_eq!(Poly::constant(1.0).degree_in(s(0)), 0);
+    }
+
+    #[test]
+    fn pinned_birnbaum_on_multilinear_equals_partial() {
+        // Parallel pair: f = 1 − (1−x)(1−y); ∂f/∂x = 1 − y.
+        let f = Poly::parallel(&[Poly::var(s(0)), Poly::var(s(1))]);
+        assert!(f.is_multilinear());
+        let assign = |sym: Sym| if sym == s(0) { 0.9 } else { 0.8 };
+        let b = pinned_birnbaum(&f, s(0), &assign);
+        let d = f.partial(s(0)).eval(&assign);
+        assert!((b - d).abs() < 1e-15);
+        assert!((b - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pinned_birnbaum_on_square_differs_from_partial() {
+        // f = x²: pinned difference is 1 − 0 = 1, derivative is 2x.
+        let x = Poly::var(s(0));
+        let f = x.mul(&x);
+        let assign = |_: Sym| 0.9;
+        assert!((pinned_birnbaum(&f, s(0), &assign) - 1.0).abs() < 1e-15);
+        assert!((f.partial(s(0)).eval(&assign) - 1.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn series_parallel_match_numeric_identities() {
+        let polys: Vec<Poly> = (0..3).map(|i| Poly::var(s(i))).collect();
+        let assign = |sym: Sym| match sym {
+            Sym::Sensor(id) => [0.9, 0.8, 0.7][id.index()],
+            Sym::Replica(..) => unreachable!(),
+        };
+        let ser = Poly::series(&polys).eval(&assign);
+        assert!((ser - 0.9 * 0.8 * 0.7).abs() < 1e-15);
+        let par = Poly::parallel(&polys).eval(&assign);
+        assert!((par - (1.0 - 0.1 * 0.2 * 0.3)).abs() < 1e-15);
+    }
+}

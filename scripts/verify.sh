@@ -66,6 +66,35 @@ echo "==> htlc trace smoke (flight recorder)"
 "$HTLC" trace examples/htl/infusion_pump.htl examples/scenarios/pump_outage.scn 200 7 \
     | grep -q '^flight recorder:'
 
+echo "==> htlc certify examples/htl + assets (every shipped spec CERTIFIED)"
+for f in examples/htl/*.htl assets/*.htl; do
+    "$HTLC" certify "$f" | grep -q '^verdict: CERTIFIED$'
+done
+
+echo "==> htlc certify exit codes (the refuted corpus spec must fail)"
+! "$HTLC" certify tests/assets/certify/certify_refuted.htl > /dev/null 2>&1
+
+echo "==> htlc certify/lint --format json (schema validation)"
+"$HTLC" certify --format json assets/three_tank.htl > "$METRICS_DIR/cert.json"
+"$HTLC" lint --format json tests/assets/lint_dead_comm.htl \
+    > "$METRICS_DIR/diag.json" || true
+python3 - "$METRICS_DIR/cert.json" "$METRICS_DIR/diag.json" <<'PY'
+import json, sys
+cert = json.load(open(sys.argv[1]))
+assert cert["schema"] == "logrel-certificate-v1", cert.get("schema")
+assert cert["overall"] == "CERTIFIED", cert["overall"]
+rows = [c for c in cert["communicators"] if c["lrc"] is not None]
+assert rows and all(c["lo"] <= c["point"] <= c["hi"] for c in cert["communicators"])
+diag = json.load(open(sys.argv[2]))
+assert diag["schema"] == "logrel-diagnostics-v1", diag.get("schema")
+assert diag["diagnostics"], "lint corpus file must produce findings"
+PY
+
+echo "==> htlc certify --metrics smoke (certification counters)"
+"$HTLC" certify --metrics "$METRICS_DIR/cert.prom" assets/three_tank.htl > /dev/null
+grep -q '^logrel_certify_specs_total 1$' "$METRICS_DIR/cert.prom"
+grep -q '^logrel_certify_lrc_certified_total ' "$METRICS_DIR/cert.prom"
+
 echo "==> scenario engine tests (parser proptests + determinism)"
 cargo test -q -p logrel-sim scenario > /dev/null
 cargo test -q --test fault_scenarios > /dev/null
@@ -153,6 +182,19 @@ rm -f "$INCR_DIR/lintspec.htl.logrel-cache"
     > "$INCR_DIR/lint_cold.out" 2> "$INCR_DIR/lint_cold.err" || true
 diff "$INCR_DIR/lint_warm.out" "$INCR_DIR/lint_cold.out"
 diff "$INCR_DIR/lint_warm.err" "$INCR_DIR/lint_cold.err"
+# Same property for certify --incremental: after an LRC weakening (the
+# refinement-reuse path) the warm certificate must be byte-identical to
+# a cold run on the edited spec.
+cp assets/three_tank.htl "$INCR_DIR/certspec.htl"
+"$HTLC" certify --incremental "$INCR_DIR/certspec.htl" > /dev/null 2>&1
+sed -i 's/lrc 0.998/lrc 0.99/' "$INCR_DIR/certspec.htl"
+"$HTLC" certify --incremental "$INCR_DIR/certspec.htl" \
+    > "$INCR_DIR/cert_warm.out" 2> "$INCR_DIR/cert_warm.err"
+rm -f "$INCR_DIR/certspec.htl.logrel-cache"
+"$HTLC" certify "$INCR_DIR/certspec.htl" \
+    > "$INCR_DIR/cert_cold.out" 2> "$INCR_DIR/cert_cold.err"
+diff "$INCR_DIR/cert_warm.out" "$INCR_DIR/cert_cold.out"
+diff "$INCR_DIR/cert_warm.err" "$INCR_DIR/cert_cold.err"
 # A corrupt cache must fall back to cold analysis, not fail.
 printf 'garbage' > "$INCR_DIR/spec.htl.logrel-cache"
 "$HTLC" analyze "$INCR_DIR/spec.htl" > "$INCR_DIR/fallback.out" 2> /dev/null

@@ -8,7 +8,21 @@
 //!                                    compiled round program and the composed
 //!                                    per-host E-code against the
 //!                                    specification's denotational dataflow
-//! htlc lint [--deny] <file>...       specification lints + E-code verification
+//! htlc lint [--deny] [--format json] <file>...
+//!                                    specification lints + E-code verification;
+//!                                    --format json emits the stable
+//!                                    `logrel-diagnostics-v1` document
+//! htlc certify [--deny] [--box D] [--format json] [--metrics PATH] <file>
+//!                                    sound reliability certification: outward-
+//!                                    rounded interval SRGs decide every LRC as
+//!                                    CERTIFIED / REFUTED / INDETERMINATE,
+//!                                    symbolic Birnbaum sensitivities rank the
+//!                                    bottleneck components and per-component
+//!                                    degradation margins are reported; --box D
+//!                                    additionally certifies over the
+//!                                    reliability box [r-D, r] per component;
+//!                                    --format json emits the stable
+//!                                    `logrel-certificate-v1` document
 //! htlc fmt <file>                    pretty-print the program
 //! htlc graph <file>                  emit the specification graph as DOT
 //! htlc ecode <file> <host>           disassemble one host's E-code
@@ -325,19 +339,105 @@ fn verify_report(path: &str, source: &str) -> Report {
     }
 }
 
-/// The per-file `lint` pipeline as a replayable report. `deny` is part
-/// of the query name, so denied and plain runs never share entries.
-fn lint_report(path: &str, source: &str, deny: bool) -> Report {
+/// The per-file `lint` pipeline as a replayable report. `deny` and
+/// `json` are part of the query name, so variants never share entries.
+/// JSON mode routes the `logrel-diagnostics-v1` document to stdout and
+/// keeps stderr empty — machine consumers read one stream.
+fn lint_report(path: &str, source: &str, deny: bool, json: bool) -> Report {
     let mut diags = lint::lint_source(source);
     if deny {
         lint::deny_warnings(&mut diags);
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    if json {
+        let stdout = lint::diagnostics_json(path, &diags);
+        return Report { errors, stdout, stderr: String::new() };
     }
     let mut err = String::new();
     for d in &diags {
         err.push_str(&format!("{}\n", d.render(path)));
     }
-    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
     Report { errors, stdout: String::new(), stderr: err }
+}
+
+/// Certification counters carried out of [`certify_report`] for the
+/// `--metrics` export. `None` when the analysis never ran (front-end
+/// failure) — or when an incremental run replayed a cached report.
+#[derive(Clone, Copy)]
+struct CertCounts {
+    certified: u64,
+    refuted: u64,
+    indeterminate: u64,
+    min_slack: Option<f64>,
+}
+
+/// The `certify` pipeline as a replayable report: interval SRG
+/// certification with symbolic sensitivity analysis. Text mode renders
+/// the certificate on stdout and the spanned C-series diagnostics on
+/// stderr; JSON mode emits the `logrel-certificate-v1` document
+/// (diagnostics embedded) on stdout with stderr empty. Front-end and
+/// analysis failures in JSON mode degrade to the `logrel-diagnostics-v1`
+/// document, so consumers always receive well-formed JSON on stdout.
+fn certify_report(
+    path: &str,
+    source: &str,
+    deny: bool,
+    json: bool,
+    box_delta: Option<f64>,
+) -> (Report, Option<CertCounts>) {
+    let fail = |diags: Vec<Diagnostic>| -> Report {
+        let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+        if json {
+            let stdout = lint::diagnostics_json(path, &diags);
+            Report { errors, stdout, stderr: String::new() }
+        } else {
+            let mut err = String::new();
+            for d in &diags {
+                err.push_str(&format!("{}\n", d.render(path)));
+            }
+            Report { errors, stdout: String::new(), stderr: err }
+        }
+    };
+    let program = match parse(source) {
+        Ok(p) => p,
+        Err(e) => return (fail(vec![Diagnostic::from_lang_error(&e)]), None),
+    };
+    let sys = match logrel::lang::elaborate(&program) {
+        Ok(s) => s,
+        Err(e) => return (fail(vec![Diagnostic::from_lang_error(&e)]), None),
+    };
+    match logrel::reliability::certify(&sys.spec, &sys.arch, &sys.imp, box_delta) {
+        Ok(cert) => {
+            let mut diags = lint::certify_diagnostics(&program, &cert);
+            if deny {
+                lint::deny_warnings(&mut diags);
+            }
+            let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+            let counts = CertCounts {
+                certified: cert.count(logrel::reliability::CertStatus::Certified) as u64,
+                refuted: cert.count(logrel::reliability::CertStatus::Refuted) as u64,
+                indeterminate: cert.count(logrel::reliability::CertStatus::Indeterminate)
+                    as u64,
+                min_slack: cert.min_slack(),
+            };
+            let report = if json {
+                let stdout = lint::certificate_json(path, &sys.name, &cert, &diags);
+                Report { errors, stdout, stderr: String::new() }
+            } else {
+                let mut err = String::new();
+                for d in &diags {
+                    err.push_str(&format!("{}\n", d.render(path)));
+                }
+                Report {
+                    errors,
+                    stdout: lint::render_certificate(&sys.name, &cert),
+                    stderr: err,
+                }
+            };
+            (report, Some(counts))
+        }
+        Err(e) => (fail(vec![lint::certify_error_diagnostic(&e)]), None),
+    }
 }
 
 /// Removes `--flag VALUE` from `args`, returning the value if present.
@@ -350,6 +450,18 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>,
         }
         Some(_) => Err(Failure::Usage(format!("{flag} requires a value"))),
         None => Ok(None),
+    }
+}
+
+/// Removes `--format text|json` from `args`, returning whether JSON
+/// output was selected.
+fn take_json_format(args: &mut Vec<String>) -> Result<bool, Failure> {
+    match take_flag_value(args, "--format")?.as_deref() {
+        None | Some("text") => Ok(false),
+        Some("json") => Ok(true),
+        Some(other) => Err(Failure::Usage(format!(
+            "--format wants `text` or `json`, got `{other}`"
+        ))),
     }
 }
 
@@ -458,7 +570,7 @@ fn format_dumps(registry: &logrel::obs::Registry, sys: &logrel::lang::Elaborated
 }
 
 fn run(args: &[String]) -> Result<(), Failure> {
-    let usage = "usage: htlc <check|verify|lint|analyze|fmt|graph|ecode|importance|simulate|inject|trace|fuzz|refine> <args>\n\
+    let usage = "usage: htlc <check|verify|lint|certify|analyze|fmt|graph|ecode|importance|simulate|inject|trace|fuzz|refine> <args>\n\
                  run `htlc help` for details";
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
@@ -468,8 +580,19 @@ fn run(args: &[String]) -> Result<(), Failure> {
                  htlc check [--incremental] <file> joint analysis with SRG table\n\
                  htlc check-file <file>            multi-program file with declared refinements\n\
                  htlc verify [--incremental] <file> translation validation of compiled artifacts\n\
-                 htlc lint [--deny] [--incremental] <file>...\n\
-                                                   specification lints + E-code verification\n\
+                 htlc lint [--deny] [--incremental] [--format json] <file>...\n\
+                                                   specification lints + E-code verification;\n\
+                                                   --format json emits the stable\n\
+                                                   logrel-diagnostics-v1 document\n\
+                 htlc certify [--deny] [--incremental] [--box D] [--format json] [--metrics PATH] <file>\n\
+                                                   sound reliability certification: outward-\n\
+                                                   rounded interval SRGs decide every LRC\n\
+                                                   (CERTIFIED/REFUTED/INDETERMINATE), with\n\
+                                                   symbolic Birnbaum bottlenecks and per-\n\
+                                                   component degradation margins; --box D\n\
+                                                   re-certifies over the reliability box\n\
+                                                   [r-D, r]; --format json emits the stable\n\
+                                                   logrel-certificate-v1 document\n\
                  htlc analyze <spec> [--against <db>] [--stats]\n\
                                                    incremental joint analysis: reuses green\n\
                                                    queries from <spec>.logrel-cache, tries\n\
@@ -507,17 +630,23 @@ fn run(args: &[String]) -> Result<(), Failure> {
             let mut rest: Vec<String> = args[1..].to_vec();
             let deny = take_bool_flag(&mut rest, "--deny");
             let incremental = take_bool_flag(&mut rest, "--incremental");
+            let json = take_json_format(&mut rest)?;
             if rest.is_empty() {
                 return Err(usage.into());
             }
-            let query = if deny { "lint_full_deny" } else { "lint_full" };
+            let query = match (deny, json) {
+                (false, false) => "lint_full",
+                (true, false) => "lint_full_deny",
+                (false, true) => "lint_json",
+                (true, true) => "lint_json_deny",
+            };
             let mut errors = 0usize;
             for path in &rest {
                 let source = read(path)?;
                 let report = if incremental {
-                    run_cached(path, &source, query, || lint_report(path, &source, deny))
+                    run_cached(path, &source, query, || lint_report(path, &source, deny, json))
                 } else {
-                    lint_report(path, &source, deny)
+                    lint_report(path, &source, deny, json)
                 };
                 print!("{}", report.stdout);
                 eprint!("{}", report.stderr);
@@ -528,6 +657,72 @@ fn run(args: &[String]) -> Result<(), Failure> {
             } else {
                 Ok(())
             }
+        }
+        "certify" => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let deny = take_bool_flag(&mut rest, "--deny");
+            let incremental = take_bool_flag(&mut rest, "--incremental");
+            let json = take_json_format(&mut rest)?;
+            let metrics = take_flag_value(&mut rest, "--metrics")?;
+            let box_delta: Option<f64> = take_flag_value(&mut rest, "--box")?
+                .map(|s| {
+                    s.parse::<f64>()
+                        .ok()
+                        .filter(|d| (0.0..1.0).contains(d))
+                        .ok_or_else(|| format!("--box wants a delta in [0, 1), got `{s}`"))
+                })
+                .transpose()?;
+            let path = rest.first().ok_or(usage)?;
+            let source = read(path)?;
+            // Every flag that changes the report participates in the query
+            // name, so variants never share cache entries. The delta is
+            // rendered through the f64 shortest round-trip `Display`, which
+            // is injective over distinct values.
+            let query = format!(
+                "certify:deny={deny}:json={json}:box={}",
+                box_delta.map_or_else(|| "-".to_owned(), |d| d.to_string())
+            );
+            let counts_cell = std::cell::Cell::new(None::<CertCounts>);
+            let report = if incremental {
+                run_cached(path, &source, &query, || {
+                    let (report, counts) = certify_report(path, &source, deny, json, box_delta);
+                    counts_cell.set(counts);
+                    report
+                })
+            } else {
+                let (report, counts) = certify_report(path, &source, deny, json, box_delta);
+                counts_cell.set(counts);
+                report
+            };
+            if let Some(target) = &metrics {
+                // Counters reflect this process's own work: a warm
+                // incremental replay certified nothing, so only a cold
+                // compute populates them.
+                let mut registry = logrel::obs::Registry::new();
+                if let Some(c) = counts_cell.get() {
+                    registry.add(logrel::obs::names::CERTIFY_SPECS, 1);
+                    registry.add(logrel::obs::names::CERTIFY_LRC_CERTIFIED, c.certified);
+                    registry.add(logrel::obs::names::CERTIFY_LRC_REFUTED, c.refuted);
+                    registry.add(
+                        logrel::obs::names::CERTIFY_LRC_INDETERMINATE,
+                        c.indeterminate,
+                    );
+                    if let Some(slack) = c.min_slack {
+                        registry.set_gauge(logrel::obs::names::CERTIFY_MIN_SLACK, slack);
+                    }
+                }
+                print!("{}", report.stdout);
+                eprint!("{}", report.stderr);
+                if *target == "-" && !report.stdout.is_empty() {
+                    println!();
+                }
+                write_metrics(target, &registry)?;
+                if report.errors > 0 {
+                    return Err(Failure::Diagnostics(report.errors));
+                }
+                return Ok(());
+            }
+            emit_report(&report)
         }
         "check" => {
             let mut rest: Vec<String> = args[1..].to_vec();

@@ -1,0 +1,287 @@
+//! Soundness and cross-validation suite for the static certification
+//! engine: the point SRG of every shipped and corpus spec lies inside its
+//! certified enclosure, the symbolic Birnbaum partials agree with the
+//! RBD-pinning `importance` analysis on both case studies, random specs
+//! keep the enclosure property (proptest), a Monte-Carlo fault-injection
+//! campaign's ε-band overlaps the certified interval, and the query
+//! layer's certify refinement reuse is exercised in both directions
+//! (LRC weakening reuses, tightening recomputes, warm ≡ cold always).
+
+use logrel_core::{TimeDependentImplementation, Value};
+use logrel_obs::NoopSink;
+use logrel_query::analyze_source;
+use logrel_reliability::{
+    architecture_importance, certify, compute_srgs, compute_symbolic_srgs, pinned_birnbaum,
+    standard_assignment, CertStatus,
+};
+use logrel_sim::{
+    run_campaign, BatchConfig, CampaignConfig, ConstantEnvironment, LaneMode, MonitorConfig,
+    ProbabilisticFaults, ReplicationContext, Scenario, Simulation,
+};
+use logrel_threetank::behaviors::build_behaviors;
+use logrel_threetank::{PlantParams, Scenario as Deployment, ThreeTankSystem};
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Every HTL specification shipped with the repository plus the certify
+/// defect corpus.
+fn all_specs() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for dir in ["assets", "examples/htl", "tests/assets/certify"] {
+        for entry in fs::read_dir(root.join(dir)).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) == Some("htl") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    assert!(files.len() >= 6, "spec sweep too small: {files:?}");
+    files
+}
+
+/// Checks the certification invariants of one elaborated system: the
+/// point SRG lies inside the certified enclosure for every communicator,
+/// verdicts are exactly what the enclosure dictates, and the degradation
+/// box only ever widens the enclosure.
+fn assert_sound(sys: &logrel::lang::ElaboratedSystem, ctx: &str) {
+    let srgs = compute_srgs(&sys.spec, &sys.arch, &sys.imp).unwrap();
+    let cert = certify(&sys.spec, &sys.arch, &sys.imp, Some(1e-3)).unwrap();
+    assert_eq!(cert.comms.len(), sys.spec.communicator_count(), "{ctx}");
+    for row in &cert.comms {
+        let point = srgs.communicator(row.comm).get();
+        assert_eq!(row.point, point, "{ctx}: `{}` point mismatch", row.name);
+        assert!(
+            row.interval.contains(point),
+            "{ctx}: `{}` point {point} outside [{}, {}]",
+            row.name,
+            row.interval.lo(),
+            row.interval.hi()
+        );
+        let boxed = row.box_interval.unwrap();
+        assert!(
+            boxed.lo() <= row.interval.lo() && row.interval.hi() <= boxed.hi(),
+            "{ctx}: `{}` box must enclose the point-architecture interval",
+            row.name
+        );
+        match (row.lrc, row.status) {
+            (None, None) => {}
+            (Some(mu), Some(status)) => {
+                let expect = if row.interval.lo() >= mu {
+                    CertStatus::Certified
+                } else if row.interval.hi() < mu {
+                    CertStatus::Refuted
+                } else {
+                    CertStatus::Indeterminate
+                };
+                assert_eq!(status, expect, "{ctx}: `{}` verdict", row.name);
+                assert_eq!(
+                    row.slack,
+                    Some(row.interval.lo() - mu),
+                    "{ctx}: `{}` slack",
+                    row.name
+                );
+            }
+            other => panic!("{ctx}: `{}` lrc/status mismatch: {other:?}", row.name),
+        }
+    }
+}
+
+#[test]
+fn point_srg_inside_certified_interval_for_every_shipped_spec() {
+    for path in all_specs() {
+        let source = fs::read_to_string(&path).unwrap();
+        let program = logrel::lang::parse(&source).unwrap();
+        let sys = logrel::lang::elaborate(&program).unwrap();
+        assert_sound(&sys, &path.display().to_string());
+    }
+}
+
+/// Differential test of the two independent sensitivity analyses: the
+/// symbolic polynomial's pinned Birnbaum (`λ_c(x=1) − λ_c(x=0)`) must
+/// agree with `importance.rs`, which pins the named unit inside the RBD
+/// instead, on every communicator of both case studies.
+#[test]
+fn symbolic_birnbaum_matches_rbd_importance_on_case_studies() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for name in ["three_tank.htl", "steer_by_wire.htl"] {
+        let source = fs::read_to_string(root.join("assets").join(name)).unwrap();
+        let program = logrel::lang::parse(&source).unwrap();
+        let sys = logrel::lang::elaborate(&program).unwrap();
+        let symbolic = compute_symbolic_srgs(&sys.spec, &sys.imp).unwrap();
+        let assign = standard_assignment(&sys.arch);
+        let mut compared = 0usize;
+        for c in sys.spec.communicator_ids() {
+            let rows = architecture_importance(&sys.spec, &sys.arch, &sys.imp, c).unwrap();
+            let poly = symbolic.communicator(c);
+            for sym in poly.symbols() {
+                let label = sym.label(&sys.spec, &sys.arch);
+                let row = rows
+                    .iter()
+                    .find(|r| r.name == label)
+                    .unwrap_or_else(|| panic!("{name}: no importance row for `{label}`"));
+                let symbolic_b = pinned_birnbaum(poly, sym, &assign);
+                assert!(
+                    (symbolic_b - row.birnbaum).abs() <= 1e-9,
+                    "{name}: Birnbaum for `{label}` diverges: symbolic {symbolic_b} vs rbd {}",
+                    row.birnbaum
+                );
+                compared += 1;
+            }
+        }
+        assert!(compared >= 8, "{name}: only {compared} partials compared");
+    }
+}
+
+/// Renders a well-formed random spec: `replicas` controller replicas over
+/// hosts of the given reliabilities, a sensor chain and an optional LRC.
+fn render_spec(period: u64, replicas: usize, hrel: [u32; 3], srel: u32, lrc: &str) -> String {
+    let hosts = ["h1", "h2", "h3"];
+    let constraint = if lrc.is_empty() { String::new() } else { format!(" {lrc}") };
+    let mut out = format!(
+        "program rnd {{\n    communicator s : float period {period} sensor;\n    communicator u : float period {period}{constraint};\n"
+    );
+    out.push_str(&format!(
+        "    module m {{\n        start mode main period {period} {{\n            invoke ctrl reads s[0] writes u[1];\n        }}\n    }}\n"
+    ));
+    out.push_str("    architecture {\n");
+    for (h, r) in hosts.iter().zip(hrel) {
+        out.push_str(&format!("        host {h} reliability 0.{r:04};\n"));
+    }
+    out.push_str(&format!("        sensor sen reliability 0.{srel:04};\n"));
+    for h in hosts {
+        out.push_str(&format!(
+            "        wcet ctrl on {h} 2; wctt ctrl on {h} 1;\n"
+        ));
+    }
+    out.push_str("    }\n    map {\n");
+    out.push_str(&format!("        ctrl -> {};\n", hosts[..replicas].join(", ")));
+    out.push_str("        bind s -> sen;\n    }\n}\n");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The enclosure property is not an artifact of the shipped examples:
+    /// it holds across randomly drawn architectures, replication degrees
+    /// and constraints.
+    #[test]
+    fn certified_interval_encloses_point_srg(
+        period in (0usize..3).prop_map(|i| [5u64, 10, 20][i]),
+        replicas in 1usize..=3,
+        h1 in 5000u32..=9999,
+        h2 in 5000u32..=9999,
+        h3 in 5000u32..=9999,
+        srel in 5000u32..=9999,
+        lrc_micro in proptest::option::of(500_000u32..=999_999),
+    ) {
+        let hrel = [h1, h2, h3];
+        let lrc = match lrc_micro {
+            Some(m) => format!("lrc 0.{m:06}"),
+            None => String::new(),
+        };
+        let source = render_spec(period, replicas, hrel, srel, &lrc);
+        let program = logrel::lang::parse(&source).unwrap();
+        let sys = logrel::lang::elaborate(&program).unwrap();
+        assert_sound(&sys, "random spec");
+    }
+}
+
+/// Cross-validation against the dynamic layer: a Monte-Carlo campaign
+/// under independent per-round host/sensor faults must land its ε-band
+/// on every certified enclosure — `[λ̂ − ε, λ̂ + ε]` overlaps `[lo, hi]`.
+#[test]
+fn campaign_epsilon_band_overlaps_certified_interval() {
+    let sys = ThreeTankSystem::new(Deployment::ReplicatedControllers);
+    let params = PlantParams::default();
+    let imp = TimeDependentImplementation::from(sys.imp.clone());
+    let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
+    let cert = certify(&sys.spec, &sys.arch, &sys.imp, None).unwrap();
+
+    let analytic: Vec<Option<f64>> = cert.comms.iter().map(|r| Some(r.point)).collect();
+    let config = CampaignConfig {
+        batch: BatchConfig {
+            replications: 8,
+            rounds: 2_000,
+            base_seed: 0xCE27,
+            threads: 1,
+        },
+        monitor: MonitorConfig::default(),
+        lanes: LaneMode::default(),
+    };
+    let report = run_campaign(
+        &sim,
+        &sys.spec,
+        &Scenario::new(),
+        sys.arch.host_count(),
+        &config,
+        |_rep| ReplicationContext {
+            behaviors: build_behaviors(&sys, &params),
+            environment: Box::new(ConstantEnvironment::new(Value::Float(0.25))),
+            injector: Box::new(ProbabilisticFaults::from_architecture(&sys.arch)),
+        },
+        &analytic,
+    )
+    .unwrap();
+
+    for (cr, row) in report.comms.iter().zip(&cert.comms) {
+        assert!(
+            cr.empirical - cr.epsilon <= row.interval.hi()
+                && row.interval.lo() <= cr.empirical + cr.epsilon,
+            "`{}`: empirical {} ± {} misses certified [{}, {}]",
+            row.name,
+            cr.empirical,
+            cr.epsilon,
+            row.interval.lo(),
+            row.interval.hi()
+        );
+    }
+}
+
+/// Renders the incremental-test spec with communicator `u` constrained at
+/// the given LRC.
+fn spec_with_lrc(lrc: &str) -> String {
+    render_spec(10, 2, [9900, 9800, 9700], 9990, &format!("lrc {lrc}"))
+}
+
+/// Weakening the only LRC refine-reuses the certify query (the prior was
+/// fully certified, so a looser threshold cannot change any verdict)
+/// while the warm report stays byte-identical to a cold run.
+#[test]
+fn lrc_weakening_reuses_certify_query() {
+    let base = analyze_source(&spec_with_lrc("0.9"), "inc.htl", None, &mut NoopSink);
+    let db = base.db.unwrap();
+    let weakened = spec_with_lrc("0.8");
+    let warm = analyze_source(&weakened, "inc.htl", Some(&db), &mut NoopSink);
+    let cold = analyze_source(&weakened, "inc.htl", None, &mut NoopSink);
+    assert_eq!(warm.stdout, cold.stdout);
+    assert_eq!(warm.stderr, cold.stderr);
+    assert!(
+        warm.stats.refine_reuses >= 1,
+        "weakening must refine-reuse certify: {:?}",
+        warm.stats
+    );
+    assert!(warm.stdout.contains("certified: yes"), "{}", warm.stdout);
+}
+
+/// Tightening the LRC invalidates the reuse argument — the prior verdict
+/// says nothing about a *stricter* threshold — so certify recomputes, and
+/// the recomputation is still byte-identical to a cold run.
+#[test]
+fn lrc_tightening_recomputes_certify_query() {
+    let base = analyze_source(&spec_with_lrc("0.9"), "inc.htl", None, &mut NoopSink);
+    let db = base.db.unwrap();
+    let tightened = spec_with_lrc("0.95");
+    let warm = analyze_source(&tightened, "inc.htl", Some(&db), &mut NoopSink);
+    let cold = analyze_source(&tightened, "inc.htl", None, &mut NoopSink);
+    assert_eq!(warm.stdout, cold.stdout);
+    assert_eq!(warm.stderr, cold.stderr);
+    assert_eq!(
+        warm.stats.refine_reuses, 0,
+        "tightening must not reuse certify: {:?}",
+        warm.stats
+    );
+}

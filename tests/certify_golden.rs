@@ -1,0 +1,130 @@
+//! Golden-file tests for the certification pass: every defective HTL
+//! program in `tests/assets/certify/*.htl` is certified (with a
+//! reliability box of δ = 1e-3) and both the rendered certificate and the
+//! `logrel-certificate-v1` JSON document are compared byte-for-byte
+//! against the sibling `*.expected` / `*.json.expected` files. A lint
+//! `logrel-diagnostics-v1` golden rides along so both machine formats
+//! stay pinned.
+//!
+//! Regenerate the expectations after an intentional change with
+//! `UPDATE_EXPECT=1 cargo test --test certify_golden`.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use logrel::lint;
+use logrel::reliability::Certificate;
+
+/// The box radius every corpus file is certified under; wide enough to
+/// break `certify_box_fragile.htl` while leaving the refuted and
+/// indeterminate cases classified by their point enclosure.
+const BOX_DELTA: f64 = 1e-3;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/assets/certify")
+}
+
+fn corpus() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("htl"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Runs the full certify pipeline on one corpus file, mirroring
+/// `htlc certify --box 1e-3`.
+fn certified(path: &Path) -> (String, Certificate, Vec<lint::Diagnostic>) {
+    let source = fs::read_to_string(path).unwrap();
+    let program = logrel::lang::parse(&source).unwrap();
+    let sys = logrel::lang::elaborate(&program).unwrap();
+    let cert = logrel::reliability::certify(&sys.spec, &sys.arch, &sys.imp, Some(BOX_DELTA))
+        .unwrap();
+    let diags = lint::certify_diagnostics(&program, &cert);
+    (sys.name, cert, diags)
+}
+
+/// Rendered text output: the certificate table followed by the spanned
+/// diagnostics, exactly what `htlc certify` prints to stdout + stderr.
+fn rendered(path: &Path) -> String {
+    let name = path.file_name().unwrap().to_str().unwrap();
+    let (sys_name, cert, diags) = certified(path);
+    let mut out = lint::render_certificate(&sys_name, &cert);
+    for d in &diags {
+        out.push_str(&d.render(name));
+        out.push('\n');
+    }
+    out
+}
+
+fn check_expected(path: &Path, got: &str, expected_path: &Path, update: bool) {
+    if update {
+        fs::write(expected_path, got).unwrap();
+    } else {
+        let expected = fs::read_to_string(expected_path)
+            .unwrap_or_else(|_| panic!("missing {}", expected_path.display()));
+        assert_eq!(
+            got,
+            expected,
+            "output changed for {} (set UPDATE_EXPECT=1 to regenerate)",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_matches_expected_certificates() {
+    let update = std::env::var_os("UPDATE_EXPECT").is_some();
+    let files = corpus();
+    assert!(files.len() >= 3, "corpus too small: {} files", files.len());
+    for path in &files {
+        let got = rendered(path);
+        let (_, _, diags) = certified(path);
+        assert!(
+            !diags.is_empty(),
+            "{} is part of the defect corpus but certifies clean",
+            path.display()
+        );
+        check_expected(path, &got, &path.with_extension("expected"), update);
+    }
+}
+
+#[test]
+fn corpus_matches_expected_json_certificates() {
+    let update = std::env::var_os("UPDATE_EXPECT").is_some();
+    for path in &corpus() {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let (sys_name, cert, diags) = certified(path);
+        let got = lint::certificate_json(name, &sys_name, &cert, &diags);
+        check_expected(path, &got, &path.with_extension("json.expected"), update);
+    }
+}
+
+#[test]
+fn corpus_exercises_distinct_certify_codes() {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for path in corpus() {
+        for d in &certified(&path).2 {
+            seen.insert(d.code.to_string());
+        }
+    }
+    for code in ["C001", "C002", "C003", "C004"] {
+        assert!(seen.contains(code), "corpus never emits {code}: {seen:?}");
+    }
+}
+
+#[test]
+fn lint_json_matches_expected() {
+    // Pin the `logrel-diagnostics-v1` document (`htlc lint --format json`)
+    // for one representative lint-corpus file alongside the certify JSON.
+    let update = std::env::var_os("UPDATE_EXPECT").is_some();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/assets/lint_dead_comm.htl");
+    let source = fs::read_to_string(&path).unwrap();
+    let diags = lint::lint_source(&source);
+    let got = lint::diagnostics_json("lint_dead_comm.htl", &diags);
+    let expected_path = corpus_dir().join("lint_dead_comm.json.expected");
+    check_expected(&path, &got, &expected_path, update);
+}
