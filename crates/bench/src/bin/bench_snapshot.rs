@@ -97,6 +97,8 @@ const GATES: &[(&str, bool)] = &[
     ("analyze_warm_specs_per_sec", true),
     ("greedy_ms", false),
     ("exhaustive_ms", false),
+    ("serve_cold_jobs_per_sec", true),
+    ("serve_jobs_per_sec", true),
 ];
 
 /// Absolute ratio floors checked under `--compare` regardless of the
@@ -122,6 +124,9 @@ const RATIO_FLOORS: &[(&str, &str, &str, f64)] = &[
     // cold/warm ratios, which cancels machine-wide frequency drift that
     // a quotient of independent minima would not).
     ("incremental re-analysis speedup", "analyze_warm_speedup", "", 5.0),
+    // The campaign service's reason to exist: once a spec is in the
+    // compilation cache, a job is just its (tiny, here) campaign.
+    ("serve warm-cache speedup", "serve_warm_speedup", "", 5.0),
 ];
 
 /// Absolute ratio ceilings, the mirror of [`RATIO_FLOORS`]: the metric
@@ -400,6 +405,61 @@ fn main() -> ExitCode {
     let analyze_speedup =
         (analyze_ratios[ANALYZE_REPS / 2 - 1] + analyze_ratios[ANALYZE_REPS / 2]) / 2.0;
 
+    // Campaign-service workload: jobs/sec through `logrel_serve::Engine`
+    // with a deliberately tiny campaign (one replication x 20 rounds) on
+    // a 16-task generated spec, so the job cost is dominated by the
+    // front half — analysis, elaboration, round-program compilation,
+    // SRGs. Cold clears the compilation cache before each batch of
+    // distinct specs; warm resubmits the same batch and must hit the
+    // cache on every job. Same pairing discipline as the analyze
+    // workload: per-rep cold/warm ratios, median speedup.
+    const SERVE_REPS: usize = 16;
+    const SERVE_SPECS: usize = 4;
+    let serve_engine = logrel_serve::Engine::new(logrel_serve::ServeConfig {
+        workers: 2,
+        queue_capacity: SERVE_SPECS + 1,
+        recorder_capacity: 0,
+        cache_path: None,
+    });
+    let serve_jobs: Vec<logrel_serve::Job> = (0..SERVE_SPECS)
+        .map(|i| logrel_serve::Job {
+            // Distinct program names give distinct content hashes, so a
+            // cold batch really compiles SERVE_SPECS times.
+            spec_source: logrel_bench::big_htl_source(16)
+                .replace("program big", &format!("program big_{i}")),
+            spec_label: format!("big_{i}.htl"),
+            scenario_source: "scn v2\n".to_owned(),
+            rounds: 20,
+            replications: 1,
+            seed: 3,
+            lanes: logrel_sim::LaneMode::Auto,
+        })
+        .collect();
+    let (mut serve_cold_secs, mut serve_warm_secs) = (f64::MAX, f64::MAX);
+    let mut serve_ratios = [0.0f64; SERVE_REPS];
+    for ratio in &mut serve_ratios {
+        serve_engine.clear_cache();
+        let start = Instant::now();
+        for job in &serve_jobs {
+            std::hint::black_box(serve_engine.submit(job).expect("bench job succeeds"));
+        }
+        let cold = start.elapsed().as_secs_f64() / SERVE_SPECS as f64;
+        serve_cold_secs = serve_cold_secs.min(cold);
+        let start = Instant::now();
+        for job in &serve_jobs {
+            let out = serve_engine.submit(job).expect("bench job succeeds");
+            assert!(out.cache_hit, "warm batch must not recompile");
+            std::hint::black_box(out);
+        }
+        let warm = start.elapsed().as_secs_f64() / SERVE_SPECS as f64;
+        serve_warm_secs = serve_warm_secs.min(warm);
+        *ratio = cold / warm;
+    }
+    serve_engine.shutdown();
+    serve_ratios.sort_by(f64::total_cmp);
+    let serve_speedup =
+        (serve_ratios[SERVE_REPS / 2 - 1] + serve_ratios[SERVE_REPS / 2]) / 2.0;
+
     let sys = ThreeTankSystem::with_options(Scenario::Baseline, 0.99, None).expect("valid");
     let imp = TimeDependentImplementation::from(sys.imp.clone());
     let sim = Simulation::new(&sys.spec, &sys.arch, &imp);
@@ -607,6 +667,11 @@ fn main() -> ExitCode {
          \"analyze_cold_specs_per_sec\": {:.1},\n    \
          \"analyze_warm_specs_per_sec\": {:.1},\n    \
          \"analyze_warm_speedup\": {:.2}\n  }},\n  \
+         \"serve\": {{\n    \
+         \"serve_workload\": \"16-task spec x4 distinct hashes, 1x20-round campaigns, cold = cleared cache\",\n    \
+         \"serve_cold_jobs_per_sec\": {:.1},\n    \
+         \"serve_jobs_per_sec\": {:.1},\n    \
+         \"serve_warm_speedup\": {:.2}\n  }},\n  \
          \"synthesis\": {{\n    \
          \"greedy_ms\": {:.4},\n    \
          \"exhaustive_ms\": {:.4}\n  }}\n}}\n",
@@ -627,6 +692,9 @@ fn main() -> ExitCode {
         1.0 / analyze_cold_secs,
         1.0 / analyze_warm_secs,
         analyze_speedup,
+        1.0 / serve_cold_secs,
+        1.0 / serve_warm_secs,
+        serve_speedup,
         greedy_secs * 1e3,
         exhaustive_secs * 1e3,
     );

@@ -124,6 +124,19 @@ pub mod names {
     pub const FUZZ_SHRINK_STEPS: &str = "logrel_fuzz_shrink_steps_total";
     /// Distinct coverage signatures seen by the fuzzer (gauge).
     pub const FUZZ_SIGNATURES: &str = "logrel_fuzz_signatures";
+    /// Jobs accepted by the campaign service.
+    pub const SERVE_JOBS_ACCEPTED: &str = "logrel_serve_jobs_accepted_total";
+    /// Jobs completed by the campaign service.
+    pub const SERVE_JOBS_COMPLETED: &str = "logrel_serve_jobs_completed_total";
+    /// Jobs rejected by the campaign service (malformed, queue full,
+    /// compile failure, shutdown).
+    pub const SERVE_JOBS_REJECTED: &str = "logrel_serve_jobs_rejected_total";
+    /// Jobs whose spec was already compiled (served from the cache).
+    pub const SERVE_CACHE_HITS: &str = "logrel_serve_cache_hits_total";
+    /// Jobs whose spec had to be compiled (elaborate/lint/verify/program).
+    pub const SERVE_CACHE_MISSES: &str = "logrel_serve_cache_misses_total";
+    /// Jobs currently queued or running in the service (gauge).
+    pub const SERVE_QUEUE_DEPTH: &str = "logrel_serve_queue_depth";
 }
 
 /// Buckets for the delivering-replicas-per-vote histogram.
@@ -289,6 +302,30 @@ pub const CATALOG: &[MetricDef] = &[
     gauge!(
         names::FUZZ_SIGNATURES,
         "Distinct coverage signatures seen by the fuzzer"
+    ),
+    counter!(
+        names::SERVE_JOBS_ACCEPTED,
+        "Jobs accepted by the campaign service"
+    ),
+    counter!(
+        names::SERVE_JOBS_COMPLETED,
+        "Jobs completed by the campaign service"
+    ),
+    counter!(
+        names::SERVE_JOBS_REJECTED,
+        "Jobs rejected by the campaign service"
+    ),
+    counter!(
+        names::SERVE_CACHE_HITS,
+        "Jobs served from the spec compilation cache"
+    ),
+    counter!(
+        names::SERVE_CACHE_MISSES,
+        "Jobs that compiled their spec from scratch"
+    ),
+    gauge!(
+        names::SERVE_QUEUE_DEPTH,
+        "Jobs currently queued or running in the service"
     ),
 ];
 

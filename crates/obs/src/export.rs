@@ -272,6 +272,67 @@ pub fn to_json(reg: &Registry) -> String {
     out
 }
 
+/// Renders the registry as a single compact `logrel-metrics-v1` JSON
+/// line (no interior newlines, no trailing newline) — the wire format of
+/// the line-delimited job service, where one response is one line.
+///
+/// Same schema and key order as [`to_json`], minus the pretty-printing;
+/// a whitespace-insensitive JSON parse of either document yields the
+/// same value.
+#[must_use]
+pub fn to_json_line(reg: &Registry) -> String {
+    let mut out = String::from("{\"schema\":\"logrel-metrics-v1\",\"counters\":{");
+    for (i, (name, v)) in reg.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in reg.gauges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{}", json_f64(v)));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in reg.histograms().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{{\"buckets\":["));
+        let cumulative = h.cumulative();
+        for (j, (bound, cum)) in h.bounds().iter().zip(&cumulative).enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{cum}]", json_f64(*bound)));
+        }
+        if !h.bounds().is_empty() {
+            out.push(',');
+        }
+        out.push_str(&format!("[\"+Inf\",{}]", h.count()));
+        out.push_str(&format!(
+            "],\"sum\":{},\"count\":{}}}",
+            json_f64(h.sum()),
+            h.count()
+        ));
+    }
+    out.push('}');
+    if let Some(rec) = reg.recorder() {
+        out.push_str(",\"dumps\":[");
+        for (i, dump) in rec.dumps().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&dump_json(dump));
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +385,26 @@ mod tests {
     fn exports_are_deterministic() {
         assert_eq!(to_prometheus(&sample()), to_prometheus(&sample()));
         assert_eq!(to_json(&sample()), to_json(&sample()));
+        assert_eq!(to_json_line(&sample()), to_json_line(&sample()));
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_whitespace_equivalent_to_pretty() {
+        let line = to_json_line(&sample());
+        assert!(!line.contains('\n'), "line format must be newline-free");
+        assert!(line.starts_with("{\"schema\":\"logrel-metrics-v1\""));
+        // Stripping all whitespace outside strings from the pretty form
+        // must yield the compact form (same keys, order and values). The
+        // sample has no whitespace inside string values, so a blanket
+        // strip is faithful — except the spaces dump_json itself emits,
+        // which appear identically in both documents.
+        let pretty = to_json(&sample());
+        let strip = |s: &str| {
+            s.chars()
+                .filter(|c| !c.is_ascii_whitespace())
+                .collect::<String>()
+        };
+        assert_eq!(strip(&pretty), strip(&line));
     }
 
     #[test]

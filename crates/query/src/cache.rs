@@ -202,14 +202,36 @@ pub fn load(path: &str) -> LoadOutcome {
     }
 }
 
-/// Writes `db` to `path`.
+/// Writes `db` to `path` atomically.
+///
+/// The text is written to a uniquely named temp file in the same
+/// directory and `rename`d into place, so a concurrent reader observes
+/// either the old complete file or the new complete file, never a torn
+/// interleaving — the steady state of a job service analyzing the same
+/// spec from several workers. (Same-directory matters: `rename` is only
+/// atomic within a filesystem.)
 ///
 /// # Errors
 ///
 /// Propagates the I/O error; callers degrade to a warning (a cache that
 /// cannot be written only costs the next run its warm start).
 pub fn save(db: &QueryDb, path: &str) -> std::io::Result<()> {
-    std::fs::write(path, to_text(db))
+    let path = std::path::Path::new(path);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    // Unique per process+thread: concurrent writers in one process get
+    // distinct temp names; losers of the final rename race still leave a
+    // complete file behind.
+    let tmp_name = format!(
+        ".{}.tmp.{}.{:?}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("logrel-cache"),
+        std::process::id(),
+        std::thread::current().id(),
+    );
+    let tmp = dir.unwrap_or_else(|| std::path::Path::new(".")).join(tmp_name);
+    std::fs::write(&tmp, to_text(db))?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 #[cfg(test)]
@@ -338,5 +360,51 @@ program p {
         let stale = dir.join("ok.logrel-cache");
         std::fs::write(&stale, to_text(&sample_db())).unwrap();
         assert!(matches!(load(stale.to_str().unwrap()), LoadOutcome::Loaded(_)));
+    }
+
+    /// Concurrent saves against concurrent loads: a reader must only
+    /// ever observe a complete file (the fail-closed checksum would
+    /// expose a torn write as `Invalid`). This is the serve steady state
+    /// — many workers analyzing the same spec, each persisting the db.
+    #[test]
+    fn concurrent_saves_never_expose_a_partial_file() {
+        let dir = std::env::temp_dir().join("logrel-cache-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.logrel-cache");
+        let path = path.to_str().unwrap().to_string();
+        // Two variants of the db, so the file content actually changes
+        // between saves (variant B drops one cached query).
+        let db_a = sample_db();
+        let mut db_b = sample_db();
+        db_b.queries.remove("lint");
+        save(&db_a, &path).unwrap();
+
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for flavor in 0..2usize {
+                let (stop, path, db_a, db_b) = (&stop, &path, &db_a, &db_b);
+                scope.spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let db = if flavor == 0 { db_a } else { db_b };
+                        save(db, path).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let (stop, path) = (&stop, &path);
+                scope.spawn(move || {
+                    for _ in 0..300 {
+                        match load(path) {
+                            LoadOutcome::Loaded(_) => {}
+                            LoadOutcome::Missing => panic!("cache vanished mid-save"),
+                            LoadOutcome::Invalid(reason) => {
+                                panic!("reader observed a torn cache: {reason}")
+                            }
+                        }
+                    }
+                    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
     }
 }

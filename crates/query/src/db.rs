@@ -14,7 +14,7 @@
 use crate::payload::Payload;
 use logrel_lang::subspec::{FnvWriter, SubspecUnit};
 use logrel_lang::ElaboratedSystem;
-use std::cell::OnceCell;
+use std::sync::OnceLock;
 use std::collections::BTreeMap;
 
 /// Version of the query engine. Participates in every dependency digest
@@ -47,7 +47,7 @@ pub struct QueryDb {
     /// Lazily elaborated `source` — memoised so refinement reuse across
     /// several queries pays the parent front-end cost at most once.
     /// Never persisted or compared; reset on clone.
-    parent: OnceCell<Option<Box<ElaboratedSystem>>>,
+    parent: OnceLock<Option<Box<ElaboratedSystem>>>,
 }
 
 impl Clone for QueryDb {
@@ -58,7 +58,7 @@ impl Clone for QueryDb {
             source: self.source.clone(),
             units: self.units.clone(),
             queries: self.queries.clone(),
-            parent: OnceCell::new(),
+            parent: OnceLock::new(),
         }
     }
 }
@@ -170,7 +170,7 @@ impl QueryDb {
             source,
             units,
             queries: BTreeMap::new(),
-            parent: OnceCell::new(),
+            parent: OnceLock::new(),
         }
     }
 

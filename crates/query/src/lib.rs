@@ -62,11 +62,13 @@ pub mod cache;
 pub mod db;
 pub mod engine;
 pub mod payload;
+pub mod shared;
 
 pub use cache::{load, save, LoadOutcome};
 pub use db::{dep_digest, CacheStats, QueryDb, QueryEntry, ENGINE_VERSION};
 pub use engine::{analyze_source, cached_report, default_cache_path, AnalysisOutcome, Report};
 pub use payload::{Payload, StoredDiag};
+pub use shared::SharedDb;
 
 #[cfg(test)]
 mod tests {

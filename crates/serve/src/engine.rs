@@ -1,0 +1,571 @@
+//! The campaign engine: compilation cache, admission control, and the
+//! work-stealing replication pool.
+//!
+//! # Compilation cache
+//!
+//! Jobs are keyed by the FNV-1a hash of the spec source. A miss runs the
+//! full front half once — incremental analysis ([`analyze_source`],
+//! warm-started from the service's [`SharedDb`] so a *resubmitted edited
+//! spec* reuses the refinement relation), elaboration, one
+//! [`Simulation::try_new_observed`] (which compiles the calendar and
+//! round program and, under the `validate` feature, self-certifies the
+//! kernel) and the analytic SRG pass — and caches the result behind an
+//! `Arc`. A hit shares everything; the only per-job work left is the
+//! Monte-Carlo campaign itself. The cache lock is held across a compile,
+//! so concurrent submissions of the same new spec compile it exactly
+//! once (single-flight).
+//!
+//! # Determinism
+//!
+//! Replications are sharded into [`CampaignUnit`]s and scattered over
+//! the worker pool; results land in per-job slots indexed by unit and
+//! are merged in unit (= replication) order. Seeds derive from
+//! `(base_seed, replication)`, never from a worker id, so the exported
+//! registry is **byte-identical at any worker count** and equal to a
+//! standalone `htlc inject` of the same `(spec, scenario, seed, lanes)`
+//! up to the wall-clock `*_seconds` span gauges, which a service job
+//! deliberately never records.
+//!
+//! # Backpressure and shutdown
+//!
+//! Admission is a bounded counter of in-flight jobs: the
+//! `queue_capacity`-th concurrent submission is rejected with a
+//! structured `S002` line instead of queueing unboundedly. Shutdown
+//! flips `accepting` (new submissions get `S005`), drains in-flight
+//! jobs, then stops the workers.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use logrel_core::{Architecture, Value};
+use logrel_lang::subspec::FnvWriter;
+use logrel_lang::ElaboratedSystem;
+use logrel_obs::export::to_json_line;
+use logrel_obs::{names, MetricsSink, NoopSink, Registry};
+use logrel_query::{analyze_source, LoadOutcome, SharedDb};
+use logrel_sim::montecarlo::{BatchConfig, ReplicationContext};
+use logrel_sim::{
+    plan_units, run_campaign_unit, aggregate_campaign, BehaviorMap, CampaignConfig, CampaignUnit,
+    ConstantEnvironment, LaneMode, MonitorConfig, ProbabilisticFaults, RepStats, Scenario,
+    ScenarioSymbols, Simulation,
+};
+
+use crate::proto::{self, JobError};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Maximum concurrently admitted jobs (queued or running). The next
+    /// submission is rejected with `S002`.
+    pub queue_capacity: usize,
+    /// Flight-recorder capacity for job registries (0 disables); the
+    /// default matches `htlc inject`'s ring of 256.
+    pub recorder_capacity: usize,
+    /// Optional `.logrel-cache` path: loaded at startup to warm the
+    /// analysis db, atomically rewritten after each compile.
+    pub cache_path: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 16,
+            recorder_capacity: 256,
+            cache_path: None,
+        }
+    }
+}
+
+/// A job with its spec and scenario text already resolved.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Spec source text.
+    pub spec_source: String,
+    /// Label used in compile diagnostics (a path, or `<inline>`).
+    pub spec_label: String,
+    /// Scenario script text.
+    pub scenario_source: String,
+    /// Rounds per replication.
+    pub rounds: u64,
+    /// Replication count.
+    pub replications: u64,
+    /// Campaign base seed.
+    pub seed: u64,
+    /// Lane mode.
+    pub lanes: LaneMode,
+}
+
+/// A successfully completed job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The `logrel-metrics-v1` registry as one compact JSON line.
+    pub metrics_line: String,
+    /// Whether the spec came out of the compilation cache.
+    pub cache_hit: bool,
+}
+
+/// Everything derived from a spec that campaigns can share: the
+/// elaborated system, its time-dependent implementation, the compiled
+/// calendar/round program, and the analytic SRG vector.
+struct CompiledSpec {
+    sys: ElaboratedSystem,
+    td: logrel_core::TimeDependentImplementation,
+    calendar: Arc<logrel_core::Calendar>,
+    program: Arc<logrel_core::RoundProgram>,
+    analytic: Vec<Option<f64>>,
+}
+
+struct Symbols<'a>(&'a ElaboratedSystem);
+
+impl ScenarioSymbols for Symbols<'_> {
+    fn host(&self, name: &str) -> Option<logrel_core::HostId> {
+        self.0.arch.find_host(name)
+    }
+    fn communicator(&self, name: &str) -> Option<logrel_core::CommunicatorId> {
+        self.0.spec.find_communicator(name)
+    }
+}
+
+/// One unit of pool work: run `job.units[unit_index]`.
+struct WorkItem {
+    job: Arc<JobState>,
+    unit_index: usize,
+}
+
+/// Per-unit results are strings on the error side so a worker panic can
+/// be reported without widening [`logrel_sim::CampaignError`].
+type UnitResult = Result<Vec<(RepStats, Registry)>, String>;
+
+struct SlotBoard {
+    results: Vec<Option<UnitResult>>,
+    remaining: usize,
+}
+
+struct JobState {
+    compiled: Arc<CompiledSpec>,
+    scenario: Scenario,
+    config: CampaignConfig,
+    units: Vec<CampaignUnit>,
+    recorder_capacity: usize,
+    slots: Mutex<SlotBoard>,
+    done_cv: Condvar,
+}
+
+struct WorkQueue {
+    items: VecDeque<WorkItem>,
+    stop: bool,
+}
+
+struct Inner {
+    config: ServeConfig,
+    queue: Mutex<WorkQueue>,
+    work_cv: Condvar,
+    cache: Mutex<HashMap<u64, Arc<CompiledSpec>>>,
+    db: SharedDb,
+    metrics: Mutex<Registry>,
+    active_jobs: AtomicUsize,
+    accepting: AtomicBool,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The campaign service engine. Cheap to clone; all clones share one
+/// cache, one metrics registry and one worker pool.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<Inner>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl Engine {
+    /// Starts the worker pool and (optionally) warms the analysis db
+    /// from `config.cache_path`.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> Engine {
+        let db = match &config.cache_path {
+            Some(path) => match logrel_query::load(path) {
+                LoadOutcome::Loaded(db) => SharedDb::with_db(*db),
+                // Missing or invalid caches mean cold starts, never
+                // failures — reads fail closed, writes will replace.
+                LoadOutcome::Missing | LoadOutcome::Invalid(_) => SharedDb::new(),
+            },
+            None => SharedDb::new(),
+        };
+        let worker_count = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(Inner {
+            config,
+            queue: Mutex::new(WorkQueue { items: VecDeque::new(), stop: false }),
+            work_cv: Condvar::new(),
+            cache: Mutex::new(HashMap::new()),
+            db,
+            metrics: Mutex::new(Registry::new()),
+            active_jobs: AtomicUsize::new(0),
+            accepting: AtomicBool::new(true),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let inner = Arc::clone(&inner);
+            handles.push(std::thread::spawn(move || worker_loop(&inner)));
+        }
+        *lock(&inner.workers) = handles;
+        Engine { inner }
+    }
+
+    /// Runs one job to completion (blocking the calling thread; the
+    /// campaign itself runs on the pool). Errors carry the structured
+    /// `S`-code the protocol layer renders.
+    pub fn submit(&self, job: &Job) -> Result<JobOutcome, JobError> {
+        let inner = &*self.inner;
+        // Admission first, acceptance check second: `shutdown` flips
+        // `accepting` and then waits for `active_jobs` to reach zero, so
+        // any submission it cannot see here is guaranteed to observe the
+        // flag and bail out (SeqCst store/load pairs on both sides).
+        let admitted = inner.active_jobs.fetch_update(
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            |n| (n < inner.config.queue_capacity).then_some(n + 1),
+        );
+        if admitted.is_err() {
+            self.count_rejected();
+            return Err(JobError::new(
+                proto::S_QUEUE_FULL,
+                format!(
+                    "admission queue full ({} jobs in flight); resubmit later",
+                    inner.config.queue_capacity
+                ),
+            ));
+        }
+        let guard = ActiveGuard { engine: self };
+        guard.update_depth_gauge();
+        if !inner.accepting.load(Ordering::SeqCst) {
+            self.count_rejected();
+            return Err(JobError::new(proto::S_SHUTDOWN, "service is shutting down".to_owned()));
+        }
+        {
+            let mut metrics = lock(&inner.metrics);
+            metrics.inc(names::SERVE_JOBS_ACCEPTED);
+        }
+        let result = self.run_admitted(job);
+        match &result {
+            Ok(_) => lock(&inner.metrics).inc(names::SERVE_JOBS_COMPLETED),
+            Err(_) => self.count_rejected(),
+        }
+        drop(guard);
+        result
+    }
+
+    fn run_admitted(&self, job: &Job) -> Result<JobOutcome, JobError> {
+        let inner = &*self.inner;
+        let (compiled, cache_hit) = self.compiled(&job.spec_source, &job.spec_label)?;
+        let scenario = Scenario::parse_with(&job.scenario_source, &Symbols(&compiled.sys))
+            .map_err(|e| JobError::new(proto::S_CAMPAIGN, e.to_string()))?;
+        let host_count = compiled.sys.arch.host_count();
+        scenario
+            .check_bounds(host_count, compiled.sys.spec.communicator_count())
+            .map_err(|e| JobError::new(proto::S_CAMPAIGN, e.to_string()))?;
+        if job.replications == 0 {
+            return Err(JobError::new(
+                proto::S_CAMPAIGN,
+                "campaign needs at least one replication".to_owned(),
+            ));
+        }
+        let config = CampaignConfig {
+            batch: BatchConfig {
+                replications: job.replications,
+                rounds: job.rounds,
+                base_seed: job.seed,
+                // Unused here: sharding happens on the service pool, not
+                // inside the campaign runner.
+                threads: 1,
+            },
+            monitor: MonitorConfig::default(),
+            lanes: job.lanes,
+        };
+        let units = plan_units(job.replications, config.lanes.width());
+        let state = Arc::new(JobState {
+            compiled: Arc::clone(&compiled),
+            scenario,
+            config,
+            recorder_capacity: inner.config.recorder_capacity,
+            slots: Mutex::new(SlotBoard {
+                results: (0..units.len()).map(|_| None).collect(),
+                remaining: units.len(),
+            }),
+            units,
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut q = lock(&inner.queue);
+            for unit_index in 0..state.units.len() {
+                q.items.push_back(WorkItem { job: Arc::clone(&state), unit_index });
+            }
+        }
+        inner.work_cv.notify_all();
+        let mut board = lock(&state.slots);
+        while board.remaining > 0 {
+            board = state
+                .done_cv
+                .wait(board)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+        // Merge in unit order == replication order: this is what makes
+        // the export independent of worker count and scheduling.
+        let mut per_rep = Vec::with_capacity(job.replications as usize);
+        for slot in board.results.iter_mut() {
+            match slot.take().expect("remaining == 0 implies every slot is filled") {
+                Ok(unit_reps) => per_rep.extend(unit_reps),
+                Err(msg) => return Err(JobError::new(proto::S_CAMPAIGN, msg)),
+            }
+        }
+        drop(board);
+        let (_report, sinks) = aggregate_campaign(
+            &compiled.sys.spec,
+            &state.scenario,
+            host_count,
+            &state.config,
+            &compiled.analytic,
+            per_rep,
+        );
+        // Mirror `htlc inject`'s registry exactly, minus the wall-clock
+        // `*_seconds` spans (which would break byte-equality and are a
+        // per-process, not per-job, concern).
+        let mut registry = if inner.config.recorder_capacity > 0 {
+            Registry::with_recorder(inner.config.recorder_capacity)
+        } else {
+            Registry::new()
+        };
+        registry.set_gauge(names::BITSLICE_LANES, job.lanes.width() as f64);
+        registry.set_gauge(names::CAMPAIGN_SEED, job.seed as f64);
+        for sink in sinks {
+            registry.merge(sink);
+        }
+        Ok(JobOutcome { metrics_line: to_json_line(&registry), cache_hit })
+    }
+
+    /// The compiled form of `source`, from cache or compiled now.
+    fn compiled(&self, source: &str, label: &str) -> Result<(Arc<CompiledSpec>, bool), JobError> {
+        let inner = &*self.inner;
+        let mut hasher = FnvWriter::new();
+        hasher.write_bytes(source.as_bytes());
+        let key = hasher.finish();
+        let mut cache = lock(&inner.cache);
+        if let Some(hit) = cache.get(&key) {
+            lock(&inner.metrics).inc(names::SERVE_CACHE_HITS);
+            return Ok((Arc::clone(hit), true));
+        }
+        lock(&inner.metrics).inc(names::SERVE_CACHE_MISSES);
+        let compiled = self.compile(source, label)?;
+        let compiled = Arc::new(compiled);
+        cache.insert(key, Arc::clone(&compiled));
+        Ok((compiled, false))
+    }
+
+    fn compile(&self, source: &str, label: &str) -> Result<CompiledSpec, JobError> {
+        let inner = &*self.inner;
+        let compile_failed = |msg: String| JobError::new(proto::S_COMPILE, msg);
+        // Incremental analysis first: lints + verification passes, warm
+        // from whatever spec family this service has seen before.
+        let prior = inner.db.snapshot();
+        let mut query_metrics = Registry::new();
+        let outcome = analyze_source(source, label, prior.as_deref(), &mut query_metrics);
+        lock(&inner.metrics).merge(query_metrics);
+        if outcome.errors > 0 {
+            return Err(compile_failed(format!(
+                "{} error(s) in `{label}`:\n{}",
+                outcome.errors,
+                outcome.stderr.trim_end()
+            )));
+        }
+        if let Some(db) = outcome.db {
+            if let Some(path) = &inner.config.cache_path {
+                // Atomic (write-temp-then-rename) persistence: concurrent
+                // compiles never expose a torn cache file.
+                let _ = logrel_query::save(&db, path);
+            }
+            inner.db.install(db);
+        }
+        let sys = logrel_lang::compile(source).map_err(|e| compile_failed(e.to_string()))?;
+        let analytic_report =
+            logrel_reliability::compute_srgs(&sys.spec, &sys.arch, &sys.imp)
+                .map_err(|e| compile_failed(e.to_string()))?;
+        let analytic: Vec<Option<f64>> = sys
+            .spec
+            .communicator_ids()
+            .map(|c| Some(analytic_report.communicator(c).get()))
+            .collect();
+        let td = logrel_core::TimeDependentImplementation::from(sys.imp.clone());
+        // Compile the calendar + round program once (and self-certify
+        // under the `validate` feature); workers only ever reattach to
+        // the shared Arcs via `Simulation::with_program`.
+        let (calendar, program) = {
+            let sim = Simulation::try_new_observed(&sys.spec, &sys.arch, &td, &mut NoopSink)
+                .map_err(|e| compile_failed(format!("{e}")))?;
+            sim.shared_program()
+        };
+        Ok(CompiledSpec { sys, td, calendar, program, analytic })
+    }
+
+    /// The service's own metrics registry as one JSON line.
+    #[must_use]
+    pub fn stats_line(&self) -> String {
+        to_json_line(&lock(&self.inner.metrics))
+    }
+
+    /// A service counter's current value (test/assertion hook).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        lock(&self.inner.metrics).counter(name)
+    }
+
+    /// A service gauge's current value (test/assertion hook).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        lock(&self.inner.metrics).gauge(name)
+    }
+
+    /// Counts a rejection that happened before admission (the protocol
+    /// layer calls this for malformed lines).
+    pub fn count_rejected(&self) {
+        lock(&self.inner.metrics).inc(names::SERVE_JOBS_REJECTED);
+    }
+
+    /// Empties the compilation cache and the analysis db (cold-start
+    /// hook for benchmarks).
+    pub fn clear_cache(&self) {
+        lock(&self.inner.cache).clear();
+        self.inner.db.clear();
+    }
+
+    /// Stops accepting new jobs; in-flight jobs keep running.
+    pub fn begin_shutdown(&self) {
+        self.inner.accepting.store(false, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight jobs, stop and
+    /// join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        let inner = &*self.inner;
+        self.begin_shutdown();
+        while inner.active_jobs.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let mut q = lock(&inner.queue);
+            q.stop = true;
+        }
+        inner.work_cv.notify_all();
+        let handles = std::mem::take(&mut *lock(&inner.workers));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    fn finish_job(&self) {
+        self.inner.active_jobs.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Decrements the in-flight count (and the depth gauge) on every exit
+/// path out of an admitted submission.
+struct ActiveGuard<'a> {
+    engine: &'a Engine,
+}
+
+impl ActiveGuard<'_> {
+    fn update_depth_gauge(&self) {
+        let depth = self.engine.inner.active_jobs.load(Ordering::SeqCst);
+        lock(&self.engine.inner.metrics).set_gauge(names::SERVE_QUEUE_DEPTH, depth as f64);
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.engine.finish_job();
+        self.update_depth_gauge();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let item = {
+            let mut q = lock(&inner.queue);
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    break item;
+                }
+                if q.stop {
+                    return;
+                }
+                q = inner
+                    .work_cv
+                    .wait(q)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_unit(&item)))
+            .unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic".to_owned());
+                Err(format!("worker panicked: {msg}"))
+            });
+        let job = &item.job;
+        let mut board = lock(&job.slots);
+        board.results[item.unit_index] = Some(result);
+        board.remaining -= 1;
+        if board.remaining == 0 {
+            job.done_cv.notify_all();
+        }
+    }
+}
+
+fn run_unit(item: &WorkItem) -> UnitResult {
+    let job = &*item.job;
+    let compiled = &*job.compiled;
+    // Reattach to the shared round program: per-unit cost is just this
+    // struct, not a recompilation.
+    let sim = Simulation::with_program(
+        &compiled.sys.spec,
+        &compiled.td,
+        Arc::clone(&compiled.calendar),
+        Arc::clone(&compiled.program),
+    );
+    let arch: &Architecture = &compiled.sys.arch;
+    let setup = |_rep: u64| ReplicationContext {
+        behaviors: BehaviorMap::new(),
+        environment: Box::new(ConstantEnvironment::new(Value::Float(1.0))),
+        injector: Box::new(ProbabilisticFaults::from_architecture(arch)),
+    };
+    let cap = job.recorder_capacity;
+    let make_sink = |_rep: u64| {
+        if cap > 0 {
+            Registry::with_recorder(cap)
+        } else {
+            Registry::new()
+        }
+    };
+    run_campaign_unit(
+        &sim,
+        &compiled.sys.spec,
+        &job.scenario,
+        arch.host_count(),
+        &job.config,
+        setup,
+        make_sink,
+        job.units[item.unit_index],
+    )
+    .map_err(|e| e.to_string())
+}

@@ -12,15 +12,15 @@
 
 use crate::bitslice::LaneContext;
 use crate::environment::Environment;
-use crate::kernel::{SimOutput, Simulation};
+use crate::fault::FaultInjector;
+use crate::kernel::{SimConfig, SimOutput, Simulation};
 use crate::monitor::{AlarmKind, LrcMonitor, MonitorConfig};
-use crate::montecarlo::{
-    derive_seed, run_indexed_units, run_observed_replications, BatchConfig, ReplicationContext,
-};
+use crate::montecarlo::{derive_seed, run_indexed_units, BatchConfig, ReplicationContext};
 use crate::scenario::{Scenario, ScenarioEnvironment, ScenarioError, ScenarioInjector};
 use logrel_core::{CommunicatorId, Specification, Tick};
 use logrel_obs::{MetricsSink, NoopSink, Registry};
 use logrel_reliability::hoeffding_epsilon;
+use std::fmt;
 
 /// How a campaign executes its replications: bit-sliced lane groups (the
 /// default) or one scalar run per replication.
@@ -114,7 +114,97 @@ pub struct ScenarioReport {
     pub comms: Vec<CommunicatorReport>,
 }
 
-struct RepStats {
+/// Why a campaign (or one of its sharded units) could not run.
+///
+/// Degenerate inputs come back as diagnosed errors rather than panics so
+/// that a long-running service can reject a malformed job and keep
+/// serving (the `A-code` rendering lives in the CLI driver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The scenario failed validation against the system's host and
+    /// communicator counts.
+    Scenario(ScenarioError),
+    /// The batch requests zero replications: there is nothing to
+    /// aggregate, and a report of all-zero counts would silently read as
+    /// "perfectly reliable".
+    NoReplications,
+    /// A sharded unit's lane width is outside `1..=64` (the bit-sliced
+    /// kernel packs replications into one `u64` word per lane group).
+    LaneWidth(usize),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Scenario(e) => write!(f, "{e}"),
+            CampaignError::NoReplications => {
+                write!(f, "campaign requests zero replications")
+            }
+            CampaignError::LaneWidth(w) => {
+                write!(f, "campaign unit width {w} outside 1..=64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Scenario(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScenarioError> for CampaignError {
+    fn from(e: ScenarioError) -> Self {
+        CampaignError::Scenario(e)
+    }
+}
+
+/// One sharded slice of a campaign: `width` consecutive replications
+/// starting at `first_rep`, executed as a single work item.
+///
+/// Units are the currency of cross-job sharding: a job service plans a
+/// campaign once with [`plan_units`], feeds the units to any worker pool
+/// in any order, and [`aggregate_campaign`] over the unit results *in
+/// replication order* reproduces [`run_campaign`] bit-exactly — each
+/// replication's RNG stream depends only on `(base_seed, rep)`, never on
+/// which worker ran it or what else ran beside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignUnit {
+    /// Index of the unit's first replication.
+    pub first_rep: u64,
+    /// Number of consecutive replications in the unit (1..=64; width 1
+    /// runs the scalar kernel, wider units run bit-sliced).
+    pub width: usize,
+}
+
+/// Plans the work units of a campaign: groups of `width` consecutive
+/// replications plus one narrower tail group for a non-multiple
+/// remainder. `width` is clamped to 1..=64 (the bit-sliced lane limit).
+#[must_use]
+pub fn plan_units(replications: u64, width: usize) -> Vec<CampaignUnit> {
+    let width = width.clamp(1, 64);
+    let mut units = Vec::with_capacity((replications as usize).div_ceil(width));
+    let mut first = 0u64;
+    while first < replications {
+        let w = (replications - first).min(width as u64) as usize;
+        units.push(CampaignUnit {
+            first_rep: first,
+            width: w,
+        });
+        first += w as u64;
+    }
+    units
+}
+
+/// Per-replication reduced statistics, the unit of campaign aggregation.
+///
+/// Opaque outside this module: produced by [`run_campaign_unit`] and
+/// consumed by [`aggregate_campaign`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepStats {
     updates: Vec<u64>,
     reliable: Vec<u64>,
     first_violation: Vec<Option<u64>>,
@@ -174,7 +264,7 @@ pub fn run_campaign<'a, S>(
     config: &CampaignConfig,
     setup: S,
     analytic: &[Option<f64>],
-) -> Result<ScenarioReport, ScenarioError>
+) -> Result<ScenarioReport, CampaignError>
 where
     S: Fn(u64) -> ReplicationContext<'a> + Sync,
 {
@@ -204,7 +294,7 @@ pub fn run_campaign_observed<'a, S>(
     analytic: &[Option<f64>],
     registry: &mut Registry,
     recorder_capacity: usize,
-) -> Result<ScenarioReport, ScenarioError>
+) -> Result<ScenarioReport, CampaignError>
 where
     S: Fn(u64) -> ReplicationContext<'a> + Sync,
 {
@@ -230,8 +320,106 @@ where
     Ok(report)
 }
 
-/// The shared campaign driver: runs the batch with per-replication
-/// monitors and sinks, aggregates the report, and returns the filled
+/// Runs one planned [`CampaignUnit`] and returns its per-replication
+/// results in replication order.
+///
+/// This is the sharding entry point for job services: bounds that
+/// [`run_campaign`] checks once up front are re-validated here per unit
+/// (scenario wrapping propagates its error instead of panicking), so a
+/// malformed unit diagnoses rather than takes down the worker. Width-1
+/// units run the scalar kernel (preserving [`LaneMode::Off`] semantics);
+/// wider units run bit-sliced. Either way every replication is
+/// bit-identical to its place in a monolithic [`run_campaign`] — seeds
+/// depend only on `(base_seed, rep)`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_unit<'a, S, M, FM>(
+    sim: &Simulation<'_>,
+    spec: &Specification,
+    scenario: &Scenario,
+    host_count: usize,
+    config: &CampaignConfig,
+    setup: S,
+    make_sink: FM,
+    unit: CampaignUnit,
+) -> Result<Vec<(RepStats, M)>, CampaignError>
+where
+    S: Fn(u64) -> ReplicationContext<'a>,
+    M: MetricsSink,
+    FM: Fn(u64) -> M,
+{
+    let comm_count = spec.communicator_count();
+    let CampaignUnit { first_rep, width } = unit;
+    if width == 0 || width > 64 {
+        return Err(CampaignError::LaneWidth(width));
+    }
+    if width == 1 {
+        // Scalar path: one kernel run, exactly as the monolithic
+        // campaign's `LaneMode::Off` executes it.
+        let rep = first_rep;
+        let base = setup(rep);
+        let injector = ScenarioInjector::new(base.injector, scenario, host_count, comm_count)?;
+        let mut environment: Box<dyn Environment + 'a> = Box::new(ScenarioEnvironment::new(
+            base.environment,
+            scenario,
+            comm_count,
+        ));
+        let mut injector: Box<dyn FaultInjector + 'a> = Box::new(injector);
+        let mut behaviors = base.behaviors;
+        let mut monitor = LrcMonitor::new(spec, config.monitor);
+        let mut sink = make_sink(rep);
+        let out = sim.run_observed(
+            &mut behaviors,
+            &mut *environment,
+            &mut *injector,
+            &mut monitor,
+            &mut sink,
+            &SimConfig {
+                rounds: config.batch.rounds,
+                seed: derive_seed(config.batch.base_seed, rep),
+            },
+        );
+        return Ok(vec![(rep_stats(spec, &out, &monitor), sink)]);
+    }
+    // Bit-sliced lane group. One shared behavior map per group (the
+    // first replication's): behaviors are pure by the bit-sliced
+    // kernel's contract. A lane's draw sequence never depends on the
+    // group width, so narrower tail groups need no special casing.
+    let mut behaviors = None;
+    let mut lanes = Vec::with_capacity(width);
+    for rep in first_rep..first_rep + width as u64 {
+        let base = setup(rep);
+        let injector = ScenarioInjector::new(base.injector, scenario, host_count, comm_count)?;
+        let environment = ScenarioEnvironment::new(base.environment, scenario, comm_count);
+        if behaviors.is_none() {
+            behaviors = Some(base.behaviors);
+        }
+        lanes.push(LaneContext::new(
+            derive_seed(config.batch.base_seed, rep),
+            injector,
+            environment,
+            LrcMonitor::new(spec, config.monitor),
+            make_sink(rep),
+        ));
+    }
+    let Some(mut behaviors) = behaviors else {
+        // Unreachable with width >= 1, but a degenerate unit must
+        // diagnose, never panic, inside a service worker.
+        return Err(CampaignError::LaneWidth(0));
+    };
+    let packed = sim.run_bitsliced(&mut behaviors, &mut lanes, config.batch.rounds);
+    Ok(lanes
+        .into_iter()
+        .enumerate()
+        .map(|(li, lane)| {
+            let out = packed.extract_lane(spec, li);
+            let (_injector, _environment, monitor, sink) = lane.into_parts();
+            (rep_stats(spec, &out, &monitor), sink)
+        })
+        .collect())
+}
+
+/// The shared campaign driver: plans the units, runs them over the
+/// batch's thread pool, and aggregates the report, returning the filled
 /// sinks in replication order for the caller to merge (or discard).
 #[allow(clippy::too_many_arguments)]
 fn campaign_core<'a, S, M, FM>(
@@ -243,97 +431,46 @@ fn campaign_core<'a, S, M, FM>(
     setup: S,
     analytic: &[Option<f64>],
     make_sink: FM,
-) -> Result<(ScenarioReport, Vec<M>), ScenarioError>
+) -> Result<(ScenarioReport, Vec<M>), CampaignError>
 where
     S: Fn(u64) -> ReplicationContext<'a> + Sync,
     M: MetricsSink + Send,
     FM: Fn(u64) -> M + Sync,
 {
     let comm_count = spec.communicator_count();
-    // Validate once up front so per-replication wrapping cannot fail.
+    // Validate once up front so per-unit wrapping cannot fail.
     scenario.check_bounds(host_count, comm_count)?;
+    if config.batch.replications == 0 {
+        return Err(CampaignError::NoReplications);
+    }
 
-    let width = config.lanes.width();
-    let per_rep: Vec<(RepStats, M)> = if width <= 1 {
-        run_observed_replications(
-            sim,
-            &config.batch,
-            |rep| {
-                let base = setup(rep);
-                let injector =
-                    ScenarioInjector::new(base.injector, scenario, host_count, comm_count)
-                        .expect("scenario bounds checked above");
-                let environment: Box<dyn Environment + 'a> = Box::new(ScenarioEnvironment::new(
-                    base.environment,
-                    scenario,
-                    comm_count,
-                ));
-                (
-                    ReplicationContext {
-                        behaviors: base.behaviors,
-                        environment,
-                        injector: Box::new(injector),
-                    },
-                    LrcMonitor::new(spec, config.monitor),
-                    make_sink(rep),
-                )
-            },
-            |_rep, out, monitor: LrcMonitor, sink| (rep_stats(spec, &out, &monitor), sink),
-        )
-    } else {
-        // Bit-sliced lane groups: `width` replications per unit, with one
-        // narrower tail group for a non-multiple remainder (a lane's draw
-        // sequence never depends on the group width, so the tail needs no
-        // special casing). Units are whole work items, so the merged
-        // order is still replication order at any thread count.
-        let n = config.batch.replications;
-        let mut units: Vec<(u64, usize)> = Vec::new();
-        let mut first = 0u64;
-        while first < n {
-            let w = (n - first).min(width as u64) as usize;
-            units.push((first, w));
-            first += w as u64;
-        }
-        let per_unit: Vec<Vec<(RepStats, M)>> =
-            run_indexed_units(config.batch.threads, &units, |&(first, w), _| {
-                // One shared behavior map per group (the first
-                // replication's): behaviors are pure by the bit-sliced
-                // kernel's contract.
-                let mut behaviors = None;
-                let mut lanes = Vec::with_capacity(w);
-                for rep in first..first + w as u64 {
-                    let base = setup(rep);
-                    let injector =
-                        ScenarioInjector::new(base.injector, scenario, host_count, comm_count)
-                            .expect("scenario bounds checked above");
-                    let environment =
-                        ScenarioEnvironment::new(base.environment, scenario, comm_count);
-                    if behaviors.is_none() {
-                        behaviors = Some(base.behaviors);
-                    }
-                    lanes.push(LaneContext::new(
-                        derive_seed(config.batch.base_seed, rep),
-                        injector,
-                        environment,
-                        LrcMonitor::new(spec, config.monitor),
-                        make_sink(rep),
-                    ));
-                }
-                let mut behaviors = behaviors.expect("groups are non-empty");
-                let packed = sim.run_bitsliced(&mut behaviors, &mut lanes, config.batch.rounds);
-                lanes
-                    .into_iter()
-                    .enumerate()
-                    .map(|(li, lane)| {
-                        let out = packed.extract_lane(spec, li);
-                        let (_injector, _environment, monitor, sink) = lane.into_parts();
-                        (rep_stats(spec, &out, &monitor), sink)
-                    })
-                    .collect()
-            });
-        per_unit.into_iter().flatten().collect()
-    };
+    let units = plan_units(config.batch.replications, config.lanes.width());
+    let per_unit: Vec<Result<Vec<(RepStats, M)>, CampaignError>> =
+        run_indexed_units(config.batch.threads, &units, |&unit, _| {
+            run_campaign_unit(sim, spec, scenario, host_count, config, &setup, &make_sink, unit)
+        });
+    let mut per_rep = Vec::with_capacity(config.batch.replications as usize);
+    for unit_result in per_unit {
+        per_rep.extend(unit_result?);
+    }
+    Ok(aggregate_campaign(spec, scenario, host_count, config, analytic, per_rep))
+}
 
+/// Aggregates per-replication results (in replication order) into the
+/// campaign report, returning the filled sinks alongside it.
+///
+/// The reduction is order-sensitive only in the sinks (merged by the
+/// caller in the order given); the statistics are sums and minima, so
+/// any permutation-restoring shard scheduler reproduces [`run_campaign`]
+/// exactly by sorting unit results back into replication order first.
+pub fn aggregate_campaign<M>(
+    spec: &Specification,
+    scenario: &Scenario,
+    host_count: usize,
+    config: &CampaignConfig,
+    analytic: &[Option<f64>],
+    per_rep: Vec<(RepStats, M)>,
+) -> (ScenarioReport, Vec<M>) {
     let horizon = Tick::new(config.batch.rounds * spec.round_period().as_u64());
     let comms = spec
         .communicator_ids()
@@ -392,5 +529,5 @@ where
         comms,
     };
     let sinks = per_rep.into_iter().map(|(_, sink)| sink).collect();
-    Ok((report, sinks))
+    (report, sinks)
 }

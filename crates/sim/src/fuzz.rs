@@ -43,10 +43,12 @@
 //!
 //! [`LrcMonitor`]: crate::monitor::LrcMonitor
 
-use crate::campaign::{run_campaign, run_campaign_observed, CampaignConfig, ScenarioReport};
+use crate::campaign::{
+    run_campaign, run_campaign_observed, CampaignConfig, CampaignError, ScenarioReport,
+};
 use crate::kernel::Simulation;
 use crate::montecarlo::ReplicationContext;
-use crate::scenario::{HostSet, Scenario, ScenarioError, ScenarioEvent};
+use crate::scenario::{HostSet, Scenario, ScenarioEvent};
 use logrel_core::{HostId, Specification, Tick};
 use logrel_obs::{names, MetricsSink, Registry};
 use rand::rngs::StdRng;
@@ -218,15 +220,19 @@ fn with_window(e: ScenarioEvent, from: Tick, until: Tick) -> ScenarioEvent {
     }
 }
 
-/// A random host group of 1–3 members (bounded by the host count).
-fn random_hosts(rng: &mut StdRng, host_count: usize) -> HostSet {
+/// A random host group of 1–3 members (bounded by the host count), or
+/// `None` when the architecture has no hosts to pick from — mutations
+/// treat that as "skip" rather than panicking on a degenerate system.
+fn random_hosts(rng: &mut StdRng, host_count: usize) -> Option<HostSet> {
+    if host_count == 0 {
+        return None;
+    }
     let k = rng.gen_range(1..=host_count.min(3));
     let mut picked = BTreeSet::new();
     while picked.len() < k {
         picked.insert(rng.gen_range(0..host_count) as u32);
     }
-    HostSet::from_hosts(picked.into_iter().map(HostId::new))
-        .expect("host indices bounded by host_count")
+    HostSet::from_hosts(picked.into_iter().map(HostId::new)).ok()
 }
 
 /// A random `[from, until)` window within the horizon.
@@ -236,15 +242,20 @@ fn random_window(rng: &mut StdRng, horizon: u64) -> (Tick, Tick) {
     (Tick::new(from), Tick::new(from + len))
 }
 
-/// A fresh random event of any kind.
+/// A fresh random event of any kind, or `None` when the system is too
+/// degenerate to target (no hosts, no horizon, or — for the sensor
+/// kind — no communicators).
 fn random_event(
     rng: &mut StdRng,
     host_count: usize,
     comm_count: usize,
     horizon: u64,
-) -> ScenarioEvent {
+) -> Option<ScenarioEvent> {
+    if host_count == 0 || horizon == 0 {
+        return None;
+    }
     let host = HostId::new(rng.gen_range(0..host_count) as u32);
-    match rng.gen_range(0..9u32) {
+    Some(match rng.gen_range(0..9u32) {
         0 => ScenarioEvent::Crash {
             host,
             at: Tick::new(rng.gen_range(0..horizon)),
@@ -263,6 +274,9 @@ fn random_event(
             }
         }
         3 => {
+            if comm_count == 0 {
+                return None;
+            }
             let (from, until) = random_window(rng, horizon);
             ScenarioEvent::StuckSensor {
                 comm: logrel_core::CommunicatorId::new(rng.gen_range(0..comm_count) as u32),
@@ -283,7 +297,7 @@ fn random_event(
         5 => {
             let (from, until) = random_window(rng, horizon);
             ScenarioEvent::CommonCause {
-                hosts: random_hosts(rng, host_count),
+                hosts: random_hosts(rng, host_count)?,
                 from,
                 until,
                 p: rng.gen_range(0.0..0.5),
@@ -292,7 +306,7 @@ fn random_event(
         6 => {
             let (from, until) = random_window(rng, horizon);
             ScenarioEvent::Partition {
-                hosts: random_hosts(rng, host_count),
+                hosts: random_hosts(rng, host_count)?,
                 from,
                 until,
             }
@@ -315,7 +329,7 @@ fn random_event(
                 hold: rng.gen_range(1..=(horizon / 4).max(1)),
             }
         }
-    }
+    })
 }
 
 /// One mutation of `parent` (possibly invalid — the caller validates).
@@ -330,12 +344,14 @@ fn mutate(
 ) -> Vec<ScenarioEvent> {
     let mut events = parent.to_vec();
     match rng.gen_range(0..5u32) {
-        // Insert a fresh random event.
+        // Insert a fresh random event (skipped on systems too degenerate
+        // to target — the unchanged parent is simply not novel).
         0 => {
             if events.len() < max_events {
-                let e = random_event(rng, host_count, comm_count, horizon);
-                let at = rng.gen_range(0..=events.len());
-                events.insert(at, e);
+                if let Some(e) = random_event(rng, host_count, comm_count, horizon) {
+                    let at = rng.gen_range(0..=events.len());
+                    events.insert(at, e);
+                }
             }
         }
         // Delete one event.
@@ -356,9 +372,10 @@ fn mutate(
                 }
             }
         }
-        // Retarget one event's host or host group.
+        // Retarget one event's host or host group (a no-op skip on
+        // host-free architectures rather than a panic).
         3 => {
-            if !events.is_empty() {
+            if !events.is_empty() && host_count > 0 {
                 let at = rng.gen_range(0..events.len());
                 let host = HostId::new(rng.gen_range(0..host_count) as u32);
                 events[at] = match events[at] {
@@ -385,16 +402,19 @@ fn mutate(
                         shape,
                         scale,
                     },
-                    ScenarioEvent::CommonCause { from, until, p, .. } => {
-                        ScenarioEvent::CommonCause {
-                            hosts: random_hosts(rng, host_count),
-                            from,
-                            until,
-                            p,
-                        }
-                    }
-                    ScenarioEvent::Partition { from, until, .. } => ScenarioEvent::Partition {
-                        hosts: random_hosts(rng, host_count),
+                    ScenarioEvent::CommonCause {
+                        hosts,
+                        from,
+                        until,
+                        p,
+                    } => ScenarioEvent::CommonCause {
+                        hosts: random_hosts(rng, host_count).unwrap_or(hosts),
+                        from,
+                        until,
+                        p,
+                    },
+                    ScenarioEvent::Partition { hosts, from, until } => ScenarioEvent::Partition {
+                        hosts: random_hosts(rng, host_count).unwrap_or(hosts),
                         from,
                         until,
                     },
@@ -456,7 +476,7 @@ pub fn run_fuzz<'a, S>(
     config: &FuzzConfig,
     setup: S,
     sink: &mut dyn MetricsSink,
-) -> Result<FuzzOutcome, ScenarioError>
+) -> Result<FuzzOutcome, CampaignError>
 where
     S: Fn(u64) -> ReplicationContext<'a> + Sync,
 {
@@ -465,7 +485,7 @@ where
     let comm_count = spec.communicator_count();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let evaluate = |scenario: &Scenario| -> Result<(Vec<u8>, ScenarioReport), ScenarioError> {
+    let evaluate = |scenario: &Scenario| -> Result<(Vec<u8>, ScenarioReport), CampaignError> {
         let mut registry = Registry::new();
         let report = run_campaign_observed(
             sim,

@@ -46,6 +46,7 @@ use logrel_obs::{names, DropReason, MetricsSink, NoopSink, ObsEvent, Span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,11 +148,13 @@ pub struct Simulation<'a> {
     pub(crate) voting: crate::voting::VotingStrategy,
     /// The per-round event schedule, retained for
     /// [`Simulation::run_reference`] and exposed via
-    /// [`Simulation::calendar`].
-    calendar: Calendar,
+    /// [`Simulation::calendar`]. Shared (`Arc`) so a compilation cache
+    /// can hand the same schedule to many concurrent simulations.
+    calendar: Arc<Calendar>,
     /// The compiled form of the calendar, used by [`Simulation::run`] and
-    /// exposed via [`Simulation::round_program`].
-    pub(crate) program: RoundProgram,
+    /// exposed via [`Simulation::round_program`]. Shared for the same
+    /// reason as `calendar`.
+    pub(crate) program: Arc<RoundProgram>,
 }
 
 impl<'a> Simulation<'a> {
@@ -225,9 +228,39 @@ impl<'a> Simulation<'a> {
             spec,
             imp,
             voting: crate::voting::VotingStrategy::default(),
+            calendar: Arc::new(calendar),
+            program: Arc::new(program),
+        })
+    }
+
+    /// Builds a simulation around an already-compiled round program.
+    ///
+    /// This is the compilation-cache entry point: a service that has run
+    /// [`Calendar::new`] + [`RoundProgram::compile`] once for a spec can
+    /// share the `Arc`s across any number of concurrent simulations
+    /// without re-compiling. The caller is responsible for having
+    /// compiled `calendar`/`program` from exactly this `(spec, imp)`
+    /// pair; `debug_assert`s check the shape but release builds trust it.
+    pub fn with_program(
+        spec: &'a Specification,
+        imp: &'a TimeDependentImplementation,
+        calendar: Arc<Calendar>,
+        program: Arc<RoundProgram>,
+    ) -> Self {
+        debug_assert_eq!(calendar.events().len(), program.slots.len());
+        Simulation {
+            spec,
+            imp,
+            voting: crate::voting::VotingStrategy::default(),
             calendar,
             program,
-        })
+        }
+    }
+
+    /// The shared handles to the compiled schedule and program, for
+    /// callers that cache compilations (see [`Simulation::with_program`]).
+    pub fn shared_program(&self) -> (Arc<Calendar>, Arc<RoundProgram>) {
+        (Arc::clone(&self.calendar), Arc::clone(&self.program))
     }
 
     /// The compiled round program interpreted by [`Simulation::run`]

@@ -64,7 +64,8 @@ pub mod voting;
 pub use behavior::{BehaviorMap, TaskBehavior};
 pub use bitslice::{BitslicedOutput, LaneContext, PackedTrace};
 pub use campaign::{
-    run_campaign, run_campaign_observed, CampaignConfig, CommunicatorReport, LaneMode,
+    aggregate_campaign, plan_units, run_campaign, run_campaign_observed, run_campaign_unit,
+    CampaignConfig, CampaignError, CampaignUnit, CommunicatorReport, LaneMode, RepStats,
     ScenarioReport,
 };
 pub use environment::{ConstantEnvironment, Environment};

@@ -200,6 +200,41 @@ printf 'garbage' > "$INCR_DIR/spec.htl.logrel-cache"
 "$HTLC" analyze "$INCR_DIR/spec.htl" > "$INCR_DIR/fallback.out" 2> /dev/null
 diff "$INCR_DIR/fallback.out" "$INCR_DIR/cold.out"
 
+echo "==> campaign service tests (byte-equality, cache, backpressure)"
+cargo test -q --test serve > /dev/null
+
+echo "==> htlc serve --stdin smoke (job service survives malformed jobs)"
+SERVE_DIR=$(mktemp -d)
+trap 'rm -rf "$METRICS_DIR" "$FUZZ_DIR" "$INCR_DIR" "$SERVE_DIR"' EXIT
+# Three jobs down one pipe: a fresh compile, a malformed request, and a
+# resubmission of the first spec. The malformed line must yield a
+# structured rejection — not kill the service — and the pipe must drain
+# to a clean exit 0 at EOF.
+"$HTLC" serve --stdin --workers 2 > "$SERVE_DIR/out.ndjson" <<'JOBS'
+{"schema":"logrel-job-v1","id":"smoke-1","spec_path":"examples/htl/infusion_pump.htl","scenario_path":"examples/scenarios/pump_outage.scn","rounds":500,"replications":2,"seed":7}
+{"schema":"logrel-job-v1","id":"smoke-bad","spec_path":"examples/htl/infusion_pump.htl"}
+{"schema":"logrel-job-v1","id":"smoke-2","spec_path":"examples/htl/infusion_pump.htl","scenario_path":"examples/scenarios/pump_outage.scn","rounds":500,"replications":2,"seed":7}
+JOBS
+python3 - "$SERVE_DIR/out.ndjson" "$METRICS_DIR/m.prom.json" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) == 5, f"expected 5 response lines, got {len(lines)}"
+m1, s1, rej, m2, s2 = lines
+assert m1["schema"] == "logrel-metrics-v1", m1.get("schema")
+assert (s1["id"], s1["status"], s1["cache"]) == ("smoke-1", "done", "miss"), s1
+assert (rej["id"], rej["status"], rej["code"]) == ("smoke-bad", "rejected", "S001"), rej
+assert (s2["id"], s2["status"], s2["cache"]) == ("smoke-2", "done", "hit"), s2
+assert m1 == m2, "resubmitted job must reproduce the metrics byte-for-byte"
+# The served registry equals the standalone `htlc inject --metrics`
+# export of the same (spec, scenario, seed, lanes) campaign, up to the
+# wall-clock span gauges a service job never records.
+def strip(d):
+    return {k: strip(v) if isinstance(v, dict) else v
+            for k, v in d.items() if not k.endswith("_seconds")}
+inj = json.load(open(sys.argv[2]))
+assert strip(inj) == strip(m1), "serve output diverged from htlc inject"
+PY
+
 echo "==> bench_snapshot regression gate (vs BENCH_baseline.json)"
 # Absolute throughput swings up to 2x between phases on the shared VM,
 # so the absolute gate runs wide (coarse smoke alarm); the paired-ratio

@@ -84,7 +84,8 @@
 //! verification (`E`), translation validation (`V`), refinement
 //! violations (`R001`–`R009`, spanned against the refining source) and
 //! analysis verdicts (`A001` invalid system, `A003` failed round-program
-//! self-certification) — goes to stderr through the one shared renderer
+//! self-certification, `A004` degenerate campaign parameters) — goes to
+//! stderr through the one shared renderer
 //! in the stable greppable form `code:severity:file:line:col: message`.
 
 use logrel::lang::{compile, elaborate_file, parse, parse_file, print_program};
@@ -149,9 +150,10 @@ fn compile_path(path: &str) -> Result<logrel::lang::ElaboratedSystem, Failure> {
 
 /// Prints a failed analysis verdict through the shared diagnostic
 /// renderer (A-series codes: `A001` invalid system, `A003` failed
-/// round-program self-certification; refinement violations use the
-/// spanned R-series via [`refine_error_diagnostics`] instead) and
-/// returns the exit-2 failure.
+/// round-program self-certification, `A004` degenerate campaign
+/// parameters such as zero replications or a bad lane width; refinement
+/// violations use the spanned R-series via [`refine_error_diagnostics`]
+/// instead) and returns the exit-2 failure.
 fn analysis_failure(file: &str, code: &'static str, message: String) -> Failure {
     eprintln!(
         "{}",
@@ -570,7 +572,7 @@ fn format_dumps(registry: &logrel::obs::Registry, sys: &logrel::lang::Elaborated
 }
 
 fn run(args: &[String]) -> Result<(), Failure> {
-    let usage = "usage: htlc <check|verify|lint|certify|analyze|fmt|graph|ecode|importance|simulate|inject|trace|fuzz|refine> <args>\n\
+    let usage = "usage: htlc <check|verify|lint|certify|analyze|fmt|graph|ecode|importance|simulate|inject|trace|fuzz|serve|refine> <args>\n\
                  run `htlc help` for details";
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
@@ -620,6 +622,17 @@ fn run(args: &[String]) -> Result<(), Failure> {
                                                    signatures, shrink monitor misses to\n\
                                                    minimal .scn reproducers (deterministic\n\
                                                    in --seed; --corpus writes artifacts)\n\
+                 htlc serve [--stdin | --listen ADDR] [--workers N] [--queue N] [--cache PATH]\n\
+                                                   long-running campaign job service: one\n\
+                                                   logrel-job-v1 JSON request per line in,\n\
+                                                   one logrel-metrics-v1 result line plus a\n\
+                                                   logrel-job-status-v1 status line out;\n\
+                                                   specs compile once per content hash and\n\
+                                                   replications shard over a worker pool\n\
+                                                   (results are byte-identical at any\n\
+                                                   worker count); --stdin serves a pipe for\n\
+                                                   CI, --listen a line-delimited TCP socket\n\
+                                                   (SIGTERM drains in-flight jobs)\n\
                  htlc refine <refining> <refined>  refinement check\n\n\
                  exit codes: 0 clean, 1 usage/IO error, 2 diagnostics emitted\n\
                  diagnostics: code:severity:file:line:col: message (stderr)"
@@ -1039,7 +1052,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     &mut registry,
                     FLIGHT_RING,
                 )
-                .map_err(|e| Failure::Usage(e.to_string()))?;
+                .map_err(|e| analysis_failure(path, "A004", e.to_string()))?;
                 run_span.finish(&mut registry, logrel::obs::names::RUN_SECONDS);
                 report
             } else {
@@ -1052,7 +1065,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
                     setup,
                     &analytic,
                 )
-                .map_err(|e| Failure::Usage(e.to_string()))?
+                .map_err(|e| analysis_failure(path, "A004", e.to_string()))?
             };
 
             let lane_desc = match lanes.width() {
@@ -1262,7 +1275,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
                 setup,
                 &mut registry,
             )
-            .map_err(|e| Failure::Usage(e.to_string()))?;
+            .map_err(|e| analysis_failure(path, "A004", e.to_string()))?;
             println!(
                 "{} iteration(s), fuzz seed {seed}, campaign {} replication(s) x {} rounds (seed {})",
                 outcome.iters, b.replications, b.rounds, b.base_seed
@@ -1295,6 +1308,57 @@ fn run(args: &[String]) -> Result<(), Failure> {
             } else {
                 println!("(pass --corpus DIR to write the corpus and reproducer files)");
             }
+            Ok(())
+        }
+        "serve" => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let stdin_mode = take_bool_flag(&mut rest, "--stdin");
+            let listen = take_flag_value(&mut rest, "--listen")?;
+            let workers: usize = take_flag_value(&mut rest, "--workers")?
+                .map(|s| s.parse().map_err(|_| format!("bad worker count `{s}`")))
+                .transpose()?
+                .unwrap_or(0);
+            let queue_capacity: usize = take_flag_value(&mut rest, "--queue")?
+                .map(|s| s.parse().map_err(|_| format!("bad queue capacity `{s}`")))
+                .transpose()?
+                .unwrap_or(16);
+            let cache_path = take_flag_value(&mut rest, "--cache")?;
+            if !rest.is_empty() {
+                return Err(Failure::Usage(format!("unexpected argument `{}`", rest[0])));
+            }
+            if stdin_mode == listen.is_some() {
+                return Err(Failure::Usage(
+                    "serve wants exactly one of --stdin or --listen ADDR".to_owned(),
+                ));
+            }
+            if queue_capacity == 0 {
+                return Err(Failure::Usage("--queue wants at least 1".to_owned()));
+            }
+            let config = logrel::serve::ServeConfig {
+                workers,
+                queue_capacity,
+                recorder_capacity: FLIGHT_RING,
+                cache_path,
+            };
+            let engine = logrel::serve::Engine::new(config);
+            if stdin_mode {
+                // CI mode: one request line in, result + status lines
+                // out, drain on EOF. A malformed or failing job line
+                // yields a structured rejection, never an exit.
+                logrel::serve::serve_stdin(&engine)
+                    .map_err(|e| Failure::Io(format!("serve: {e}")))?;
+                return Ok(());
+            }
+            let addr = listen.expect("checked above");
+            logrel::serve::install_term_hook();
+            let server = logrel::serve::Server::start(engine, &addr)
+                .map_err(|e| Failure::Io(format!("cannot listen on `{addr}`: {e}")))?;
+            eprintln!("htlc serve: listening on {}", server.local_addr());
+            while !logrel::serve::term_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            eprintln!("htlc serve: termination requested, draining in-flight jobs");
+            server.shutdown();
             Ok(())
         }
         "refine" => {

@@ -17,6 +17,7 @@ pub use logrel_query as query;
 pub use logrel_refine as refine;
 pub use logrel_reliability as reliability;
 pub use logrel_sched as sched;
+pub use logrel_serve as serve;
 pub use logrel_sim as sim;
 pub use logrel_steerbywire as steerbywire;
 pub use logrel_threetank as threetank;

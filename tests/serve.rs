@@ -1,0 +1,300 @@
+//! Integration tests for the campaign job service (`logrel-serve`).
+//!
+//! The contract under test is the service invariant: a served job's
+//! metrics line is byte-identical at any worker count, equal to the
+//! library campaign pipeline run standalone, and the compilation cache
+//! changes cost (compile counts) but never results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use logrel::obs::export::to_json_line;
+use logrel::obs::{names, MetricsSink, Registry};
+use logrel::serve::{proto, Engine, Job, JobOutcome, ServeConfig};
+use logrel::sim::montecarlo::{BatchConfig, ReplicationContext};
+use logrel::sim::{
+    run_campaign_observed, BehaviorMap, CampaignConfig, ConstantEnvironment, LaneMode,
+    MonitorConfig, ProbabilisticFaults, Scenario, ScenarioSymbols, Simulation,
+};
+
+const SPEC_PATH: &str = "examples/htl/infusion_pump.htl";
+const SCENARIO_PATH: &str = "examples/scenarios/pump_outage.scn";
+const ROUNDS: u64 = 300;
+const REPS: u64 = 8;
+const SEED: u64 = 0xFEED;
+
+fn job() -> Job {
+    Job {
+        spec_source: std::fs::read_to_string(SPEC_PATH).unwrap(),
+        spec_label: SPEC_PATH.to_owned(),
+        scenario_source: std::fs::read_to_string(SCENARIO_PATH).unwrap(),
+        rounds: ROUNDS,
+        replications: REPS,
+        seed: SEED,
+        lanes: LaneMode::Auto,
+    }
+}
+
+fn engine(workers: usize, queue_capacity: usize) -> Engine {
+    Engine::new(ServeConfig {
+        workers,
+        queue_capacity,
+        recorder_capacity: 256,
+        cache_path: None,
+    })
+}
+
+struct Symbols<'a>(&'a logrel::lang::ElaboratedSystem);
+
+impl ScenarioSymbols for Symbols<'_> {
+    fn host(&self, name: &str) -> Option<logrel::core::HostId> {
+        self.0.arch.find_host(name)
+    }
+    fn communicator(&self, name: &str) -> Option<logrel::core::CommunicatorId> {
+        self.0.spec.find_communicator(name)
+    }
+}
+
+/// The same campaign run through the library pipeline the way `htlc
+/// inject --metrics` runs it, minus the wall-clock span gauges a
+/// service job never records.
+fn library_reference_line() -> String {
+    let source = std::fs::read_to_string(SPEC_PATH).unwrap();
+    let sys = logrel::lang::compile(&source).unwrap();
+    let scenario = Scenario::parse_with(
+        &std::fs::read_to_string(SCENARIO_PATH).unwrap(),
+        &Symbols(&sys),
+    )
+    .unwrap();
+    let analytic_report =
+        logrel::reliability::compute_srgs(&sys.spec, &sys.arch, &sys.imp).unwrap();
+    let analytic: Vec<Option<f64>> = sys
+        .spec
+        .communicator_ids()
+        .map(|c| Some(analytic_report.communicator(c).get()))
+        .collect();
+    let td = logrel::core::TimeDependentImplementation::from(sys.imp.clone());
+    let sim = Simulation::try_new(&sys.spec, &sys.arch, &td).unwrap();
+    let config = CampaignConfig {
+        batch: BatchConfig {
+            replications: REPS,
+            rounds: ROUNDS,
+            base_seed: SEED,
+            threads: 0,
+        },
+        monitor: MonitorConfig::default(),
+        lanes: LaneMode::Auto,
+    };
+    let mut registry = Registry::with_recorder(256);
+    registry.set_gauge(names::BITSLICE_LANES, LaneMode::Auto.width() as f64);
+    registry.set_gauge(names::CAMPAIGN_SEED, SEED as f64);
+    let setup = |_rep: u64| ReplicationContext {
+        behaviors: BehaviorMap::new(),
+        environment: Box::new(ConstantEnvironment::new(logrel::core::Value::Float(1.0))),
+        injector: Box::new(ProbabilisticFaults::from_architecture(&sys.arch)),
+    };
+    run_campaign_observed(
+        &sim,
+        &sys.spec,
+        &scenario,
+        sys.arch.host_count(),
+        &config,
+        setup,
+        &analytic,
+        &mut registry,
+        256,
+    )
+    .unwrap();
+    to_json_line(&registry)
+}
+
+fn submit_ok(engine: &Engine, job: &Job) -> JobOutcome {
+    engine.submit(job).expect("job should succeed")
+}
+
+#[test]
+fn served_metrics_are_byte_identical_across_worker_counts_and_match_the_library() {
+    let reference = library_reference_line();
+    for workers in [1, 4] {
+        let engine = engine(workers, 4);
+        let out = submit_ok(&engine, &job());
+        assert_eq!(
+            out.metrics_line, reference,
+            "served output must be byte-identical to the standalone campaign \
+             pipeline at {workers} worker(s)"
+        );
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn resubmitted_unchanged_spec_performs_zero_recompilations() {
+    let engine = engine(2, 4);
+    let first = submit_ok(&engine, &job());
+    assert!(!first.cache_hit);
+    assert_eq!(engine.counter(names::SERVE_CACHE_MISSES), 1);
+    assert_eq!(engine.counter(names::SERVE_CACHE_HITS), 0);
+
+    // Same bytes again: the spec must come straight out of the cache —
+    // zero recompilations, counter-asserted.
+    let second = submit_ok(&engine, &job());
+    assert!(second.cache_hit);
+    assert_eq!(engine.counter(names::SERVE_CACHE_MISSES), 1);
+    assert_eq!(engine.counter(names::SERVE_CACHE_HITS), 1);
+    assert_eq!(first.metrics_line, second.metrics_line);
+
+    // A different seed is a different job but the same compiled spec.
+    let mut reseeded = job();
+    reseeded.seed = SEED + 1;
+    let third = submit_ok(&engine, &reseeded);
+    assert!(third.cache_hit);
+    assert_eq!(engine.counter(names::SERVE_CACHE_MISSES), 1);
+    assert_ne!(third.metrics_line, second.metrics_line);
+
+    assert_eq!(engine.counter(names::SERVE_JOBS_COMPLETED), 3);
+    assert_eq!(engine.counter(names::SERVE_JOBS_REJECTED), 0);
+    engine.shutdown();
+}
+
+#[test]
+fn overfull_queue_rejects_with_a_structured_s002() {
+    // One worker, admission capacity one: while a long job is in
+    // flight, the next submission must be rejected, not queued.
+    let engine = engine(1, 1);
+    let slow = Job {
+        rounds: 20_000,
+        replications: 32,
+        ..job()
+    };
+    std::thread::scope(|scope| {
+        let inflight = {
+            let engine = engine.clone();
+            scope.spawn(move || engine.submit(&slow).expect("the admitted job succeeds"))
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while engine.gauge(names::SERVE_QUEUE_DEPTH) != Some(1.0) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "in-flight job never became visible"
+            );
+            std::thread::yield_now();
+        }
+        let err = engine.submit(&job()).expect_err("queue is full");
+        assert_eq!(err.code, proto::S_QUEUE_FULL);
+        assert!(err.message.contains("resubmit"), "{}", err.message);
+        assert_eq!(engine.counter(names::SERVE_JOBS_REJECTED), 1);
+        inflight.join().unwrap();
+    });
+    assert_eq!(engine.gauge(names::SERVE_QUEUE_DEPTH), Some(0.0));
+    assert_eq!(engine.counter(names::SERVE_JOBS_COMPLETED), 1);
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_rejects_new_jobs_with_s005() {
+    let engine = engine(1, 4);
+    engine.begin_shutdown();
+    let err = engine.submit(&job()).expect_err("draining service takes no jobs");
+    assert_eq!(err.code, proto::S_SHUTDOWN);
+    engine.shutdown();
+}
+
+#[test]
+fn malformed_lines_are_rejected_without_killing_the_service() {
+    let engine = engine(1, 4);
+    let responses = logrel::serve::process_line(&engine, "this is not json");
+    assert_eq!(responses.len(), 1);
+    assert!(responses[0].contains("\"code\":\"S001\""), "{}", responses[0]);
+    // The next (valid) request on the same service still succeeds.
+    let line = format!(
+        r#"{{"schema":"logrel-job-v1","id":"ok","spec_path":"{SPEC_PATH}","scenario_path":"{SCENARIO_PATH}","rounds":50,"replications":2,"seed":1}}"#
+    );
+    let responses = logrel::serve::process_line(&engine, &line);
+    assert_eq!(responses.len(), 2);
+    assert!(responses[0].starts_with(r#"{"schema":"logrel-metrics-v1""#));
+    assert!(responses[1].contains("\"status\":\"done\""));
+    // Degenerate campaign parameters get the structured S004, and the
+    // service survives that too.
+    let line = format!(
+        r#"{{"schema":"logrel-job-v1","id":"zero","spec_path":"{SPEC_PATH}","scenario_path":"{SCENARIO_PATH}","replications":0}}"#
+    );
+    let responses = logrel::serve::process_line(&engine, &line);
+    assert_eq!(responses.len(), 1);
+    assert!(responses[0].contains("\"code\":\"S004\""), "{}", responses[0]);
+    assert!(responses[0].contains("replication"), "{}", responses[0]);
+    engine.shutdown();
+}
+
+/// A fleet of services sharing one `.logrel-cache` path: concurrent
+/// compiles race their atomic cache rewrites, and a reader must never
+/// observe a torn file (the temp-file-plus-rename fix under test).
+#[test]
+fn engines_sharing_a_cache_file_never_tear_it() {
+    let dir = std::env::temp_dir().join(format!(
+        "logrel-serve-cache-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_path = dir.join("fleet.logrel-cache");
+    let cache_path = cache_path.to_str().unwrap().to_owned();
+
+    let base_spec = std::fs::read_to_string("examples/htl/infusion_pump.htl").unwrap();
+    let scenario = std::fs::read_to_string(SCENARIO_PATH).unwrap();
+    let engines: Vec<Engine> = (0..3)
+        .map(|_| {
+            Engine::new(ServeConfig {
+                workers: 2,
+                queue_capacity: 8,
+                recorder_capacity: 0,
+                cache_path: Some(cache_path.clone()),
+            })
+        })
+        .collect();
+    let torn_reads = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for (e, engine) in engines.iter().enumerate() {
+            for i in 0..2 {
+                let (base_spec, scenario) = (&base_spec, &scenario);
+                scope.spawn(move || {
+                    // Distinct program names make distinct content
+                    // hashes: every submission compiles (and rewrites
+                    // the shared cache file).
+                    let spec = base_spec
+                        .replace("program infusion_pump", &format!("program pump_{e}_{i}"));
+                    let out = engine
+                        .submit(&Job {
+                            spec_source: spec,
+                            spec_label: format!("fleet-{e}-{i}.htl"),
+                            scenario_source: scenario.clone(),
+                            rounds: 50,
+                            replications: 2,
+                            seed: 9,
+                            lanes: LaneMode::Auto,
+                        })
+                        .expect("fleet job succeeds");
+                    assert!(!out.cache_hit);
+                });
+            }
+        }
+        // A concurrent reader hammering the shared path: atomic renames
+        // mean it sees either no file or a valid one, never garbage.
+        let (cache_path, torn_reads) = (&cache_path, &torn_reads);
+        scope.spawn(move || {
+            for _ in 0..400 {
+                if let logrel::query::LoadOutcome::Invalid(_) = logrel::query::load(cache_path) {
+                    torn_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                std::thread::yield_now();
+            }
+        });
+    });
+    assert_eq!(torn_reads.load(Ordering::Relaxed), 0, "reader saw a torn cache file");
+    assert!(
+        matches!(logrel::query::load(&cache_path), logrel::query::LoadOutcome::Loaded(_)),
+        "final cache file must be valid"
+    );
+    for engine in engines {
+        engine.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
